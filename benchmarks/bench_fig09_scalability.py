@@ -1,0 +1,74 @@
+"""Figure 9 — bandwidth scalability, 10^3 to 10^6 nodes.
+
+Paper result: with a 300 Kbps stream, PAG grows from ~1 Mbps at 10^3
+nodes to 2.5 Mbps at 10^6, AcTinG from ~460 Kbps to 840 Kbps — both
+logarithmic in N because the fanout is log(N).
+
+Like the paper ("we also computed the scalability of the protocol when
+the number of nodes was too high to be simulated"), the large-N points
+come from the closed-form model; the model itself is validated against
+the packet simulator at small N (here and in
+tests/analysis/test_bandwidth_model.py).
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.analysis.bandwidth import ActingBandwidthModel, PagBandwidthModel
+from repro.core import PagConfig, PagSession
+
+SYSTEM_SIZES = [10**3, 10**4, 10**5, 10**6]
+
+
+def test_fig09_scalability(benchmark):
+    def compute():
+        rows = []
+        for n in SYSTEM_SIZES:
+            pag = PagBandwidthModel.for_system(n, 300.0).total_kbps()
+            acting = ActingBandwidthModel.for_system(n, 300.0).total_kbps()
+            rows.append((n, pag, acting))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_header(
+        "Figure 9 — scalability with a 300 Kbps stream [model]",
+        "PAG ~1 Mbps @10^3 -> 2.5 Mbps @10^6; AcTinG ~460 -> 840 Kbps",
+    )
+    print(f"{'nodes':>9} {'PAG Kbps':>9} {'AcTinG Kbps':>12} {'ratio':>6}")
+    for n, pag, acting in rows:
+        print(f"{n:>9} {pag:>9.0f} {acting:>12.0f} {pag / acting:>6.2f}")
+
+    pag_series = [pag for _, pag, _ in rows]
+    acting_series = [acting for _, _, acting in rows]
+    # Both grow monotonically...
+    assert pag_series == sorted(pag_series)
+    assert acting_series == sorted(acting_series)
+    # ...sub-linearly (1000x nodes -> <3x bandwidth: log growth).
+    assert pag_series[-1] / pag_series[0] < 3.0
+    assert acting_series[-1] / acting_series[0] < 3.0
+    # PAG stays above AcTinG everywhere, within the paper's factor band.
+    for _, pag, acting in rows:
+        assert 1.5 < pag / acting < 8.0
+    # Magnitude anchors.
+    assert 800 < pag_series[0] < 1_700
+    assert 1_800 < pag_series[-1] < 3_600
+
+
+def test_fig09_model_validated_by_simulator(scale):
+    """Anchor the model at simulator scale before extrapolating."""
+    n = scale["nodes"]
+    config = PagConfig.for_system_size(n, stream_rate_kbps=300.0)
+    session = PagSession.create(n, config=config)
+    session.run(scale["rounds"])
+    simulated = session.mean_bandwidth_kbps(
+        scale["warmup"], direction="down"
+    )
+    modelled = PagBandwidthModel(config=config).total_kbps()
+    print(
+        f"\nvalidation @N={n}: simulator {simulated:.0f} Kbps, "
+        f"model {modelled:.0f} Kbps "
+        f"({100 * abs(simulated - modelled) / modelled:.0f}% apart)"
+    )
+    assert simulated == pytest.approx(modelled, rel=0.5)

@@ -1,0 +1,62 @@
+"""Section VI-B — the Nash-equilibrium table.
+
+Not a figure in the paper, but the paper's central accountability claim
+("PAG is a Nash equilibrium") made quantitative: for every deviation in
+the catalogue, run the protocol, measure the deviant's bandwidth saving,
+its playback quality, and whether it was convicted, and compare
+utilities.  The claim holds when no row is profitable.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.adversary.selfish import (
+    ContactAvoider,
+    DeclarationSkipper,
+    FreeRider,
+    PartialForwarder,
+    SilentReceiver,
+    StealthyFreeRider,
+)
+from repro.analysis.nash import evaluate_deviation
+
+DEVIATIONS = [
+    FreeRider(),
+    PartialForwarder(keep_fraction=0.5, seed=1),
+    SilentReceiver(),
+    DeclarationSkipper(),
+    ContactAvoider(),
+    StealthyFreeRider(drop_every=4),
+]
+
+
+def test_nash_deviation_table(benchmark):
+    def evaluate_all():
+        return [
+            evaluate_deviation(behavior, n_nodes=20, rounds=16)
+            for behavior in DEVIATIONS
+        ]
+
+    outcomes = benchmark.pedantic(evaluate_all, rounds=1, iterations=1)
+    print_header(
+        "Nash equilibrium check — every deviation, measured",
+        "section VI-B: selfish nodes have no interest in deviating",
+    )
+    print(
+        f"{'deviation':<22} {'convicted':>9} {'saved Kbps':>11} "
+        f"{'honest u':>9} {'deviant u':>10} {'profitable':>11}"
+    )
+    for o in outcomes:
+        print(
+            f"{o.deviation:<22} {str(o.deviant_convicted):>9} "
+            f"{o.bandwidth_saved_kbps:>11.0f} {o.correct_utility:>9.1f} "
+            f"{o.deviant_utility:>10.1f} "
+            f"{str(o.deviation_profitable):>11}"
+        )
+
+    assert all(o.deviant_convicted for o in outcomes)
+    assert not any(o.deviation_profitable for o in outcomes)
+    # At least the canonical free-rider genuinely saves bandwidth — the
+    # equilibrium is non-trivial.
+    free_rider = next(o for o in outcomes if o.deviation == "FreeRider")
+    assert free_rider.bandwidth_saved_kbps > 0

@@ -1,0 +1,87 @@
+"""The motivating experiment — free-riders degrade the compliant stream.
+
+Section I cites studies showing that "above a given proportion of
+selfish clients, the compliant clients observe a major degradation in
+the quality of the video stream they obtain" — the reason accountable
+gossip exists.  This bench measures the effect on our own substrate:
+stream continuity of compliant nodes as the free-rider fraction grows,
+with PAG's detection off (the unprotected system) and on (every
+free-rider convicted, i.e. expellable), plus the per-strategy detection
+latency table.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.adversary.selfish import (
+    ContactAvoider,
+    DeclarationSkipper,
+    FreeRider,
+    PartialForwarder,
+    SilentReceiver,
+)
+from repro.analysis.detection import (
+    detection_latency,
+    selfish_population_impact,
+)
+
+FRACTIONS = [0.0, 0.1, 0.3, 0.5, 0.7]
+
+
+def test_population_degradation(benchmark):
+    results = benchmark.pedantic(
+        lambda: selfish_population_impact(FRACTIONS, n_nodes=24, rounds=18),
+        rounds=1,
+        iterations=1,
+    )
+    print_header(
+        "Free-rider population vs compliant stream quality (no detection)",
+        "section I: degradation above a threshold of selfish clients",
+    )
+    print(f"{'selfish':>8} {'compliant continuity':>21}")
+    for r in results:
+        print(f"{r.selfish_fraction:>7.0%} {r.compliant_continuity:>20.1%}")
+
+    by_fraction = {r.selfish_fraction: r.compliant_continuity for r in results}
+    # Monotone degradation with a knee: fine at low fractions, collapsed
+    # at high ones.
+    assert by_fraction[0.0] > 0.95
+    assert by_fraction[0.7] < 0.6
+    ordered = [by_fraction[f] for f in FRACTIONS]
+    assert all(a >= b - 0.02 for a, b in zip(ordered, ordered[1:]))
+
+
+def test_detection_restores_accountability():
+    results = selfish_population_impact(
+        [0.3], n_nodes=24, rounds=18, detection_enabled=True
+    )
+    print(
+        f"\nwith detection on, {results[0].selfish_convicted_fraction:.0%} "
+        "of the free-riders are convicted (expellable)"
+    )
+    assert results[0].selfish_convicted_fraction > 0.9
+
+
+def test_detection_latency_table():
+    print_header(
+        "Detection latency by strategy",
+        "log-less monitoring checks every exchange every round",
+    )
+    print(f"{'strategy':<22} {'latency (rounds)':>17}")
+    for behavior in (
+        FreeRider(),
+        PartialForwarder(keep_fraction=0.5, seed=1),
+        SilentReceiver(),
+        DeclarationSkipper(),
+        ContactAvoider(),
+    ):
+        result = detection_latency(behavior)
+        label = (
+            str(result.latency_rounds)
+            if result.latency_rounds is not None
+            else "n/a"
+        )
+        print(f"{result.strategy:<22} {label:>17}")
+        assert result.first_conviction_round is not None
+        if result.latency_rounds is not None:
+            assert result.latency_rounds <= 4

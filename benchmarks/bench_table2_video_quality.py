@@ -1,0 +1,84 @@
+"""Table II — maximum sustainable video quality per link capacity.
+
+Paper result (1000 nodes):
+
+    link      1.5 Mbps        10 Mbps       100 Mbps+
+    PAG       144p (660K)     480p (6.9M)   1080p (31M)
+    AcTinG    480p (1.4M)     1080p (6M)    1080p (6M)
+    RAC       ∅               ∅             ∅
+
+Reproduced shape: RAC sustains nothing anywhere (its per-node cost
+scales with the whole membership); AcTinG sustains a higher rung than
+PAG on every link; PAG reaches 1080p from 100 Mbps up.  Our absolute
+PAG cells sit one rung above the paper's on the slowest links because
+our duplicate handling is lighter (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.analysis.quality import table2
+from repro.streaming.video import LINK_CAPACITIES_KBPS, QUALITY_LADDER
+
+PAPER = {
+    "PAG": ["144p", "480p", "1080p", "1080p", "1080p"],
+    "AcTinG": ["480p", "1080p", "1080p", "1080p", "1080p"],
+    "RAC": [None] * 5,
+}
+
+
+def test_table2_quality_matrix(benchmark):
+    table = benchmark.pedantic(
+        lambda: table2(n_nodes=1000), rounds=1, iterations=1
+    )
+    print_header(
+        "Table II — max sustainable quality per link (1000 nodes)",
+        "PAG 144p@1.5M ... 1080p@100M+; AcTinG higher; RAC empty",
+    )
+    links = list(LINK_CAPACITIES_KBPS)
+    header = f"{'protocol':<8}" + "".join(f"{l.split(' (')[0]:>18}" for l in links)
+    print(header)
+    for protocol, cells in table.items():
+        row = f"{protocol:<8}" + "".join(
+            f"{c.render():>18}" for c in cells
+        )
+        print(row)
+        paper_row = "".join(
+            f"{(q or '∅'):>18}" for q in PAPER[protocol]
+        )
+        print(f"{'paper':<8}{paper_row}")
+
+    order = [q.name for q in QUALITY_LADDER]
+
+    # RAC: the empty row, exactly as the paper.
+    assert all(cell.quality is None for cell in table["RAC"])
+    # AcTinG >= PAG on every link; both reach 1080p from 100 Mbps.
+    for pag_cell, acting_cell in zip(table["PAG"], table["AcTinG"]):
+        assert order.index(pag_cell.quality) <= order.index(
+            acting_cell.quality
+        )
+    assert table["PAG"][2].quality == "1080p"
+    assert table["AcTinG"][1].quality == "1080p"
+    # ADSL cells: AcTinG exact match; PAG within one rung of the paper.
+    assert table["AcTinG"][0].quality == "480p"
+    assert table["PAG"][0].quality in ("144p", "240p")
+    # Cell-level agreement score against the paper (report it).
+    exact = sum(
+        1
+        for protocol in table
+        for got, want in zip(
+            [c.quality for c in table[protocol]], PAPER[protocol]
+        )
+        if got == want
+    )
+    print(f"\nexact cell matches with the paper: {exact}/15")
+    assert exact >= 11
+
+
+def test_table2_respects_capacity():
+    """No chosen quality may exceed its link capacity."""
+    table = table2(n_nodes=1000)
+    for protocol, cells in table.items():
+        for cell, capacity in zip(cells, LINK_CAPACITIES_KBPS.values()):
+            if cell.used_kbps is not None:
+                assert cell.used_kbps <= capacity

@@ -1,0 +1,34 @@
+"""Shared configuration for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper and prints the
+rows/series next to the paper's reported values.  Scale knobs:
+
+* ``REPRO_BENCH_NODES`` — membership size for packet-level simulations
+  (default 120; the paper's deployment used 432 — set 432 for the full
+  run, at several minutes of wall clock).
+* ``REPRO_BENCH_ROUNDS`` — rounds per simulation (default 12).
+"""
+
+import os
+
+import pytest
+
+
+def bench_nodes() -> int:
+    return int(os.environ.get("REPRO_BENCH_NODES", "120"))
+
+
+def bench_rounds() -> int:
+    return int(os.environ.get("REPRO_BENCH_ROUNDS", "15"))
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return {"nodes": bench_nodes(), "rounds": bench_rounds(), "warmup": 4}
+
+
+def print_header(title: str, paper: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print(f"paper reference: {paper}")
+    print("=" * 72)

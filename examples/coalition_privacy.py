@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""What attackers of increasing power learn from PAG (sections III, VII-E).
+
+Three perspectives on the same session:
+
+1. the **global passive observer** — a full wiretap that sees every
+   message: it reconstructs the communication graph but no content;
+2. **coalitions** of corrupted nodes of growing size — the Fig. 10
+   experiment on a concrete topology, next to the closed-form curves;
+3. the comparison with **AcTinG**, whose audited logs leak everything
+   once a small fraction of the membership is corrupted.
+
+Run:
+    python examples/coalition_privacy.py
+"""
+
+from repro.adversary.coalition import Coalition
+from repro.adversary.observer import GlobalObserver
+from repro.analysis.privacy import (
+    acting_discovery_probability,
+    pag_discovery_probability,
+    theoretical_minimum,
+)
+from repro.core import PagSession
+from repro.membership.directory import Directory
+from repro.membership.views import ViewProvider
+from repro.sim.rng import SeedSequence
+
+
+def observer_demo() -> None:
+    print("--- The global passive observer (wiretap on every link) ---")
+    session = PagSession.create(20)
+    observer = GlobalObserver()
+    session.simulator.network.add_tap(observer)
+    session.run(8)
+
+    graph = observer.communication_graph()
+    print(f"  sees {len(observer.trace)} messages on {len(graph)} links")
+    print(f"  message kinds: {dict(observer.message_kind_histogram())}")
+    serving = observer.serving_relations(4)
+    print(f"  infers {len(serving)} serving relations in round 4")
+    print(
+        "  but every Serve body is encrypted and every verification "
+        "artefact is a hash under link-private primes:"
+    )
+    print(
+        f"  plaintext traffic kinds: "
+        f"{sorted(observer.visible_plaintext_fields())}"
+    )
+    print(
+        f"  accusation-path exposures (failure path): "
+        f"{len(observer.accusation_exposures())}"
+    )
+
+
+def coalition_demo() -> None:
+    print("\n--- Coalitions of corrupted nodes (Fig. 10) ---")
+    n = 300
+    views = ViewProvider(
+        directory=Directory.of_size(n),
+        seeds=SeedSequence(11),
+        fanout=3,
+        monitors_per_node=3,
+    )
+    rng = SeedSequence(13).stream("pick")
+    print(
+        f"  {'attackers':>9}  {'PAG measured':>12}  {'PAG model':>9}  "
+        f"{'AcTinG model':>12}  {'theoretical min':>15}"
+    )
+    for percent in (5, 10, 20, 40, 60):
+        c = percent / 100.0
+        members = set(
+            rng.sample(list(views.directory.consumers()), int(n * c))
+        )
+        coalition = Coalition(members=members)
+        rate, _, _ = coalition.discovery_rate(views, rounds=[1, 2])
+        print(
+            f"  {percent:>8}%  {rate:>11.1%}  "
+            f"{pag_discovery_probability(c, 3):>9.1%}  "
+            f"{acting_discovery_probability(c):>12.1%}  "
+            f"{theoretical_minimum(c):>15.1%}"
+        )
+    print(
+        "\n  PAG tracks the theoretical minimum; AcTinG saturates by 10% "
+        "because audited logs carry interactions in clear."
+    )
+
+
+if __name__ == "__main__":
+    observer_demo()
+    coalition_demo()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""The paper's future-work extension: hiding interests with decoy sessions.
+
+PAG's property P1 hides *which updates* travel from monitors, but
+session membership itself is public: joining the "channel 5" session
+announces an interest in channel 5.  The paper's conclusion sketches
+the obfuscation approach — "hide the interests of nodes by making them
+receive several contents at the same time" — and calls improving on it
+future work, because every decoy session costs a full dissemination's
+bandwidth.
+
+This example quantifies both sides on real sessions: the attacker's
+posterior over each node's true interest, and the measured per-node
+bandwidth as the cover factor grows.
+
+Run:
+    python examples/obfuscated_sessions.py
+"""
+
+from repro.core import PagConfig
+from repro.extensions.multisession import MultiSessionRunner
+from repro.extensions.obfuscation import (
+    ObfuscationPlan,
+    anonymity_set_size,
+    interest_posterior,
+)
+
+CHANNELS = [101, 102, 103, 104, 105]
+
+
+def privacy_side() -> None:
+    print("--- What the observer of session memberships learns ---")
+    interests = {node: CHANNELS[node % len(CHANNELS)] for node in range(10)}
+    for cover in (1, 2, 3):
+        plan = ObfuscationPlan(
+            sessions=CHANNELS,
+            true_interest=interests,
+            cover_factor=cover,
+            seed=3,
+        )
+        sizes = anonymity_set_size(plan.observer_view())
+        mean_anonymity = sum(sizes.values()) / len(sizes)
+        posterior = interest_posterior(plan.observer_view())
+        correct_guess = sum(
+            max(p.values()) for p in posterior.values()
+        ) / len(posterior)
+        print(
+            f"  cover factor {cover}: anonymity set {mean_anonymity:.1f}, "
+            f"attacker's best-guess confidence {correct_guess:.0%}"
+        )
+
+    print("\n  skewed popularity shrinks the protection:")
+    plan = ObfuscationPlan(
+        sessions=CHANNELS,
+        true_interest=interests,
+        cover_factor=3,
+        seed=3,
+    )
+    popularity = {c: 1.0 for c in CHANNELS}
+    popularity[101] = 30.0  # channel 101 is the hit show
+    sizes = anonymity_set_size(plan.observer_view(), popularity)
+    fans = [n for n, i in interests.items() if i == 101]
+    print(
+        f"  a fan of the popular channel keeps anonymity "
+        f"{sizes[fans[0]]:.2f} (vs 3.0 uniform) — decoys must look "
+        "plausible."
+    )
+
+
+def cost_side() -> None:
+    print("\n--- What obfuscation costs (measured) ---")
+    for cover in (1, 2, 3):
+        runner = MultiSessionRunner(
+            n_nodes=12,
+            session_configs=[PagConfig(stream_rate_kbps=80.0)] * cover,
+        )
+        runner.run(10)
+        report = runner.report()
+        print(
+            f"  {cover} session(s): {report.aggregate_mean_kbps:6.0f} Kbps "
+            f"per node, continuity "
+            f"{min(report.per_session_continuity.values()):.0%}"
+        )
+    print(
+        "\n  Bandwidth scales linearly with the cover factor — the reason "
+        "the paper leaves a cheaper scheme as future work."
+    )
+
+
+if __name__ == "__main__":
+    privacy_side()
+    cost_side()

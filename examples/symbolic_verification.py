@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Symbolic verification of privacy property P1 (section VI-A).
+
+Re-runs the paper's ProVerif analysis with the bundled Dolev-Yao engine:
+
+* case (1): a global network attacker finds no attack;
+* case (2): coalitions below the threshold find no attack on honest
+  links (monitor-only and predecessor-only compositions);
+* the threshold attack: the coalition ProVerif found — colluding
+  predecessors plus the monitor holding one of their cofactors —
+  recovers the victim's prime by dividing known primes out of the
+  cofactor, then runs the dictionary test on the observed hashes.
+
+Run:
+    python examples/symbolic_verification.py
+"""
+
+from repro.verifier import (
+    PagScenario,
+    case1_network_attacker,
+    case2_coalitions,
+    check_secrecy,
+    f_coalition_attack,
+)
+
+
+def main() -> None:
+    print("=== Case (1): global network attacker, f = 3 ===")
+    for pred, verdict in case1_network_attacker(fanout=3).items():
+        status = "PRIVATE" if verdict.private else "BROKEN"
+        print(
+            f"  link {pred} -> B: {status} "
+            f"(prime derivable: {verdict.prime_derivable}, "
+            f"update linkable: {verdict.update_linkable})"
+        )
+
+    print("\n=== Case (2): coalitions of f-1 = 2 nodes ===")
+    safe = broken = 0
+    for coalition, verdicts in case2_coalitions(fanout=3):
+        exposed = [
+            p
+            for p, v in verdicts.items()
+            if p not in coalition and not v.private
+        ]
+        if exposed:
+            broken += 1
+            print(
+                f"  coalition {coalition}: exposes {exposed} "
+                "(mixed predecessor+monitor — the section VII-E condition)"
+            )
+        else:
+            safe += 1
+    print(f"  {safe} coalitions safe, {broken} expose a link.")
+    print(
+        "  All monitor-only and predecessor-only coalitions are safe "
+        "(the compositions section VI-A enumerates)."
+    )
+
+    print("\n=== The threshold attack (found by ProVerif, reproduced) ===")
+    coalition, victim = f_coalition_attack(fanout=3)
+    print(f"  coalition: {coalition}")
+    print(
+        f"  victim link A1 -> B: prime recovered = "
+        f"{victim.prime_derivable}, dictionary test possible = "
+        f"{victim.update_linkable}"
+    )
+    print(
+        "  Mechanism: the monitor holds cofactor p1*p3 for predecessor "
+        "A2; dividing out the colluders' primes isolates p1."
+    )
+
+    print("\n=== Raising the fanout raises the bar ===")
+    for fanout in (3, 5):
+        scenario = PagScenario(fanout=fanout)
+        pair_breaks = 0
+        for monitor in scenario.monitors:
+            verdicts = check_secrecy(scenario, corrupted=("A1", monitor))
+            if any(
+                not v.private
+                for p, v in verdicts.items()
+                if p != "A1"
+            ):
+                pair_breaks += 1
+        print(
+            f"  f={fanout}: (1 predecessor + 1 monitor) coalitions that "
+            f"break a link: {pair_breaks}/{len(scenario.monitors)}"
+        )
+    print(
+        "  'Increasing the value of f reinforces the security of the "
+        "protocol' — at f=5 no 2-coalition succeeds."
+    )
+
+
+if __name__ == "__main__":
+    main()

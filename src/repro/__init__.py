@@ -1,0 +1,31 @@
+"""Reproduction of "PAG: Private and Accountable Gossip" (ICDCS 2016).
+
+PAG (Decouchant, Ben Mokhtar, Petit, Quéma) is the first gossip
+dissemination protocol that is simultaneously accountable (selfish
+nodes are provably convicted) and partially privacy-preserving
+(monitors verify forwarding through homomorphic hashes without learning
+update contents or building interest graphs).
+
+Package map:
+
+* :mod:`repro.core` — the protocol itself (start with
+  :class:`repro.core.PagSession`);
+* :mod:`repro.crypto` — primes, RSA, the homomorphic hash;
+* :mod:`repro.sim` — the round-synchronous simulation substrate;
+* :mod:`repro.membership`, :mod:`repro.gossip`, :mod:`repro.streaming`
+  — membership views, dissemination, and the video application layer;
+* :mod:`repro.baselines` — AcTinG and RAC, the paper's comparators;
+* :mod:`repro.adversary` — selfish strategies, coalitions, the global
+  observer;
+* :mod:`repro.analysis` — bandwidth/cost/privacy models and the Nash
+  check;
+* :mod:`repro.verifier` — the Dolev-Yao engine reproducing the ProVerif
+  analysis.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,28 @@
+"""Adversaries: selfish strategies, privacy coalitions, global observer."""
+
+from repro.adversary.active import ActiveInjector
+from repro.adversary.coalition import Coalition, ExchangeDiscovery
+from repro.adversary.observer import GlobalObserver
+from repro.adversary.selfish import (
+    ContactAvoider,
+    LyingMonitor,
+    DeclarationSkipper,
+    FreeRider,
+    PartialForwarder,
+    SilentReceiver,
+    StealthyFreeRider,
+)
+
+__all__ = [
+    "ActiveInjector",
+    "Coalition",
+    "ContactAvoider",
+    "DeclarationSkipper",
+    "ExchangeDiscovery",
+    "FreeRider",
+    "GlobalObserver",
+    "LyingMonitor",
+    "PartialForwarder",
+    "SilentReceiver",
+    "StealthyFreeRider",
+]

@@ -1,0 +1,171 @@
+"""The *active* part of the global and active opponent (section III).
+
+Beyond wiretapping, the opponent "can control some nodes in the system
+and make them share information or deviate from the protocol (if
+possible)" and, in the ProVerif scenarios, "can replay, or inject
+messages in the network".  This module provides an injector that mounts
+those attacks against a running session, so the tests can verify the
+protocol's defences operationally:
+
+* **replay** — re-deliver previously recorded messages (signatures are
+  valid!); idempotent handlers and per-round keys must neutralise them;
+* **forged acks** — inject acknowledgements with fabricated signatures
+  or hashes on behalf of honest nodes, attempting to frame them or to
+  discharge a cheater's obligation;
+* **forged attestations** — attempt to shrink a victim's forwarding
+  obligation by injecting smaller attested hashes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.messages import Ack, AckRelay, SignedAck
+from repro.core.session import PagSession
+from repro.sim.message import Message
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["ActiveInjector"]
+
+
+class _AttackerNode:
+    """A ghost participant that emits the injector's queued messages.
+
+    Registered in the simulator under an id outside the membership; it
+    spoofs the ``sender`` field of whatever it injects (the network is
+    unauthenticated below the signature layer, exactly the paper's
+    model).
+    """
+
+    def __init__(self, node_id: int, network, queue: List[Message]) -> None:
+        self.node_id = node_id
+        self.network = network
+        self._queue = queue
+        self.injected = 0
+
+    def begin_round(self, round_no: int) -> None:
+        pending, self._queue[:] = list(self._queue), []
+        for message in pending:
+            self.network.send(message)
+            self.injected += 1
+
+    def on_message(self, message: Message) -> None:
+        """The attacker silently absorbs anything sent to it."""
+
+    def end_round(self, round_no: int) -> None:
+        pass
+
+    def send(self, message: Message) -> None:
+        self.network.send(message)
+
+
+@dataclass
+class ActiveInjector:
+    """Records traffic and re-injects (possibly mutated) copies.
+
+    Attach to a session with :meth:`attach`, queue attacks with the
+    ``replay_*``/``forge_*`` methods, then keep running the session —
+    the injections enter the network at the start of the next round.
+    """
+
+    session: PagSession
+    recorder: TraceRecorder = field(
+        default_factory=lambda: TraceRecorder(keep_messages=True)
+    )
+    _queue: List[Message] = field(default_factory=list)
+    _node: Optional[_AttackerNode] = None
+
+    #: node id of the ghost attacker (outside any membership).
+    ATTACKER_ID = 10_000_000
+
+    def attach(self) -> "ActiveInjector":
+        self.session.simulator.network.add_tap(self.recorder)
+        self._node = _AttackerNode(
+            self.ATTACKER_ID,
+            self.session.simulator.network,
+            self._queue,
+        )
+        self.session.simulator.add_node(self._node)
+        return self
+
+    @property
+    def injected(self) -> int:
+        return self._node.injected if self._node else 0
+
+    def _inject_now(self, message: Message) -> None:
+        self._queue.append(message)
+
+    # -- attacks -----------------------------------------------------------
+
+    def replay_recent(self, kinds: Optional[set[str]] = None, limit: int = 50) -> int:
+        """Queue verbatim replays of recently recorded messages."""
+        picked = 0
+        for message in reversed(self.recorder.messages):
+            if kinds is not None and message.kind not in kinds:
+                continue
+            self._inject_now(message)
+            picked += 1
+            if picked >= limit:
+                break
+        return picked
+
+    def forge_ack(
+        self,
+        victim: int,
+        server: int,
+        round_no: int,
+        hash_total: int = 0xDEAD,
+    ) -> None:
+        """Inject an Ack "from" ``victim`` with a fabricated signature.
+
+        If accepted, it would discharge ``server``'s obligation with a
+        wrong hash (framing the server) or fake the victim's
+        acknowledgement.  Signature verification must reject it.
+        """
+        forged = SignedAck(
+            round_no=round_no,
+            receiver=victim,
+            server=server,
+            hash_total=hash_total,
+            key_prime_count=1,
+            signature=0xBADC0DE,  # not a valid signature
+        )
+        self._inject_now(
+            Ack(
+                sender=victim,
+                recipient=server,
+                round_no=round_no,
+                ack=forged,
+            )
+        )
+
+    def forge_ack_relay(
+        self,
+        to_monitor: int,
+        server: int,
+        receiver: int,
+        round_no: int,
+        hash_total: int = 0xDEAD,
+    ) -> None:
+        """Inject a message-9 relay carrying a forged ack, attempting to
+        convict ``server`` of a wrong forward set."""
+        forged = SignedAck(
+            round_no=round_no,
+            receiver=receiver,
+            server=server,
+            hash_total=hash_total,
+            key_prime_count=1,
+            signature=0xBADC0DE,
+        )
+        self._inject_now(
+            AckRelay(
+                sender=receiver,
+                recipient=to_monitor,
+                round_no=round_no,
+                server=server,
+                ack=forged,
+                signature=0xBADC0DE,
+            )
+        )

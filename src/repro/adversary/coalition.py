@@ -1,0 +1,138 @@
+"""Coalition attacks on privacy: who can decrypt whose exchanges.
+
+Section VII-E evaluates "the privacy leakage performed by a global and
+active attacker that would control more than f nodes".  The attack the
+ProVerif analysis found (section VI-A) needs, for a victim link A -> B:
+
+* at least one corrupted monitor of B — the designated monitor for some
+  colluding predecessor j holds the cofactor ``prod_{k != j} p_k``;
+* enough corrupted predecessors of B that dividing their known primes
+  out of that cofactor leaves exactly ``p_A`` — i.e. **all of B's
+  predecessors except at most two** (A itself and the predecessor whose
+  cofactor is used) must collude.
+
+With the prime ``p_A`` recovered, the global wiretap's recordings of the
+(encrypted) A -> B exchange become interpretable: the coalition can test
+candidate update sets against the observed hashes.
+
+This module implements the structural test on concrete round topologies;
+:mod:`repro.analysis.privacy` has the closed-form counterpart used for
+Fig. 10's curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.membership.views import ViewProvider
+
+__all__ = ["Coalition", "ExchangeDiscovery"]
+
+
+@dataclass(frozen=True)
+class ExchangeDiscovery:
+    """Verdict on one directed exchange."""
+
+    server: int
+    receiver: int
+    round_no: int
+    discovered: bool
+    how: str
+
+
+@dataclass
+class Coalition:
+    """A set of colluding nodes controlled by the global active opponent.
+
+    Attributes:
+        members: the corrupted node ids.
+        sees_endpoints: an exchange whose endpoint is corrupted is
+            trivially discovered (the "theoretical minimum" curve of
+            Fig. 10).
+    """
+
+    members: Set[int] = field(default_factory=set)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self.members
+
+    def corrupted(self, nodes: Iterable[int]) -> List[int]:
+        return [n for n in nodes if n in self.members]
+
+    # ------------------------------------------------------------------
+
+    def discovers_exchange(
+        self,
+        views: ViewProvider,
+        server: int,
+        receiver: int,
+        round_no: int,
+    ) -> ExchangeDiscovery:
+        """Does the coalition learn the content of server -> receiver?
+
+        Applies the structural attack condition of sections VI-A/VII-E
+        to the actual predecessor and monitor sets of the round.
+        """
+        if server in self.members or receiver in self.members:
+            return ExchangeDiscovery(
+                server, receiver, round_no, True, "endpoint corrupted"
+            )
+        predecessors = views.predecessors(receiver, round_no)
+        monitors = views.monitors(receiver)
+        corrupt_monitors = self.corrupted(monitors)
+        if not corrupt_monitors:
+            return ExchangeDiscovery(
+                server, receiver, round_no, False, "no corrupted monitor"
+            )
+        honest_preds = [p for p in predecessors if p not in self.members]
+        # The attack divides colluding primes out of one colluding
+        # predecessor's cofactor; it isolates p_server only when the
+        # server is the sole honest predecessor besides the cofactor
+        # owner.  "all its predecessors except at most two ... collude".
+        colluding_preds = [p for p in predecessors if p in self.members]
+        if len(honest_preds) <= 2 and colluding_preds:
+            return ExchangeDiscovery(
+                server,
+                receiver,
+                round_no,
+                True,
+                (
+                    f"{len(corrupt_monitors)} corrupted monitor(s) hold "
+                    f"cofactors; only {len(honest_preds)} honest "
+                    "predecessor(s) remain"
+                ),
+            )
+        return ExchangeDiscovery(
+            server,
+            receiver,
+            round_no,
+            False,
+            f"{len(honest_preds)} honest predecessors keep the product "
+            "unfactorable",
+        )
+
+    def discovery_rate(
+        self,
+        views: ViewProvider,
+        rounds: Sequence[int],
+    ) -> Tuple[float, int, int]:
+        """Fraction of all exchanges in ``rounds`` the coalition discovers.
+
+        Returns (rate, discovered, total) over every server->receiver
+        link implied by the views.
+        """
+        discovered = 0
+        total = 0
+        for round_no in rounds:
+            for server in views.directory.members:
+                for receiver in views.successors(server, round_no):
+                    total += 1
+                    outcome = self.discovers_exchange(
+                        views, server, receiver, round_no
+                    )
+                    if outcome.discovered:
+                        discovered += 1
+        if total == 0:
+            return 0.0, 0, 0
+        return discovered / total, discovered, total

@@ -1,0 +1,176 @@
+"""Selfish strategies: the deviations PAG must deter.
+
+Section II-A: selfish nodes "tamper with their software ... in order to
+maximise their benefit (e.g., receiving the disseminated content as fast
+as possible) while minimising their contribution (e.g., saving bandwidth
+or computational resources)".  Each strategy here overrides exactly the
+behaviour hooks it needs; everything else stays correct, which is how a
+rational deviator behaves (deviate only where it pays).
+
+These are the deviation vectors of the accountability analysis
+(section VI-B) and the free-rider populations of the evaluation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+from repro.core.behavior import Behavior
+from repro.core.messages import ServeEntry
+
+__all__ = [
+    "FreeRider",
+    "PartialForwarder",
+    "SilentReceiver",
+    "DeclarationSkipper",
+    "ContactAvoider",
+    "LyingMonitor",
+    "StealthyFreeRider",
+]
+
+
+@dataclass
+class FreeRider(Behavior):
+    """Receives everything, forwards nothing.
+
+    The canonical selfish node: it still runs the receiver side (it
+    wants the stream) but drops every serve payload, saving its entire
+    upload bandwidth.  Caught by the forwarding check: its successors
+    acknowledge an empty product while its monitors hold a non-trivial
+    obligation.
+    """
+
+    def filter_serve(
+        self, entries: Sequence[ServeEntry], successor: int, round_no: int
+    ) -> Tuple[ServeEntry, ...]:
+        return ()
+
+
+@dataclass
+class PartialForwarder(Behavior):
+    """Forwards only a fraction of its obligation (cheaper, subtler).
+
+    Caught the same way as the free-rider: any dropped entry changes the
+    served product, so the successor's acknowledged hash cannot match
+    the monitors' accumulated obligation.
+
+    Attributes:
+        keep_fraction: fraction of entries actually served.
+        seed: private randomness of the cheater.
+    """
+
+    keep_fraction: float = 0.5
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def filter_serve(
+        self, entries: Sequence[ServeEntry], successor: int, round_no: int
+    ) -> Tuple[ServeEntry, ...]:
+        kept = [
+            e for e in entries if self._rng.random() < self.keep_fraction
+        ]
+        return tuple(kept)
+
+
+@dataclass
+class SilentReceiver(Behavior):
+    """Violates R1: never issues primes nor acknowledges serves.
+
+    A node that refuses reception cannot be forced to watch the stream,
+    but it must not go *unpunished* — otherwise "leave and rejoin"
+    becomes a free ride.  Its servers accuse it (Fig. 3); the monitors'
+    probe goes unanswered; the Nack convicts it.
+    """
+
+    def answers_key_request(self, predecessor: int, round_no: int) -> bool:
+        return False
+
+    def sends_ack(self, server: int, round_no: int) -> bool:
+        return False
+
+    def answers_probe(self, monitor: int, round_no: int) -> bool:
+        return False
+
+
+@dataclass
+class DeclarationSkipper(Behavior):
+    """Acknowledges to its servers but hides receptions from its own
+    monitors (skips messages 6-7), hoping to shed its forwarding
+    obligation.
+
+    Caught by the investigation: the server exhibits the signed Ack the
+    skipper's monitors never received (section IV-A), which is the
+    OMITTED_DECLARATION conviction.
+    """
+
+    def declares_to_monitors(self, server: int, round_no: int) -> bool:
+        return False
+
+
+@dataclass
+class ContactAvoider(Behavior):
+    """Violates the obligation to contact successors: initiates no
+    exchanges at all (saves the entire server side).
+
+    Its monitors receive no ack relays, investigate, get no exhibit and
+    no accusation claim, and convict at the deadline.
+    """
+
+    def initiates_exchange(self, successor: int, round_no: int) -> bool:
+        return False
+
+    def accuses_silent_successor(self, successor: int, round_no: int) -> bool:
+        return False
+
+
+@dataclass
+class LyingMonitor(Behavior):
+    """A corrupted monitor that broadcasts wrong lifted hashes.
+
+    Framing attack: by corrupting the message-8 values it feeds the
+    other monitors, it inflates its victims' apparent obligations so
+    every successor acknowledgement mismatches — an attempt to get
+    honest nodes convicted of WRONG_FORWARD_SET.  Defeated by the
+    section V-B cross-checks (``PagConfig(monitor_cross_checks=True)``):
+    the monitored node's signed self-check plus the successors' acks
+    arbitrate, and the liar is convicted of MONITOR_MISBEHAVIOR.
+    """
+
+    def transform_lifted(
+        self,
+        monitored: int,
+        predecessor: int,
+        round_no: int,
+        lifted: Tuple[int, int],
+    ) -> Tuple[int, int]:
+        forward, ack_only = lifted
+        return (forward * 31337 + 1, ack_only)
+
+
+@dataclass
+class StealthyFreeRider(Behavior):
+    """Drops obligations only occasionally, and stonewalls investigations.
+
+    Exists to show detection is not limited to blatant cheaters: a
+    single dropped entry in a single round flips the product hash.
+
+    Attributes:
+        drop_every: drop the serve every k-th round.
+    """
+
+    drop_every: int = 5
+
+    def filter_serve(
+        self, entries: Sequence[ServeEntry], successor: int, round_no: int
+    ) -> Tuple[ServeEntry, ...]:
+        if round_no % self.drop_every == 0:
+            return ()
+        return tuple(entries)
+
+    def answers_investigation(self, monitor: int, round_no: int) -> bool:
+        return False

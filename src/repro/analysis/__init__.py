@@ -1,0 +1,69 @@
+"""Analysis layer: bandwidth models, cost accounting, privacy, game theory."""
+
+from repro.analysis.bandwidth import (
+    DUPLICATE_DELIVERY_FACTOR,
+    ActingBandwidthModel,
+    PagBandwidthModel,
+    acting_duplicate_factor,
+    pag_duplicate_factor,
+    plain_gossip_kbps,
+)
+from repro.analysis.detection import (
+    DetectionLatency,
+    PopulationImpact,
+    detection_latency,
+    selfish_population_impact,
+)
+from repro.analysis.costs import (
+    Table1Row,
+    hashes_per_second,
+    signatures_per_second,
+    table1_rows,
+)
+from repro.analysis.nash import (
+    DeviationOutcome,
+    UtilityModel,
+    evaluate_deviation,
+)
+from repro.analysis.privacy import (
+    Figure10Point,
+    acting_discovery_probability,
+    figure10_series,
+    pag_discovery_probability,
+    theoretical_minimum,
+)
+from repro.analysis.quality import (
+    Table2Cell,
+    acting_cost_of_quality,
+    pag_cost_of_quality,
+    table2,
+)
+
+__all__ = [
+    "ActingBandwidthModel",
+    "DUPLICATE_DELIVERY_FACTOR",
+    "DetectionLatency",
+    "DeviationOutcome",
+    "Figure10Point",
+    "PopulationImpact",
+    "PagBandwidthModel",
+    "Table1Row",
+    "Table2Cell",
+    "UtilityModel",
+    "acting_cost_of_quality",
+    "detection_latency",
+    "acting_discovery_probability",
+    "acting_duplicate_factor",
+    "evaluate_deviation",
+    "figure10_series",
+    "hashes_per_second",
+    "pag_cost_of_quality",
+    "pag_discovery_probability",
+    "pag_duplicate_factor",
+    "plain_gossip_kbps",
+    "selfish_population_impact",
+    "signatures_per_second",
+    "table1_rows",
+    "table2",
+    "theoretical_minimum",
+]

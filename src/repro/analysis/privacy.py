@@ -1,0 +1,139 @@
+"""Privacy under coalitions — Fig. 10 of the paper.
+
+Closed-form probabilities that a coalition controlling a fraction ``c``
+of the membership discovers a given exchange, for PAG (as a function of
+the fanout/monitor count) and for AcTinG (whose audited logs expose
+interactions outright).  The Monte-Carlo counterpart over concrete
+topologies lives in :class:`repro.adversary.coalition.Coalition`; a test
+cross-validates the two.
+
+Attack conditions (sections VI-A and VII-E):
+
+* **Theoretical minimum** — one endpoint is corrupted:
+  ``1 - (1-c)^2``.  No protocol can do better.
+* **PAG** — both endpoints honest, at least one corrupted monitor of
+  the receiver (it holds a prime-product cofactor), and all of the
+  receiver's predecessors except at most two collude (dividing known
+  primes out of a cofactor must isolate the victim's prime).
+* **AcTinG** — interactions sit in cleartext in both endpoints' secure
+  logs; every audit hands the log to a monitor, and log segments spread
+  through cross-audits, so exposure grows with the number of distinct
+  nodes that ever audited either endpoint.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+__all__ = [
+    "theoretical_minimum",
+    "pag_discovery_probability",
+    "acting_discovery_probability",
+    "figure10_series",
+    "Figure10Point",
+]
+
+
+def _binomial_pmf(k: int, n: int, p: float) -> float:
+    return math.comb(n, k) * p**k * (1.0 - p) ** (n - k)
+
+
+def theoretical_minimum(c: float) -> float:
+    """P(at least one endpoint of a random exchange is corrupted)."""
+    _check_fraction(c)
+    return 1.0 - (1.0 - c) ** 2
+
+
+def pag_discovery_probability(
+    c: float, fanout: int = 3, monitors: int | None = None
+) -> float:
+    """P(a random exchange A->B is discovered) under PAG.
+
+    The receiver B has ``fanout`` predecessors in expectation (the paper
+    couples successor count, predecessor count and monitor count — "PAG
+    is configured with the same numbers of successors and monitors per
+    node").  Conditional on both endpoints honest, the attack needs:
+
+    * at least one of B's ``monitors`` corrupted, and
+    * at most one of B's other ``fanout - 1`` predecessors honest
+      (with A, that makes "all predecessors except at most two").
+
+    Raising the fanout/monitor count makes the predecessor condition
+    harder much faster than the monitor condition gets easier, which is
+    why PAG-5-monitors sits below PAG-3-monitors in Fig. 10.
+    """
+    _check_fraction(c)
+    if fanout < 1:
+        raise ValueError("fanout must be at least 1")
+    fm = monitors if monitors is not None else fanout
+    endpoint = theoretical_minimum(c)
+    both_honest = (1.0 - c) ** 2
+    other_preds = fanout - 1
+    # P[#honest among the other predecessors <= 1]
+    preds_collude = sum(
+        _binomial_pmf(k, other_preds, c)
+        for k in range(max(0, other_preds - 1), other_preds + 1)
+    )
+    monitor_corrupt = 1.0 - (1.0 - c) ** fm
+    return endpoint + both_honest * preds_collude * monitor_corrupt
+
+
+def acting_discovery_probability(
+    c: float,
+    monitors: int = 3,
+    audit_exposure_rounds: int = 20,
+) -> float:
+    """P(a random exchange is discovered) under AcTinG.
+
+    An interaction is recorded in both endpoints' logs; each log is
+    handed to its ``monitors`` and, through AcTinG's cross-audits (an
+    auditor fetches the partner's log to check consistency), reaches a
+    fresh set of nodes every round.  Over an exposure window of ``W``
+    rounds the record is seen by roughly ``2*(monitors + W)`` distinct
+    nodes; one corrupted viewer suffices.
+
+    With the defaults this reproduces the paper's observation that "all
+    interactions are discovered when an attacker controls 10% of nodes
+    in AcTinG".
+    """
+    _check_fraction(c)
+    viewers = 2 * (monitors + audit_exposure_rounds)
+    return 1.0 - (1.0 - c) ** viewers
+
+
+@dataclass(frozen=True)
+class Figure10Point:
+    """One x-position of Fig. 10."""
+
+    attacker_fraction: float
+    acting: float
+    pag_3_monitors: float
+    pag_5_monitors: float
+    theoretical_minimum: float
+
+
+def figure10_series(
+    fractions: Sequence[float] | None = None,
+) -> List[Figure10Point]:
+    """The four curves of Fig. 10, in percent-ready fractions."""
+    if fractions is None:
+        fractions = [i / 100.0 for i in range(0, 101, 5)]
+    points = []
+    for c in fractions:
+        points.append(
+            Figure10Point(
+                attacker_fraction=c,
+                acting=acting_discovery_probability(c),
+                pag_3_monitors=pag_discovery_probability(c, fanout=3),
+                pag_5_monitors=pag_discovery_probability(c, fanout=5),
+                theoretical_minimum=theoretical_minimum(c),
+            )
+        )
+    return points
+
+
+def _check_fraction(c: float) -> None:
+    if not 0.0 <= c <= 1.0:
+        raise ValueError(f"attacker fraction {c} outside [0, 1]")

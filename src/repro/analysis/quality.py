@@ -1,0 +1,88 @@
+"""Sustainable video quality per link capacity — Table II of the paper.
+
+For each protocol and each link technology, find the highest rung of the
+quality ladder whose per-node bandwidth fits the link.  RAC's cells: its
+per-node cost scales with the full membership, so no quality fits even
+a 10 Gbps link (the paper's ∅ cells).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.bandwidth import ActingBandwidthModel, PagBandwidthModel
+from repro.baselines.rac import rac_per_node_kbps
+from repro.core.config import PagConfig
+from repro.streaming.video import (
+    LINK_CAPACITIES_KBPS,
+    VideoQuality,
+    max_quality_under,
+)
+
+__all__ = ["Table2Cell", "table2", "pag_cost_of_quality", "acting_cost_of_quality"]
+
+
+def pag_cost_of_quality(
+    quality: VideoQuality, n_nodes: int = 1000
+) -> float:
+    """Per-node bandwidth PAG consumes streaming at ``quality``."""
+    config = PagConfig.for_system_size(
+        n_nodes, stream_rate_kbps=quality.payload_kbps
+    )
+    return PagBandwidthModel(config=config).total_kbps()
+
+
+def acting_cost_of_quality(
+    quality: VideoQuality, n_nodes: int = 1000
+) -> float:
+    """Per-node bandwidth AcTinG consumes streaming at ``quality``."""
+    return ActingBandwidthModel.for_system(
+        n_nodes, quality.payload_kbps
+    ).total_kbps()
+
+
+def rac_cost_of_quality(quality: VideoQuality, n_nodes: int = 1000) -> float:
+    return rac_per_node_kbps(quality.payload_kbps, n_nodes)
+
+
+@dataclass(frozen=True)
+class Table2Cell:
+    """One (protocol, link) cell: best quality and the bandwidth it uses."""
+
+    protocol: str
+    link: str
+    quality: Optional[str]
+    used_kbps: Optional[float]
+
+    def render(self) -> str:
+        if self.quality is None:
+            return "∅"
+        used = self.used_kbps
+        if used >= 1000:
+            return f"{self.quality} ({used / 1000.0:.1f} Mbps)"
+        return f"{self.quality} ({used:.0f} Kbps)"
+
+
+def table2(n_nodes: int = 1000) -> Dict[str, List[Table2Cell]]:
+    """Regenerate Table II: protocol -> one cell per link capacity."""
+    cost_functions = {
+        "PAG": lambda q: pag_cost_of_quality(q, n_nodes),
+        "AcTinG": lambda q: acting_cost_of_quality(q, n_nodes),
+        "RAC": lambda q: rac_cost_of_quality(q, n_nodes),
+    }
+    table: Dict[str, List[Table2Cell]] = {}
+    for protocol, cost in cost_functions.items():
+        cells = []
+        for link, capacity in LINK_CAPACITIES_KBPS.items():
+            best = max_quality_under(capacity, cost)
+            cells.append(
+                Table2Cell(
+                    protocol=protocol,
+                    link=link,
+                    quality=best.name if best else None,
+                    used_kbps=cost(best) if best else None,
+                )
+            )
+        table[protocol] = cells
+    return table

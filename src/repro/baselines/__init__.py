@@ -1,0 +1,50 @@
+"""Baseline protocols the paper compares against.
+
+* :mod:`repro.baselines.acting` — AcTinG, accountable gossip via secure
+  logs and audits (no privacy);
+* :mod:`repro.baselines.rac` — RAC, accountable anonymous communication
+  (privacy via onion-broadcast, prohibitive bandwidth);
+* :mod:`repro.baselines.securelog` — the PeerReview-style tamper-evident
+  log both AcTinG and the related work build on;
+* plain push gossip lives in :mod:`repro.gossip.dissemination`.
+"""
+
+from repro.baselines.acting import (
+    ActingConfig,
+    ActingNode,
+    ActingSession,
+    ActingSourceNode,
+)
+from repro.baselines.rac import (
+    RAC_OVERHEAD_CALIBRATION,
+    RacConfig,
+    RacNode,
+    RacSession,
+    RacSourceNode,
+    rac_max_payload_kbps,
+    rac_per_node_kbps,
+)
+from repro.baselines.securelog import (
+    Authenticator,
+    LogEntry,
+    SecureLog,
+    verify_segment,
+)
+
+__all__ = [
+    "ActingConfig",
+    "ActingNode",
+    "ActingSession",
+    "ActingSourceNode",
+    "Authenticator",
+    "LogEntry",
+    "RAC_OVERHEAD_CALIBRATION",
+    "RacConfig",
+    "RacNode",
+    "RacSession",
+    "RacSourceNode",
+    "SecureLog",
+    "rac_max_payload_kbps",
+    "rac_per_node_kbps",
+    "verify_segment",
+]

@@ -1,0 +1,133 @@
+"""Tamper-evident secure logs, as used by PeerReview/AVMs/AcTinG.
+
+The accountability systems PAG competes with (section II-B) make every
+node keep an append-only log of its interactions, secured by a recursive
+hash: entry ``i`` commits to ``h_{i-1}``, so retroactive edits break the
+chain, and signed *authenticators* pin the chain's head so a node cannot
+maintain two divergent histories (forking).  Audits transfer log
+segments — which is exactly the privacy leak PAG exists to remove: the
+log names partners, rounds, and update identifiers in clear.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["LogEntry", "SecureLog", "Authenticator", "verify_segment"]
+
+#: Wire size of one serialized log entry during an audit transfer
+#: (sequence, type, round, partner, update ids digest, chain hash).
+LOG_ENTRY_WIRE_BYTES = 48
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One logged interaction.
+
+    Attributes:
+        seq: position in the log (0-based, dense).
+        entry_type: ``SND`` or ``RCV`` (Fig. 2 of the paper).
+        round_no: gossip round of the interaction.
+        partner: the other endpoint.
+        update_uids: identifiers of the updates exchanged — in clear,
+            which is what lets a curious auditor profile interests.
+        prev_hash: chain hash of the previous entry.
+    """
+
+    seq: int
+    entry_type: str
+    round_no: int
+    partner: int
+    update_uids: Tuple[int, ...]
+    prev_hash: bytes
+
+    def chain_hash(self) -> bytes:
+        material = (
+            f"{self.seq}|{self.entry_type}|{self.round_no}|{self.partner}|"
+            f"{sorted(self.update_uids)}".encode()
+            + self.prev_hash
+        )
+        return hashlib.sha256(material).digest()
+
+
+@dataclass(frozen=True)
+class Authenticator:
+    """A signed commitment to the log head: (seq, chain hash, signature)."""
+
+    node_id: int
+    seq: int
+    head_hash: bytes
+    signature: int
+
+
+_GENESIS = hashlib.sha256(b"securelog-genesis").digest()
+
+
+@dataclass
+class SecureLog:
+    """Append-only hash-chained interaction log of one node."""
+
+    node_id: int
+    entries: List[LogEntry] = field(default_factory=list)
+
+    def head_hash(self) -> bytes:
+        if not self.entries:
+            return _GENESIS
+        return self.entries[-1].chain_hash()
+
+    def append(
+        self,
+        entry_type: str,
+        round_no: int,
+        partner: int,
+        update_uids: Iterable[int],
+    ) -> LogEntry:
+        if entry_type not in ("SND", "RCV"):
+            raise ValueError(f"unknown entry type {entry_type!r}")
+        entry = LogEntry(
+            seq=len(self.entries),
+            entry_type=entry_type,
+            round_no=round_no,
+            partner=partner,
+            update_uids=tuple(sorted(update_uids)),
+            prev_hash=self.head_hash(),
+        )
+        self.entries.append(entry)
+        return entry
+
+    def segment(self, first_seq: int) -> List[LogEntry]:
+        """Entries from ``first_seq`` to the head (an audit transfer)."""
+        return self.entries[first_seq:]
+
+    def segment_wire_bytes(self, first_seq: int) -> int:
+        return len(self.segment(first_seq)) * LOG_ENTRY_WIRE_BYTES
+
+    def entries_for_round(self, round_no: int) -> List[LogEntry]:
+        return [e for e in self.entries if e.round_no == round_no]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def verify_segment(
+    segment: Sequence[LogEntry], expected_prev: Optional[bytes] = None
+) -> bool:
+    """Check the hash chain of a contiguous log segment.
+
+    Args:
+        segment: consecutive entries.
+        expected_prev: known chain hash preceding the segment, when the
+            auditor has it from an earlier authenticator.
+    """
+    prev = expected_prev
+    last_seq = None
+    for entry in segment:
+        if last_seq is not None and entry.seq != last_seq + 1:
+            return False
+        if prev is not None and entry.prev_hash != prev:
+            return False
+        prev = entry.chain_hash()
+        last_seq = entry.seq
+    return True

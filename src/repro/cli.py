@@ -1,0 +1,279 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Usage::
+
+    python -m repro run [--nodes N] [--rounds R] [--rate KBPS]
+    python -m repro detect [--strategy free-rider] [--nodes N]
+    python -m repro fig7 | fig8 | fig9 | fig10 | table1 | table2
+    python -m repro verify [--fanout F]
+
+Each figure/table subcommand prints the regenerated series next to the
+paper's reference values (the same generators the benchmarks assert on).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+_STRATEGIES = {
+    "free-rider": "FreeRider",
+    "partial-forwarder": "PartialForwarder",
+    "silent-receiver": "SilentReceiver",
+    "declaration-skipper": "DeclarationSkipper",
+    "contact-avoider": "ContactAvoider",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'PAG: Private and Accountable Gossip' "
+            "(ICDCS 2016)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run an honest PAG session")
+    run.add_argument("--nodes", type=int, default=30)
+    run.add_argument("--rounds", type=int, default=15)
+    run.add_argument("--rate", type=float, default=300.0)
+
+    detect = sub.add_parser("detect", help="inject a selfish node")
+    detect.add_argument(
+        "--strategy",
+        choices=sorted(_STRATEGIES),
+        default="free-rider",
+    )
+    detect.add_argument("--nodes", type=int, default=20)
+    detect.add_argument("--rounds", type=int, default=12)
+
+    for name, help_text in [
+        ("fig7", "bandwidth CDF, PAG vs AcTinG"),
+        ("fig8", "bandwidth vs update size"),
+        ("fig9", "scalability 10^3..10^6 nodes"),
+        ("fig10", "privacy under coalitions"),
+        ("table1", "crypto operations per second"),
+        ("table2", "sustainable video quality per link"),
+    ]:
+        p = sub.add_parser(name, help=help_text)
+        if name == "fig7":
+            p.add_argument("--nodes", type=int, default=60)
+            p.add_argument("--rounds", type=int, default=12)
+
+    verify = sub.add_parser(
+        "verify", help="symbolic verification of privacy property P1"
+    )
+    verify.add_argument("--fanout", type=int, default=3)
+
+    export = sub.add_parser(
+        "export", help="write every figure/table series as CSV/JSON"
+    )
+    export.add_argument("--out", default="results")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    from repro.core import PagConfig, PagSession
+
+    config = PagConfig.for_system_size(
+        args.nodes, stream_rate_kbps=args.rate
+    )
+    session = PagSession.create(args.nodes, config=config)
+    session.run(args.rounds)
+    mean = session.mean_bandwidth_kbps(
+        warmup_rounds=min(4, args.rounds - 1), direction="down"
+    )
+    print(
+        f"{args.nodes} nodes, {args.rounds} rounds, {args.rate:.0f} Kbps "
+        "stream"
+    )
+    print(f"mean download      : {mean:.0f} Kbps per node")
+    print(f"mean continuity    : {session.mean_continuity():.1%}")
+    print(f"verdicts           : {len(session.all_verdicts())}")
+    ops = session.crypto_report()
+    node_rounds = len(session.nodes) * session.current_round
+    print(
+        f"crypto per node-sec: {ops['signatures'] / node_rounds:.1f} "
+        f"signatures, {ops['homomorphic_hashes'] / node_rounds:.0f} "
+        "homomorphic hashes"
+    )
+    return 0
+
+
+def _cmd_detect(args) -> int:
+    import repro.adversary.selfish as selfish
+    from repro.core import PagSession
+
+    behavior = getattr(selfish, _STRATEGIES[args.strategy])()
+    deviant = args.nodes // 2
+    session = PagSession.create(
+        args.nodes, behaviors={deviant: behavior}
+    )
+    session.run(args.rounds)
+    print(
+        f"deviant node {deviant} runs {type(behavior).__name__} among "
+        f"{args.nodes - 1} correct nodes"
+    )
+    verdicts = session.all_verdicts()
+    for verdict in verdicts[:8]:
+        print(
+            f"  round {verdict.exchange_round:>2}: node {verdict.node} "
+            f"GUILTY of {verdict.reason.value} — {verdict.evidence[:70]}"
+        )
+    convicted = session.convicted_nodes()
+    print(f"convicted: {sorted(convicted)} (expected: [{deviant}])")
+    return 0 if convicted == {deviant} else 1
+
+
+def _cmd_fig7(args) -> int:
+    from repro.baselines.acting import ActingSession
+    from repro.core import PagConfig, PagSession
+    from repro.sim.metrics import cdf_points
+
+    n, rounds = args.nodes, args.rounds
+    pag = PagSession.create(
+        n, config=PagConfig.for_system_size(n, stream_rate_kbps=300.0)
+    )
+    pag.run(rounds)
+    acting = ActingSession.create(n)
+    acting.run(rounds)
+    pag_bw = pag.bandwidth_kbps(4, direction="down")
+    acting_bw = acting.bandwidth_kbps(4, "down")
+    print(f"Fig. 7 — bandwidth CDF ({n} nodes, 300 Kbps)")
+    print(f"{'CDF %':>6} {'AcTinG':>8} {'PAG':>8}")
+    acting_cdf = cdf_points(acting_bw)
+    pag_cdf = cdf_points(pag_bw)
+    for target in range(10, 101, 20):
+        a = next(v for v, p in acting_cdf if p >= target)
+        g = next(v for v, p in pag_cdf if p >= target)
+        print(f"{target:>5}% {a:>8.0f} {g:>8.0f}")
+    print(
+        f"means: AcTinG "
+        f"{sum(acting_bw.values()) / len(acting_bw):.0f}, PAG "
+        f"{sum(pag_bw.values()) / len(pag_bw):.0f} "
+        "(paper: 460 / 1050)"
+    )
+    return 0
+
+
+def _cmd_fig8(args) -> int:
+    from repro.analysis.bandwidth import PagBandwidthModel
+    from repro.core import PagConfig
+
+    print("Fig. 8 — bandwidth vs update size (1000 nodes, 300 Kbps)")
+    print(f"{'update kb':>10} {'Kbps':>8}")
+    for kb in (1, 2, 5, 10, 20, 50, 100):
+        config = PagConfig.for_system_size(
+            1000, stream_rate_kbps=300.0, update_bytes=int(kb * 125)
+        )
+        print(
+            f"{kb:>10} "
+            f"{PagBandwidthModel(config=config).total_kbps():>8.0f}"
+        )
+    return 0
+
+
+def _cmd_fig9(args) -> int:
+    from repro.analysis.bandwidth import (
+        ActingBandwidthModel,
+        PagBandwidthModel,
+    )
+
+    print("Fig. 9 — scalability with a 300 Kbps stream")
+    print(f"{'nodes':>9} {'PAG':>8} {'AcTinG':>8}")
+    for n in (10**3, 10**4, 10**5, 10**6):
+        pag = PagBandwidthModel.for_system(n, 300.0).total_kbps()
+        acting = ActingBandwidthModel.for_system(n, 300.0).total_kbps()
+        print(f"{n:>9} {pag:>8.0f} {acting:>8.0f}")
+    print("(paper anchors: PAG 2500 / AcTinG 840 at 10^6)")
+    return 0
+
+
+def _cmd_fig10(args) -> int:
+    from repro.analysis.privacy import figure10_series
+
+    print("Fig. 10 — interactions discovered vs attacker fraction")
+    print(f"{'attackers':>9} {'AcTinG':>8} {'PAG-3':>7} {'PAG-5':>7} {'min':>7}")
+    for p in figure10_series([i / 10 for i in range(11)]):
+        print(
+            f"{p.attacker_fraction:>8.0%} {p.acting:>8.1%} "
+            f"{p.pag_3_monitors:>7.1%} {p.pag_5_monitors:>7.1%} "
+            f"{p.theoretical_minimum:>7.1%}"
+        )
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from repro.analysis.costs import table1_rows
+
+    print("Table I — crypto operations per second per node")
+    print(f"{'quality':>8} {'payload':>8} {'sigs/s':>7} {'hashes/s':>9}")
+    for row in table1_rows():
+        print(
+            f"{row.quality:>8} {row.payload_kbps:>8.0f} "
+            f"{row.rsa_signatures_per_s:>7.0f} "
+            f"{row.homomorphic_hashes_per_s:>9.0f}"
+        )
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from repro.analysis.quality import table2
+
+    print("Table II — sustainable quality per link (1000 nodes)")
+    for protocol, cells in table2().items():
+        print(
+            f"  {protocol:<7}: "
+            + " | ".join(cell.render() for cell in cells)
+        )
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.verifier import case1_network_attacker, f_coalition_attack
+
+    print(f"Symbolic verification of P1 (fanout {args.fanout})")
+    case1 = case1_network_attacker(fanout=args.fanout)
+    ok = all(v.private for v in case1.values())
+    print(f"  case (1) network attacker: {'SAFE' if ok else 'BROKEN'}")
+    coalition, victim = f_coalition_attack(fanout=args.fanout)
+    print(
+        f"  threshold coalition {coalition}: victim prime recovered = "
+        f"{victim.prime_derivable}"
+    )
+    return 0 if ok and victim.prime_derivable else 1
+
+
+def _cmd_export(args) -> int:
+    from repro.analysis.export import export_all
+
+    written = export_all(args.out)
+    for name, path in sorted(written.items()):
+        print(f"  {name:<8} -> {path}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "run": _cmd_run,
+        "detect": _cmd_detect,
+        "fig7": _cmd_fig7,
+        "fig8": _cmd_fig8,
+        "fig9": _cmd_fig9,
+        "fig10": _cmd_fig10,
+        "table1": _cmd_table1,
+        "table2": _cmd_table2,
+        "verify": _cmd_verify,
+        "export": _cmd_export,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

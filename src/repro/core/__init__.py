@@ -1,0 +1,77 @@
+"""PAG — the paper's primary contribution.
+
+The package implements the full protocol: the five-message private
+exchange of Fig. 5, the monitoring traffic of Fig. 6, the accusation
+path of Fig. 3, investigations, the two-list expiration mechanism and
+multiplicity counters of section V-D, and verdict generation.
+"""
+
+from repro.core.accusations import CaseFile, FaultReason, Verdict, VerdictLog
+from repro.core.behavior import Behavior, CorrectBehavior
+from repro.core.config import PagConfig
+from repro.core.context import PagContext
+from repro.core.messages import (
+    Ack,
+    AckCopy,
+    AckRelay,
+    Accusation,
+    Attestation,
+    AttestationRelay,
+    Confirm,
+    InvestigateRequest,
+    InvestigateResponse,
+    KeyRequest,
+    KeyResponse,
+    MonitorBroadcast,
+    MonitorProbe,
+    Nack,
+    ProbeAck,
+    Serve,
+    ServeEntry,
+    SignedAck,
+    SignedAttestation,
+)
+from repro.core.monitor import MonitorEngine
+from repro.core.node import PagNode, PagSourceNode
+from repro.core.session import PagSession
+from repro.core.signing import RsaSigner, TokenSigner
+from repro.core.state import ForwardSet, OutgoingExchange, PagNodeState
+
+__all__ = [
+    "Accusation",
+    "Ack",
+    "AckCopy",
+    "AckRelay",
+    "Attestation",
+    "AttestationRelay",
+    "Behavior",
+    "CaseFile",
+    "Confirm",
+    "CorrectBehavior",
+    "FaultReason",
+    "ForwardSet",
+    "InvestigateRequest",
+    "InvestigateResponse",
+    "KeyRequest",
+    "KeyResponse",
+    "MonitorBroadcast",
+    "MonitorEngine",
+    "MonitorProbe",
+    "Nack",
+    "OutgoingExchange",
+    "PagConfig",
+    "PagContext",
+    "PagNode",
+    "PagNodeState",
+    "PagSession",
+    "PagSourceNode",
+    "ProbeAck",
+    "RsaSigner",
+    "Serve",
+    "ServeEntry",
+    "SignedAck",
+    "SignedAttestation",
+    "TokenSigner",
+    "Verdict",
+    "VerdictLog",
+]

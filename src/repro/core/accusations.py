@@ -1,0 +1,122 @@
+"""Verdicts, fault reasons, and dispute case files.
+
+The output of PAG's monitoring infrastructure is a *proof of
+misbehaviour* against a node (section I: "In case of fault detection,
+the monitors generate a proof of misbehaviour and the misbehaving nodes
+get punished").  The simulation represents proofs as structured verdicts
+carrying the evidence that convinced the monitor; tests assert both that
+selfish deviations are detected and that correct nodes are never
+convicted (no false positives — the property LiFTinG lacks, which the
+paper criticises in section VIII).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
+
+__all__ = ["FaultReason", "Verdict", "VerdictLog", "CaseFile"]
+
+
+class FaultReason(enum.Enum):
+    """Why a node was convicted."""
+
+    #: The server never produced an acknowledgement from a successor and
+    #: could not exhibit one nor show it accused the successor (R2 /
+    #: omission to contact or serve).
+    OMISSION_TO_SERVE = "omission_to_serve"
+
+    #: A successor acknowledged a product that differs from the node's
+    #: forwarding obligation (R2 / wrong or partial forward set).
+    WRONG_FORWARD_SET = "wrong_forward_set"
+
+    #: The node did not acknowledge a (monitor-relayed) serve (R1 /
+    #: obligation to receive).
+    REFUSED_RECEPTION = "refused_reception"
+
+    #: The node acknowledged to its server but never declared the
+    #: reception to its own monitors (messages 6/7 omitted): the server
+    #: exhibited the signed Ack the node's monitors never saw.
+    OMITTED_DECLARATION = "omitted_declaration"
+
+    #: The node ignored its monitors' investigation request.
+    UNRESPONSIVE_INVESTIGATION = "unresponsive_investigation"
+
+    #: A designated monitor broadcast a lifted hash that disagrees with
+    #: the monitored node's signed self-check, and the successors'
+    #: acknowledgements sided with the node (section V-B cross-checks).
+    MONITOR_MISBEHAVIOR = "monitor_misbehavior"
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One conviction, with its supporting evidence.
+
+    Attributes:
+        node: the convicted node.
+        reason: the fault class.
+        exchange_round: the round of the faulty exchange.
+        detected_by: monitor that issued the verdict.
+        evidence: human-readable description of the proof (signed acks,
+            hash mismatches, missing responses).
+    """
+
+    node: int
+    reason: FaultReason
+    exchange_round: int
+    detected_by: int
+    evidence: str = ""
+
+
+@dataclass
+class VerdictLog:
+    """Deduplicated collection of verdicts issued by one monitor."""
+
+    verdicts: List[Verdict] = field(default_factory=list)
+    _seen: Set[Tuple[int, FaultReason, int]] = field(default_factory=set)
+
+    def record(self, verdict: Verdict) -> bool:
+        """Add a verdict; returns False if it duplicates an earlier one."""
+        key = (verdict.node, verdict.reason, verdict.exchange_round)
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        self.verdicts.append(verdict)
+        return True
+
+    def against(self, node: int) -> List[Verdict]:
+        return [v for v in self.verdicts if v.node == node]
+
+    def guilty_nodes(self) -> Set[int]:
+        return {v.node for v in self.verdicts}
+
+    def __len__(self) -> int:
+        return len(self.verdicts)
+
+    def __iter__(self):
+        return iter(self.verdicts)
+
+
+@dataclass
+class CaseFile:
+    """An open dispute: a missing acknowledgement under investigation.
+
+    Created by a server's monitor when no ack relay (nor Confirm/Nack)
+    arrived for one of the server's successors.  Resolved by an
+    exhibited ack, a Confirm, a Nack, or conviction at the deadline.
+    """
+
+    server: int
+    successor: int
+    exchange_round: int
+    deadline_round: int
+    investigated: bool = False
+    server_claims_accusation: bool = False
+    #: the server exhibited the successor's signed ack; conviction of
+    #: the successor waits for the deadline (a late relay exonerates).
+    exhibited: bool = False
+    resolved: bool = False
+
+    def key(self) -> Tuple[int, int, int]:
+        return (self.server, self.successor, self.exchange_round)

@@ -1,0 +1,84 @@
+"""Behaviour hooks: where correct and selfish nodes differ.
+
+A PAG node consults its behaviour object before every action a selfish
+node might skip to save resources (section II-A: selfish nodes "maximise
+their benefit ... while minimising their contribution").  The default
+:class:`CorrectBehavior` performs every action; the strategies in
+:mod:`repro.adversary.selfish` override individual hooks.
+
+Keeping deviations behind an explicit interface means the protocol code
+itself is written once, and every deviation the accountability analysis
+of section VI-B considers maps to exactly one hook.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.core.messages import ServeEntry
+
+__all__ = ["Behavior", "CorrectBehavior"]
+
+
+class Behavior:
+    """Decision hooks consulted by :class:`~repro.core.node.PagNode`.
+
+    Every method answers "does the node perform this protocol step?",
+    or filters the content of a step.  Subclass and override to express
+    a selfish strategy.
+    """
+
+    def initiates_exchange(self, successor: int, round_no: int) -> bool:
+        """Contact this successor at all (KeyRequest, message 1)?"""
+        return True
+
+    def filter_serve(
+        self, entries: Sequence[ServeEntry], successor: int, round_no: int
+    ) -> Tuple[ServeEntry, ...]:
+        """The entries actually served (message 3); drop some to cheat."""
+        return tuple(entries)
+
+    def answers_key_request(self, predecessor: int, round_no: int) -> bool:
+        """Issue a prime to this predecessor (message 2)?  Refusing is a
+        violation of R1 (obligation to receive)."""
+        return True
+
+    def sends_ack(self, server: int, round_no: int) -> bool:
+        """Acknowledge a received serve (message 5)?"""
+        return True
+
+    def declares_to_monitors(self, server: int, round_no: int) -> bool:
+        """Send the AckCopy/AttestationRelay pair (messages 6-7)?"""
+        return True
+
+    def answers_probe(self, monitor: int, round_no: int) -> bool:
+        """Acknowledge a monitor-relayed serve after an accusation?"""
+        return True
+
+    def answers_investigation(self, monitor: int, round_no: int) -> bool:
+        """Respond to an investigation request from a monitor?"""
+        return True
+
+    def accuses_silent_successor(self, successor: int, round_no: int) -> bool:
+        """Accuse a successor that did not acknowledge (Fig. 3)?"""
+        return True
+
+    def performs_monitoring(self) -> bool:
+        """Carry out monitor duties for the nodes this node monitors?"""
+        return True
+
+    def transform_lifted(
+        self,
+        monitored: int,
+        predecessor: int,
+        round_no: int,
+        lifted: Tuple[int, int],
+    ) -> Tuple[int, int]:
+        """The lifted hash pair this node broadcasts as a designated
+        monitor (message 8).  A lying monitor corrupts it — caught by
+        the section V-B cross-checks when enabled."""
+        return lifted
+
+
+class CorrectBehavior(Behavior):
+    """A node that follows the protocol to the letter."""

@@ -1,0 +1,109 @@
+"""Configuration of a PAG deployment.
+
+Defaults follow section VII-A of the paper: one-second rounds, 938-byte
+updates released 10 seconds before playout, RSA-2048 signatures, 512-bit
+primes and hash modulus, fanout and monitor-set size 3 (the value used
+with 1000 nodes), buffermaps covering the last 4 rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.membership.views import default_fanout
+
+__all__ = ["PagConfig"]
+
+
+@dataclass(frozen=True)
+class PagConfig:
+    """All tunables of a PAG session.
+
+    Attributes:
+        fanout: successors per node per round (f).
+        monitors_per_node: monitor-set size per node (fm); the paper uses
+            the same value as the fanout unless stated otherwise.
+        stream_rate_kbps: source bit rate (300 Kbps in the base runs).
+        update_bytes: chunk payload size (938 B).
+        playout_delay_rounds: release-to-deadline delay (10 rounds).
+        buffermap_depth: rounds of owned updates advertised in each
+            KeyResponse (the paper's tuned value is 4).
+        round_seconds: wall-clock duration of one round.
+        modulus_bits: wire size of the homomorphic hash modulus (512).
+        prime_bits: wire size of the per-link primes (512).
+        signature_bytes: wire size of one RSA signature (RSA-2048 = 256).
+        sim_modulus_bits: modulus actually used for the in-simulation
+            algebra.  The homomorphic identities are exact at any size,
+            so simulations may compute with a smaller modulus while wire
+            costs are still priced at ``modulus_bits`` (see DESIGN.md,
+            "Substitutions").
+        sim_prime_bits: prime size used for the in-simulation algebra.
+        seed: root seed for all randomness in the session.
+        detection_enabled: run the monitoring state machine (can be
+            disabled for pure bandwidth measurements of the data path).
+        forward_owned_ghosts: when True, updates a receiver already owns
+            re-enter its forwarding obligation (a literal reading of
+            section V's S_A semantics).  Default False: already-owned and
+            about-to-expire updates go on the acknowledge-only list of
+            the serve, which monitors acknowledge without propagation
+            checks — the same mechanism the paper introduces for expiring
+            updates (section V-D), applied also to duplicates so that
+            ghost obligations do not cascade.  This is the ablation knob
+            listed in DESIGN.md section 6.
+        monitor_cross_checks: enable the section V-B option "to check
+            that monitors correctly compute and forward the hashes of
+            updates": the monitored node also computes each lifted hash
+            itself and sends it, signed, to all its monitors; a
+            designated monitor whose broadcast disagrees is convicted
+            once the successors' acknowledgements arbitrate.  Off by
+            default (it adds small per-predecessor messages; the paper's
+            bandwidth figures do not include it).
+    """
+
+    fanout: int = 3
+    monitors_per_node: int = 3
+    stream_rate_kbps: float = 300.0
+    update_bytes: int = 938
+    playout_delay_rounds: int = 10
+    buffermap_depth: int = 4
+    round_seconds: float = 1.0
+    modulus_bits: int = 512
+    prime_bits: int = 512
+    signature_bytes: int = 256
+    sim_modulus_bits: int = 128
+    sim_prime_bits: int = 32
+    seed: int = 20160627
+    detection_enabled: bool = True
+    forward_owned_ghosts: bool = False
+    monitor_cross_checks: bool = False
+
+    def __post_init__(self) -> None:
+        if self.fanout < 1:
+            raise ValueError("fanout must be at least 1")
+        if self.monitors_per_node < 1:
+            raise ValueError("monitor set must be non-empty")
+        if self.buffermap_depth < 1:
+            raise ValueError("buffermap depth must be at least 1 round")
+        if self.playout_delay_rounds < 2:
+            raise ValueError(
+                "playout delay below 2 rounds leaves no forwarding window"
+            )
+        if self.sim_prime_bits < 8:
+            raise ValueError("simulation primes below 8 bits collide")
+
+    @classmethod
+    def for_system_size(cls, n: int, **overrides) -> "PagConfig":
+        """Config with the paper's size-dependent fanout (~log10 N)."""
+        fanout = overrides.pop("fanout", default_fanout(n))
+        monitors = overrides.pop("monitors_per_node", fanout)
+        return cls(fanout=fanout, monitors_per_node=monitors, **overrides)
+
+    @property
+    def hash_bytes(self) -> int:
+        """Wire size of one homomorphic hash value."""
+        return (self.modulus_bits + 7) // 8
+
+    @property
+    def prime_bytes(self) -> int:
+        """Wire size of one link prime."""
+        return (self.prime_bits + 7) // 8

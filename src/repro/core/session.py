@@ -1,0 +1,224 @@
+"""Session builder: assemble a full PAG deployment in one call.
+
+This is the main entry point of the library: it wires membership,
+views, crypto, the source, consumer nodes (optionally with selfish
+behaviours) and the simulator together, and exposes the measurements the
+paper reports (per-node bandwidth, crypto operation counts, verdicts,
+playback quality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Set
+
+from repro.core.accusations import Verdict
+from repro.core.behavior import Behavior
+from repro.core.config import PagConfig
+from repro.core.context import PagContext
+from repro.core.node import PagNode, PagSourceNode
+from repro.core.signing import Signer
+from repro.gossip.source import StreamSchedule
+from repro.membership.directory import Directory
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.streaming.player import PlaybackReport, evaluate_playback
+
+__all__ = ["PagSession"]
+
+
+@dataclass
+class PagSession:
+    """A ready-to-run PAG deployment.
+
+    Build with :meth:`create`, drive with :meth:`run`, read results with
+    the reporting helpers.
+
+    Attributes:
+        context: shared protocol context.
+        simulator: the round engine (exposes the bandwidth meter).
+        source: the stream source node.
+        nodes: consumer nodes by id.
+    """
+
+    context: PagContext
+    simulator: Simulator
+    source: PagSourceNode
+    nodes: Dict[int, PagNode]
+
+    @classmethod
+    def create(
+        cls,
+        n_nodes: int,
+        config: Optional[PagConfig] = None,
+        behaviors: Optional[Mapping[int, Behavior]] = None,
+        signer: Optional[Signer] = None,
+    ) -> "PagSession":
+        """Build a session of ``n_nodes`` (one of which is the source).
+
+        Args:
+            n_nodes: total membership size, ids ``0..n-1`` with node 0 as
+                the source.
+            config: protocol parameters; defaults to the paper's settings
+                with the size-appropriate fanout.
+            behaviors: per-node behaviour overrides (selfish strategies);
+                nodes not listed are correct.
+            signer: signature scheme override (real RSA for small runs).
+        """
+        if config is None:
+            config = PagConfig.for_system_size(n_nodes)
+        directory = Directory.of_size(n_nodes, source_id=0)
+        context = PagContext.build(config, directory, signer=signer)
+        network = Network()
+        simulator = Simulator(
+            network=network, round_seconds=config.round_seconds
+        )
+        schedule = StreamSchedule(
+            rate_kbps=config.stream_rate_kbps,
+            update_bytes=config.update_bytes,
+            playout_delay_rounds=config.playout_delay_rounds,
+            round_seconds=config.round_seconds,
+        )
+        source = PagSourceNode(0, network, context, schedule)
+        simulator.add_node(source)
+        behaviors = dict(behaviors or {})
+        nodes: Dict[int, PagNode] = {}
+        for node_id in directory.consumers():
+            node = PagNode(
+                node_id,
+                network,
+                context,
+                behavior=behaviors.get(node_id),
+            )
+            nodes[node_id] = node
+            simulator.add_node(node)
+        return cls(
+            context=context, simulator=simulator, source=source, nodes=nodes
+        )
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+
+    def run(self, rounds: int) -> None:
+        self.simulator.run(rounds)
+
+    def remove_node(self, node_id: int) -> None:
+        """Churn: the node leaves (crashes) between rounds.
+
+        The membership views still name it as successor/monitor — as in
+        a deployment where the membership service lags — so the
+        remaining nodes exercise the omission paths: servers accuse it,
+        probes go unanswered, and it is convicted as unresponsive
+        (accountability without failure detectors cannot distinguish a
+        crash from a refusal).
+        """
+        if node_id == self.source.node_id:
+            raise ValueError("the source is assumed correct and present")
+        del self.nodes[node_id]
+        del self.simulator.nodes[node_id]
+
+    @property
+    def current_round(self) -> int:
+        return self.simulator.current_round
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def bandwidth_kbps(
+        self,
+        warmup_rounds: int = 0,
+        include_source: bool = False,
+        direction: str = "both",
+    ) -> Dict[int, float]:
+        """Per-node average bandwidth in Kbps after a warmup window.
+
+        Pass ``direction="down"`` for the unidirectional consumption the
+        paper's figures report.
+        """
+        node_ids = sorted(self.nodes)
+        if include_source:
+            node_ids = [self.source.node_id] + node_ids
+        return self.simulator.network.meter.all_node_kbps(
+            node_ids,
+            round_seconds=self.context.config.round_seconds,
+            first_round=warmup_rounds,
+            direction=direction,
+        )
+
+    def mean_bandwidth_kbps(
+        self, warmup_rounds: int = 0, direction: str = "both"
+    ) -> float:
+        values = self.bandwidth_kbps(warmup_rounds, direction=direction)
+        return sum(values.values()) / len(values) if values else 0.0
+
+    def all_verdicts(
+        self, exclude_detectors: Optional[Set[int]] = None
+    ) -> List[Verdict]:
+        """Verdicts from every monitor, deduplicated by (node, reason,
+        round) — independent monitors convict the same fault.
+
+        Args:
+            exclude_detectors: ignore verdicts issued by these nodes —
+                e.g. a partitioned monitor's local view indicts every
+                node it can no longer hear, and a deployment would
+                discount verdicts from unreachable monitors.
+        """
+        excluded = exclude_detectors or set()
+        seen = set()
+        merged: List[Verdict] = []
+        for node in self.nodes.values():
+            for verdict in node.verdicts():
+                if verdict.detected_by in excluded:
+                    continue
+                key = (verdict.node, verdict.reason, verdict.exchange_round)
+                if key not in seen:
+                    seen.add(key)
+                    merged.append(verdict)
+        return merged
+
+    def convicted_nodes(
+        self, exclude_detectors: Optional[Set[int]] = None
+    ) -> Set[int]:
+        return {v.node for v in self.all_verdicts(exclude_detectors)}
+
+    def playback_report(
+        self, node_id: int, warmup_rounds: int = 2
+    ) -> PlaybackReport:
+        """Playback quality of one node.
+
+        Note the judgement window: a chunk is judged only once its
+        playout deadline passed, so with a 10-round playout delay the
+        session must run at least ``warmup_rounds + 11`` rounds for any
+        chunk to be due; callers that assert on continuity should also
+        assert ``chunks_due > 0``.
+        """
+        node = self.nodes[node_id]
+        return evaluate_playback(
+            self.source.released,
+            node.store,
+            current_round=self.current_round,
+            warmup_rounds=warmup_rounds,
+        )
+
+    def mean_continuity(self, warmup_rounds: int = 2) -> float:
+        reports = [
+            self.playback_report(node_id, warmup_rounds)
+            for node_id in self.nodes
+        ]
+        return sum(r.continuity for r in reports) / len(reports)
+
+    def total_chunks_due(self, warmup_rounds: int = 2) -> int:
+        """How many chunks the continuity judgement covers (guards
+        against vacuous 100% continuity in short runs)."""
+        any_node = next(iter(self.nodes))
+        return self.playback_report(any_node, warmup_rounds).chunks_due
+
+    def crypto_report(self) -> Dict[str, int]:
+        """Session-wide cryptographic operation counts (Table I units)."""
+        report = self.context.counters.snapshot()
+        report["signatures"] += self.context.signer.counters.signatures
+        report["verifications"] += self.context.signer.counters.verifications
+        report["homomorphic_hashes"] = self.context.hasher.operations
+        return report

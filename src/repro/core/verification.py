@@ -1,0 +1,100 @@
+"""Pure verification helpers: the homomorphic bookkeeping of sections IV-B/V.
+
+These functions tie the wire messages to the hash algebra.  Everything a
+monitor checks reduces to equalities between modular products; keeping
+the arithmetic here makes the monitor state machine readable and lets
+tests exercise the math in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from repro.crypto.homomorphic import HomomorphicHasher
+from repro.core.messages import ServeEntry
+
+__all__ = [
+    "entries_product",
+    "hash_entries",
+    "serve_hashes",
+    "ack_hash",
+    "lift_attested",
+    "combine_lifted",
+]
+
+
+def entries_product(
+    hasher: HomomorphicHasher, entries: Iterable[ServeEntry]
+) -> int:
+    """``prod u^count mod M`` over serve entries (1 for an empty set).
+
+    Reception multiplicities become exponents, as required for the
+    monitors "to match the hashes of received updates with the ones of
+    forwarded messages" (section V-D).
+    """
+    acc = 1
+    modulus = hasher.modulus
+    for entry in entries:
+        acc = (acc * pow(entry.update.content, entry.count, modulus)) % modulus
+    return acc
+
+
+def hash_entries(
+    hasher: HomomorphicHasher,
+    entries: Iterable[ServeEntry],
+    exponent: int,
+) -> int:
+    """Hash of the entries' product under ``exponent``."""
+    product = entries_product(hasher, entries)
+    if product == 1:
+        return 1 % hasher.modulus
+    return hasher.hash(product, exponent)
+
+
+def serve_hashes(
+    hasher: HomomorphicHasher,
+    entries: Sequence[ServeEntry],
+    prime: int,
+) -> Tuple[int, int]:
+    """The attestation pair (forward hash, ack-only hash) under a prime.
+
+    Message 4 of Fig. 5, with the two-list split of section V-D.
+    """
+    forward = [e for e in entries if not e.ack_only]
+    ack_only = [e for e in entries if e.ack_only]
+    return (
+        hash_entries(hasher, forward, prime),
+        hash_entries(hasher, ack_only, prime),
+    )
+
+
+def ack_hash(
+    hasher: HomomorphicHasher,
+    entries: Sequence[ServeEntry],
+    key_prev: int,
+) -> int:
+    """Message 5 hash: full served product under the server's K(R-1, A)."""
+    return hash_entries(hasher, entries, key_prev)
+
+
+def lift_attested(
+    hasher: HomomorphicHasher, attested_hash: int, cofactor: int
+) -> int:
+    """Message 8 computation: raise ``H(.)_(p_j)`` to ``prod_{k!=j} p_k``.
+
+    By the re-keying property the result is ``H(.)_(K(R,B))``.  The
+    neutral hash (empty product) lifts to itself.
+    """
+    if attested_hash == 1 % hasher.modulus:
+        return attested_hash
+    return hasher.rekey(attested_hash, cofactor)
+
+
+def combine_lifted(hasher: HomomorphicHasher, lifted: Iterable[int]) -> int:
+    """Section V-C: multiply per-predecessor lifted hashes.
+
+    ``H(S_A ∪ S_F)_(K) = H(S_A)_(K) * H(S_F)_(K)`` — the monitors end the
+    round knowing the hash of everything the node received, under the
+    node's full round key.
+    """
+    return hasher.combine(lifted)

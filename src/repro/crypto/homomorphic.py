@@ -1,0 +1,188 @@
+"""Homomorphic hashing — the privacy building block of PAG (section IV-B).
+
+The hash is an unpadded RSA encryption: for a public modulus ``M`` and an
+exponent ``p`` (a prime chosen by the receiving node),
+
+    H(u)_(p, M) = u ** p  mod M.
+
+Two multiplicative properties make the monitoring checks possible without
+revealing update contents:
+
+    H(u1)_(p,M) * H(u2)_(p,M)    = H(u1 * u2)_(p,M)          (product)
+    H( H(u)_(p1,M) )_(p2,M)      = H(u)_(p1 * p2, M)          (re-keying)
+
+A node B chooses a fresh prime ``p_i`` per predecessor each round; the
+round key is ``K(R, B) = prod_i p_i``.  Monitors only ever see hashes and
+the products of the *other* primes, so recovering an individual link key
+requires factoring the product — hard by assumption (section IV-B) — and
+recovering an update from its hash would require inverting unpadded RSA.
+
+The paper recommends a 512-bit modulus (following the 2014 ENISA report)
+and notes that 256 bits may be acceptable; both are exercised in the
+benchmarks.  Updates hashed here are arbitrary integers; real updates are
+*larger* than the modulus, which is exactly why the hash is not
+invertible ("nodes cannot decrypt the hashed updates, as the value of the
+modulus M is smaller than the size of updates").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.crypto.primes import generate_prime, is_prime, product
+
+__all__ = [
+    "HomomorphicHasher",
+    "make_modulus",
+    "DEFAULT_MODULUS_BITS",
+    "DEFAULT_PRIME_BITS",
+]
+
+DEFAULT_MODULUS_BITS = 512
+DEFAULT_PRIME_BITS = 512
+
+
+def make_modulus(bits: int, rng: random.Random) -> int:
+    """Create an RSA-style modulus ``M = p * q`` of roughly ``bits`` bits.
+
+    The factorisation is discarded: nobody in the system needs it, and
+    the hash's one-wayness rests on it staying unknown.
+    """
+    if bits < 16:
+        raise ValueError("modulus below 16 bits is degenerate")
+    half = bits // 2
+    p = generate_prime(half, rng)
+    q = generate_prime(bits - half, rng)
+    while q == p:
+        q = generate_prime(bits - half, rng)
+    return p * q
+
+
+@dataclass
+class HomomorphicHasher:
+    """Stateful hasher bound to one public modulus ``M``.
+
+    All PAG participants in one deployment share the modulus (it is a
+    public protocol parameter, like a group description).  The instance
+    counts hash evaluations so simulations can report cryptographic cost
+    the way Table I of the paper does.
+
+    Attributes:
+        modulus: the public RSA-style modulus ``M``.
+        operations: number of modular exponentiations performed, i.e. the
+            "homomorphic hashes per second" unit of Table I.
+    """
+
+    modulus: int
+    operations: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.modulus < 4:
+            raise ValueError("modulus must be a composite >= 4")
+        if is_prime(self.modulus):
+            raise ValueError(
+                "modulus must be composite (RSA-style p*q); a prime modulus "
+                "makes discrete roots easy and breaks one-wayness"
+            )
+
+    @property
+    def byte_size(self) -> int:
+        """Wire size of one hash value (the paper uses 64 B for 512 bits)."""
+        return (self.modulus.bit_length() + 7) // 8
+
+    def hash(self, update: int, exponent: int) -> int:
+        """Compute ``H(update)_(exponent, M) = update^exponent mod M``.
+
+        Args:
+            update: update content as an integer (any size; reduced mod M).
+            exponent: hashing key — a prime or a product of primes.
+        """
+        if exponent <= 0:
+            raise ValueError("hash exponent must be positive")
+        self.operations += 1
+        return pow(update, exponent, self.modulus)
+
+    def hash_set(self, updates: Iterable[int], exponent: int) -> int:
+        """Hash of the product of a set of updates under one exponent.
+
+        This is the quantity ``H(prod_{i in S} u_i)_(p, M)`` exchanged in
+        messages 4 and 5 of Fig. 5.  The product is reduced modulo M
+        before exponentiation, which is algebraically identical.
+        """
+        acc = 1
+        empty = True
+        for update in updates:
+            acc = (acc * update) % self.modulus
+            empty = False
+        if empty:
+            # The hash of an empty set is the multiplicative identity:
+            # an Ack over "nothing received" combines neutrally.
+            return 1 % self.modulus
+        return self.hash(acc, exponent)
+
+    def rekey(self, hashed: int, exponent: int) -> int:
+        """Raise an existing hash to another exponent.
+
+        Uses the re-keying property: ``rekey(H(u)_(p1), p2)`` equals
+        ``H(u)_(p1*p2)``.  This is what a monitor does in message 8 of
+        Fig. 6 when it raises an attested hash to the product of the
+        monitored node's *other* primes.
+        """
+        return self.hash(hashed, exponent)
+
+    def combine(self, hashes: Iterable[int]) -> int:
+        """Multiply hash values (the product property).
+
+        Monitors combine the per-predecessor hashes of everything a node
+        received during a round into one value under ``K(R, B)``
+        (section V-C):  ``H(S_A ∪ S_F) = H(S_A) * H(S_F)`` when both are
+        keyed by the same exponent.
+        """
+        acc = 1 % self.modulus
+        for h in hashes:
+            acc = (acc * h) % self.modulus
+        return acc
+
+    def verify_forwarding(
+        self,
+        attested: Sequence[tuple[int, int]],
+        acknowledged: int,
+    ) -> bool:
+        """Check the forwarding equation of section IV-B.
+
+        Args:
+            attested: pairs ``(hash_value, cofactor)`` where hash_value is
+                ``H(S_j)_(p_j, M)`` declared by predecessor j and cofactor
+                is ``prod_{i != j} p_i``, the product of the node's other
+                primes for the round.
+            acknowledged: ``H(prod of all updates)_(prod_i p_i, M)`` as
+                acknowledged by a successor.
+
+        Returns:
+            True when the homomorphically-raised attested hashes multiply
+            to the acknowledged hash:
+
+                prod_j (H(S_j)_(p_j))^(prod_{i!=j} p_i)  mod M
+                    == H(S_1 * ... * S_k)_(prod_i p_i)
+        """
+        lifted = (self.rekey(h, cofactor) for h, cofactor in attested)
+        return self.combine(lifted) == acknowledged % self.modulus
+
+    def reset_counter(self) -> int:
+        """Return the operation count and reset it to zero."""
+        count = self.operations
+        self.operations = 0
+        return count
+
+
+def fresh_hasher(
+    bits: int = DEFAULT_MODULUS_BITS, seed: int | None = None
+) -> HomomorphicHasher:
+    """Convenience constructor used by tests and examples."""
+    rng = random.Random(seed)
+    return HomomorphicHasher(modulus=make_modulus(bits, rng))
+
+
+__all__.append("fresh_hasher")

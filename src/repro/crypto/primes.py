@@ -1,0 +1,168 @@
+"""Prime number generation for PAG's homomorphic hashing keys.
+
+PAG (Decouchant et al., ICDCS 2016, section III) assumes that "nodes can
+generate prime numbers".  Every node, at every round, draws one fresh
+prime per predecessor; the *product* of those primes becomes the round
+key ``K(R, B)`` used in the homomorphic forwarding checks (section IV-B).
+
+This module provides a deterministic Miller-Rabin primality test (exact
+for 64-bit inputs, probabilistic with a negligible error bound above)
+and seeded random prime generation so that simulations are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional
+
+__all__ = [
+    "is_prime",
+    "generate_prime",
+    "generate_distinct_primes",
+    "next_prime",
+    "product",
+    "SMALL_PRIMES",
+]
+
+# Primes below 1000, used for cheap trial division before Miller-Rabin.
+SMALL_PRIMES: List[int] = []
+
+
+def _sieve_small_primes(limit: int = 1000) -> List[int]:
+    sieve = bytearray([1]) * (limit + 1)
+    sieve[0] = sieve[1] = 0
+    for i in range(2, int(limit ** 0.5) + 1):
+        if sieve[i]:
+            sieve[i * i :: i] = bytearray(len(sieve[i * i :: i]))
+    return [i for i, flag in enumerate(sieve) if flag]
+
+
+SMALL_PRIMES = _sieve_small_primes()
+
+# Deterministic Miller-Rabin witness sets.  Testing against these bases
+# is *exact* (no false positives) for all n below the listed bounds;
+# see Sinclair / Jaeschke and the references collected at
+# https://miller-rabin.appspot.com/.
+_DETERMINISTIC_WITNESSES = (
+    (341531, (9345883071009581737,)),
+    (1050535501, (336781006125, 9639812373923155)),
+    (3215031751, (2, 3, 5, 7)),
+    (3825123056546413051, (2, 3, 5, 7, 11, 13, 17, 19, 23)),
+    (318665857834031151167461, (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)),
+)
+
+_PROBABILISTIC_ROUNDS = 40
+
+
+def _miller_rabin_witness(n: int, a: int, d: int, r: int) -> bool:
+    """Return True if ``a`` witnesses that ``n`` is composite."""
+    a %= n
+    if a == 0:
+        return False
+    x = pow(a, d, n)
+    if x == 1 or x == n - 1:
+        return False
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return False
+    return True
+
+
+def is_prime(n: int, rng: Optional[random.Random] = None) -> bool:
+    """Primality test: exact below ~3.3e23, Miller-Rabin above.
+
+    Above the deterministic range the error probability is at most
+    ``4**-40``, far below any failure mode relevant to a protocol
+    simulation.
+
+    Args:
+        n: candidate integer.
+        rng: source of randomness for the probabilistic bases; a private
+            deterministic generator is used when omitted.
+    """
+    if n < 2:
+        return False
+    for p in SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # Write n - 1 = d * 2^r with d odd.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for bound, witnesses in _DETERMINISTIC_WITNESSES:
+        if n < bound:
+            return not any(
+                _miller_rabin_witness(n, a, d, r) for a in witnesses
+            )
+    rng = rng if rng is not None else random.Random(n & 0xFFFFFFFF)
+    bases = (rng.randrange(2, n - 1) for _ in range(_PROBABILISTIC_ROUNDS))
+    return not any(_miller_rabin_witness(n, a, d, r) for a in bases)
+
+
+def generate_prime(bits: int, rng: random.Random) -> int:
+    """Generate a random prime of exactly ``bits`` bits.
+
+    The paper sets the size of the per-predecessor primes to 512 bits
+    (section VII-A).  The top two bits are forced to one so that the
+    product of two such primes reaches the full RSA modulus width, and
+    the bottom bit is forced odd.
+
+    Args:
+        bits: bit length of the prime, at least 2.
+        rng: seeded random source (simulations must be reproducible).
+    """
+    if bits < 2:
+        raise ValueError(f"cannot generate a prime of {bits} bits")
+    if bits == 2:
+        return rng.choice((2, 3))
+    while True:
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | (1 << (bits - 2)) | 1
+        if is_prime(candidate, rng):
+            return candidate
+
+
+def generate_distinct_primes(
+    count: int, bits: int, rng: random.Random
+) -> List[int]:
+    """Generate ``count`` pairwise-distinct primes of ``bits`` bits.
+
+    A node with ``fp`` predecessors draws one prime per predecessor each
+    round; distinctness keeps each link's hash key independent.
+    """
+    primes: List[int] = []
+    seen = set()
+    while len(primes) < count:
+        p = generate_prime(bits, rng)
+        if p not in seen:
+            seen.add(p)
+            primes.append(p)
+    return primes
+
+
+def next_prime(n: int) -> int:
+    """Return the smallest prime strictly greater than ``n``."""
+    candidate = n + 1
+    if candidate <= 2:
+        return 2
+    if candidate % 2 == 0:
+        candidate += 1
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def product(values: Iterable[int]) -> int:
+    """Product of an iterable of integers (1 for an empty iterable).
+
+    Used for the round keys ``K(R, B) = prod_i p_i`` of section V-A.
+    """
+    result = 1
+    for value in values:
+        result *= value
+    return result

@@ -1,0 +1,26 @@
+"""Extensions beyond the paper's core evaluation.
+
+* :mod:`repro.extensions.obfuscation` — the future-work interest-hiding
+  scheme sketched in the paper's conclusion, with its privacy gain and
+  bandwidth cost quantified;
+* :mod:`repro.extensions.multisession` — concurrent gossip sessions
+  (section III assumes them; this measures what they cost).
+"""
+
+from repro.extensions.multisession import (
+    MultiSessionReport,
+    MultiSessionRunner,
+)
+from repro.extensions.obfuscation import (
+    ObfuscationPlan,
+    anonymity_set_size,
+    interest_posterior,
+)
+
+__all__ = [
+    "MultiSessionReport",
+    "MultiSessionRunner",
+    "ObfuscationPlan",
+    "anonymity_set_size",
+    "interest_posterior",
+]

@@ -1,0 +1,162 @@
+"""Interest obfuscation — the paper's future-work extension, implemented.
+
+Section IX: "The privacy of nodes could be further enhanced if even the
+direct neighbors of nodes could not determine the media content they are
+interested in. ... future works include the design of a dissemination
+protocol that would improve on the obfuscation approach, which hide the
+interests of nodes by making them receive several contents at the same
+time."
+
+PAG's P1 hides *which updates* travel from monitors, but a node's
+**session membership** is public: whoever appears in the membership of
+the "channel 5" session is interested in channel 5.  The obfuscation
+approach makes every node join its true session plus ``k - 1`` decoy
+sessions, chosen uniformly; an observer of session memberships then
+faces a ``1/k`` posterior (before side information) on any node's true
+interest.
+
+This module provides:
+
+* :class:`ObfuscationPlan` — decoy assignment with reproducible
+  randomness and bandwidth-cost accounting (each extra session costs a
+  full dissemination's bandwidth, which is the approach's known
+  drawback and the reason the paper calls improving on it future work);
+* :func:`interest_posterior` — what an attacker observing memberships
+  can infer, with and without per-session popularity priors;
+* :func:`anonymity_set_size` — the effective hiding each node enjoys.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Set
+
+from repro.sim.rng import SeedSequence
+
+__all__ = [
+    "ObfuscationPlan",
+    "interest_posterior",
+    "anonymity_set_size",
+]
+
+
+@dataclass
+class ObfuscationPlan:
+    """Decoy-session assignment for a population of nodes.
+
+    Attributes:
+        sessions: available content sessions (ids).
+        true_interest: node -> the session it actually wants.
+        cover_factor: total sessions each node joins (k >= 1; k = 1
+            means no obfuscation).
+        seed: reproducible decoy choice.
+    """
+
+    sessions: Sequence[int]
+    true_interest: Mapping[int, int]
+    cover_factor: int = 2
+    seed: int = 0
+    memberships: Dict[int, Set[int]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.cover_factor < 1:
+            raise ValueError("cover factor must be at least 1")
+        if self.cover_factor > len(self.sessions):
+            raise ValueError(
+                "cannot join more sessions than exist "
+                f"({self.cover_factor} > {len(self.sessions)})"
+            )
+        session_set = set(self.sessions)
+        for node, interest in self.true_interest.items():
+            if interest not in session_set:
+                raise ValueError(
+                    f"node {node} wants unknown session {interest}"
+                )
+        self.memberships = self._assign()
+
+    def _assign(self) -> Dict[int, Set[int]]:
+        seeds = SeedSequence(self.seed)
+        memberships: Dict[int, Set[int]] = {}
+        for node, interest in sorted(self.true_interest.items()):
+            rng = seeds.stream("decoys", node)
+            decoy_pool = [s for s in self.sessions if s != interest]
+            decoys = rng.sample(decoy_pool, self.cover_factor - 1)
+            memberships[node] = {interest, *decoys}
+        return memberships
+
+    # -- what the system pays -------------------------------------------
+
+    def bandwidth_multiplier(self) -> float:
+        """Obfuscation's cost: a node pays for every session it joins."""
+        return float(self.cover_factor)
+
+    def session_members(self, session: int) -> List[int]:
+        return sorted(
+            node
+            for node, sessions in self.memberships.items()
+            if session in sessions
+        )
+
+    # -- what the attacker learns ----------------------------------------
+
+    def observer_view(self) -> Dict[int, Set[int]]:
+        """Session memberships are public metadata (the attacker's
+        input): a copy, to make the information boundary explicit."""
+        return {node: set(s) for node, s in self.memberships.items()}
+
+
+def interest_posterior(
+    memberships: Mapping[int, Set[int]],
+    popularity: Mapping[int, float] | None = None,
+) -> Dict[int, Dict[int, float]]:
+    """Attacker's posterior over each node's true interest.
+
+    Args:
+        memberships: node -> joined sessions (the public observation).
+        popularity: optional prior weight per session (e.g. global view
+            counts).  Uniform when omitted.
+
+    Returns:
+        node -> {session: probability that it is the true interest}.
+    """
+    posteriors: Dict[int, Dict[int, float]] = {}
+    for node, joined in memberships.items():
+        if not joined:
+            raise ValueError(f"node {node} joined no session")
+        weights = {
+            session: (
+                popularity.get(session, 0.0) if popularity else 1.0
+            )
+            for session in joined
+        }
+        total = sum(weights.values())
+        if total <= 0:
+            # Degenerate prior: fall back to uniform.
+            weights = {session: 1.0 for session in joined}
+            total = float(len(joined))
+        posteriors[node] = {
+            session: weight / total for session, weight in weights.items()
+        }
+    return posteriors
+
+
+def anonymity_set_size(
+    memberships: Mapping[int, Set[int]],
+    popularity: Mapping[int, float] | None = None,
+) -> Dict[int, float]:
+    """Effective anonymity per node: exp(entropy of the posterior).
+
+    With uniform priors and cover factor k this is exactly k; skewed
+    popularity priors shrink it (the known weakness of naive decoys:
+    joining a wildly unpopular decoy convinces nobody).
+    """
+    result: Dict[int, float] = {}
+    for node, posterior in interest_posterior(
+        memberships, popularity
+    ).items():
+        entropy = -sum(
+            p * math.log(p) for p in posterior.values() if p > 0
+        )
+        result[node] = math.exp(entropy)
+    return result

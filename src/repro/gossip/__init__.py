@@ -1,0 +1,29 @@
+"""Gossip dissemination substrate: updates, source, buffermaps, push gossip."""
+
+from repro.gossip.buffermap import (
+    DEFAULT_BUFFERMAP_DEPTH,
+    HashedBuffermap,
+    PlainBuffermap,
+    buffermap_hash_count,
+)
+from repro.gossip.dissemination import (
+    PlainGossipNode,
+    PlainSourceNode,
+    PushMessage,
+)
+from repro.gossip.source import StreamSchedule
+from repro.gossip.updates import Update, UpdateStore, content_integer
+
+__all__ = [
+    "DEFAULT_BUFFERMAP_DEPTH",
+    "HashedBuffermap",
+    "PlainBuffermap",
+    "PlainGossipNode",
+    "PlainSourceNode",
+    "PushMessage",
+    "StreamSchedule",
+    "Update",
+    "UpdateStore",
+    "buffermap_hash_count",
+    "content_integer",
+]

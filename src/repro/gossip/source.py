@@ -1,0 +1,83 @@
+"""The content source: releases stream chunks round by round.
+
+A special, assumed-correct node holds the content and "generates and
+periodically sends chunks of this content (also called updates), to a
+set of nodes chosen uniformly at random" (section II-A).  The paper's
+deployment parameters: a fixed-rate video stream, 938-byte updates
+grouped in windows of 40 packets, one-second rounds, and updates
+released 10 seconds before their playout deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["StreamSchedule"]
+
+
+@dataclass
+class StreamSchedule:
+    """Deterministic chunk-release schedule for a constant-bit-rate stream.
+
+    Attributes:
+        rate_kbps: stream bit rate (e.g. 300 for the paper's base case,
+            or the quality ladder of Table I).
+        update_bytes: chunk payload size (938 B in the deployment).
+        playout_delay_rounds: rounds between release and playout deadline
+            (10 in the deployment: "updates ... are released 10 seconds
+            before being consumed by the nodes' media player").
+        window: packets per source window (40 in the deployment); the
+            source spreads a window's packets across its fanout.
+    """
+
+    rate_kbps: float
+    update_bytes: int = 938
+    playout_delay_rounds: int = 10
+    window: int = 40
+    round_seconds: float = 1.0
+    _next_uid: int = field(default=0, repr=False)
+    _carry_bits: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.rate_kbps <= 0:
+            raise ValueError("stream rate must be positive")
+        if self.update_bytes <= 0:
+            raise ValueError("update size must be positive")
+        if self.playout_delay_rounds < 1:
+            raise ValueError("playout delay must be at least one round")
+
+    def updates_per_round(self) -> float:
+        """Average number of chunks released per round (may be fractional)."""
+        bits_per_round = self.rate_kbps * 1000.0 * self.round_seconds
+        return bits_per_round / (self.update_bytes * 8.0)
+
+    def release(self, round_no: int, session: int = 0) -> List["Update"]:
+        """Chunks released during ``round_no``.
+
+        A fractional per-round rate is honoured exactly over time by
+        carrying the remainder (e.g. 300 Kbps at 938 B -> 39.98 chunks
+        per round: most rounds release 40, occasionally 39).
+        """
+        from repro.gossip.updates import Update
+
+        bits = self.rate_kbps * 1000.0 * self.round_seconds + self._carry_bits
+        count = int(bits // (self.update_bytes * 8))
+        self._carry_bits = bits - count * self.update_bytes * 8
+        released = []
+        for _ in range(count):
+            released.append(
+                Update(
+                    uid=self._next_uid,
+                    round_created=round_no,
+                    expiry_round=round_no + self.playout_delay_rounds,
+                    payload_bytes=self.update_bytes,
+                    session=session,
+                )
+            )
+            self._next_uid += 1
+        return released
+
+    def total_released(self) -> int:
+        """Number of chunks released so far."""
+        return self._next_uid

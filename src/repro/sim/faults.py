@@ -1,0 +1,92 @@
+"""Fault injection: message loss, link cuts, and node outages.
+
+The paper's system model notes that "using classical techniques we
+handle omission failures" (section IV-A): a lost serve or ack triggers
+the accusation path of Fig. 3, which re-delivers the content through
+the accused node's monitors and exonerates honest parties via Confirm.
+These fault injectors — all implemented as network drop rules — let the
+tests exercise exactly those paths.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Set, Tuple
+
+from repro.sim.message import Message
+
+__all__ = ["RandomLoss", "LinkCut", "NodeOutage"]
+
+
+@dataclass
+class RandomLoss:
+    """Drop each matching message independently with a fixed probability.
+
+    Attributes:
+        probability: per-message drop probability.
+        kinds: restrict losses to these message kinds (None = all).
+        rng: seeded randomness (reproducible fault schedules).
+    """
+
+    probability: float
+    kinds: Optional[Set[str]] = None
+    rng: random.Random = field(default_factory=random.Random)
+    dropped: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+
+    def __call__(self, message: Message) -> bool:
+        if self.kinds is not None and message.kind not in self.kinds:
+            return False
+        if self.rng.random() < self.probability:
+            self.dropped += 1
+            return True
+        return False
+
+
+@dataclass
+class LinkCut:
+    """Silently discard all traffic on specific directed links."""
+
+    links: Set[Tuple[int, int]]
+    dropped: int = 0
+
+    def __call__(self, message: Message) -> bool:
+        if (message.sender, message.recipient) in self.links:
+            self.dropped += 1
+            return True
+        return False
+
+    @classmethod
+    def between(cls, a: int, b: int) -> "LinkCut":
+        """Cut both directions between two nodes."""
+        return cls(links={(a, b), (b, a)})
+
+
+@dataclass
+class NodeOutage:
+    """A node is unreachable (and mute) during a round window.
+
+    Models a crash-recovery outage: all traffic from and to the node is
+    dropped while the outage lasts.  Accountability systems without
+    failure detectors conflate crashes with refusals — the tests verify
+    both that a *permanent* crash is convicted (it is indistinguishable
+    from a selfish silent node) and that the rest of the membership
+    keeps streaming.
+    """
+
+    node_id: int
+    first_round: int
+    last_round: int
+    dropped: int = 0
+
+    def __call__(self, message: Message) -> bool:
+        if not self.first_round <= message.round_no <= self.last_round:
+            return False
+        if self.node_id in (message.sender, message.recipient):
+            self.dropped += 1
+            return True
+        return False

@@ -1,0 +1,168 @@
+"""Bandwidth and cost metering for simulated nodes.
+
+The paper's headline numbers are *per-node bandwidth consumption in
+Kbps* (Figs. 7, 8, 9) and *cryptographic operations per second*
+(Table I).  This module collects exactly those quantities: bytes sent
+and received per node per round, and operation tallies, with helpers to
+convert to the paper's units given the round duration (1 second in all
+experiments, section VII-A).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+__all__ = ["BandwidthMeter", "NodeTraffic", "cdf_points", "kbps"]
+
+
+def kbps(total_bytes: float, seconds: float) -> float:
+    """Convert a byte count over a duration to kilobits per second.
+
+    The paper uses decimal kilobits (1 kbps = 1000 bit/s), the standard
+    networking convention.
+    """
+    if seconds <= 0:
+        raise ValueError("duration must be positive")
+    return total_bytes * 8.0 / 1000.0 / seconds
+
+
+@dataclass
+class NodeTraffic:
+    """Per-node cumulative traffic counters."""
+
+    bytes_up: int = 0
+    bytes_down: int = 0
+    messages_up: int = 0
+    messages_down: int = 0
+
+    @property
+    def bytes_total(self) -> int:
+        return self.bytes_up + self.bytes_down
+
+
+@dataclass
+class BandwidthMeter:
+    """Accounts every byte that crosses the simulated network.
+
+    Consumption is attributed symmetrically, like the paper's
+    measurements: an A->B message of s bytes costs A s bytes of upload
+    and B s bytes of download.  Per-round series are kept so that warmup
+    rounds can be excluded and CDFs computed over steady state.
+    """
+
+    totals: Dict[int, NodeTraffic] = field(
+        default_factory=lambda: defaultdict(NodeTraffic)
+    )
+    per_round_up: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    per_round_down: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    rounds_seen: int = 0
+
+    def record(self, sender: int, recipient: int, size: int, rnd: int) -> None:
+        """Meter one message of ``size`` bytes sent during round ``rnd``."""
+        if size < 0:
+            raise ValueError("message size cannot be negative")
+        up = self.totals[sender]
+        up.bytes_up += size
+        up.messages_up += 1
+        down = self.totals[recipient]
+        down.bytes_down += size
+        down.messages_down += 1
+        key_up = (sender, rnd)
+        key_down = (recipient, rnd)
+        self.per_round_up[key_up] = self.per_round_up.get(key_up, 0) + size
+        self.per_round_down[key_down] = (
+            self.per_round_down.get(key_down, 0) + size
+        )
+        if rnd + 1 > self.rounds_seen:
+            self.rounds_seen = rnd + 1
+
+    def node_bytes(
+        self,
+        node: int,
+        first_round: int = 0,
+        last_round: int | None = None,
+        direction: str = "both",
+    ) -> int:
+        """Bytes for ``node`` over a round window.
+
+        Args:
+            direction: ``"both"`` (up + down), ``"down"`` or ``"up"``.
+                The paper's figures report unidirectional consumption
+                (a 300 Kbps stream costs a receiver ~300 Kbps, not 600),
+                so figure reproductions use ``"down"``.
+        """
+        if direction not in ("both", "down", "up"):
+            raise ValueError(f"unknown direction {direction!r}")
+        last = self.rounds_seen - 1 if last_round is None else last_round
+        total = 0
+        for rnd in range(first_round, last + 1):
+            if direction in ("both", "up"):
+                total += self.per_round_up.get((node, rnd), 0)
+            if direction in ("both", "down"):
+                total += self.per_round_down.get((node, rnd), 0)
+        return total
+
+    def node_kbps(
+        self,
+        node: int,
+        round_seconds: float = 1.0,
+        first_round: int = 0,
+        last_round: int | None = None,
+        direction: str = "both",
+    ) -> float:
+        """Average bandwidth of ``node`` in Kbps over a round window."""
+        last = self.rounds_seen - 1 if last_round is None else last_round
+        duration = (last - first_round + 1) * round_seconds
+        return kbps(
+            self.node_bytes(node, first_round, last, direction), duration
+        )
+
+    def all_node_kbps(
+        self,
+        nodes: Iterable[int],
+        round_seconds: float = 1.0,
+        first_round: int = 0,
+        last_round: int | None = None,
+        direction: str = "both",
+    ) -> Dict[int, float]:
+        return {
+            node: self.node_kbps(
+                node, round_seconds, first_round, last_round, direction
+            )
+            for node in nodes
+        }
+
+    def mean_kbps(
+        self,
+        nodes: Iterable[int],
+        round_seconds: float = 1.0,
+        first_round: int = 0,
+        last_round: int | None = None,
+        direction: str = "both",
+    ) -> float:
+        values = self.all_node_kbps(
+            nodes, round_seconds, first_round, last_round, direction
+        )
+        if not values:
+            return 0.0
+        return sum(values.values()) / len(values)
+
+
+def cdf_points(values: Mapping[int, float] | Iterable[float]) -> List[
+    Tuple[float, float]
+]:
+    """Cumulative distribution points ``(value, percent <= value)``.
+
+    Produces the series plotted in Fig. 7 of the paper (CDF of per-node
+    bandwidth consumption, y axis in percent).
+    """
+    if isinstance(values, Mapping):
+        data = sorted(values.values())
+    else:
+        data = sorted(values)
+    n = len(data)
+    if n == 0:
+        return []
+    return [(v, 100.0 * (i + 1) / n) for i, v in enumerate(data)]

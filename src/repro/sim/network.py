@@ -1,0 +1,107 @@
+"""Simulated network: delivery, bandwidth metering, and observation.
+
+Rounds in PAG last one second (section VII-A) while the exchange of
+Fig. 5 is a few small messages, so intra-round latency is negligible
+relative to the round length.  The network therefore delivers messages
+*within* the current round, in FIFO order, and the engine drains the
+queue to quiescence before closing the round.  This matches the paper's
+round-synchronous system model ("nodes are roughly synchronized, which
+allows them to check each others' periodical exchanges").
+
+A :class:`TrafficTap` receives a copy of every message — this is how the
+*global passive opponent* of section III observes all network links, and
+how tests assert on protocol traffic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional, Protocol
+
+from repro.sim.message import Message, WireSizes
+from repro.sim.metrics import BandwidthMeter
+
+__all__ = ["Network", "TrafficTap", "DropRule"]
+
+
+class TrafficTap(Protocol):
+    """Observer of all traffic (the global opponent, or a test probe)."""
+
+    def observe(self, message: Message, size: int) -> None:
+        """Called once per message actually delivered."""
+
+
+#: A predicate deciding whether a message is silently dropped.
+#: Used to inject omission faults and network-level adversaries.
+DropRule = Callable[[Message], bool]
+
+
+@dataclass
+class Network:
+    """Message transport with byte accounting.
+
+    Attributes:
+        sizes: wire-size constants used to price each message.
+        meter: bandwidth accounting (per node, per round).
+        taps: passive observers receiving a copy of all messages.
+        drop_rules: fault-injection predicates; any True drops the message.
+    """
+
+    sizes: WireSizes = field(default_factory=WireSizes)
+    meter: BandwidthMeter = field(default_factory=BandwidthMeter)
+    taps: List[TrafficTap] = field(default_factory=list)
+    drop_rules: List[DropRule] = field(default_factory=list)
+    _queue: Deque[Message] = field(default_factory=deque)
+    current_round: int = 0
+    messages_sent: int = 0
+    messages_dropped: int = 0
+
+    def send(self, message: Message) -> None:
+        """Queue a message for delivery within the current round.
+
+        The sender pays upload and the recipient pays download for the
+        full wire size whether or not a drop rule later discards it
+        (bytes leave the NIC before the fault happens); dropped messages
+        simply never reach ``on_message``.
+        """
+        if message.sender == message.recipient:
+            raise ValueError(
+                f"node {message.sender} attempted to send {message.kind} "
+                "to itself"
+            )
+        size = message.size_bytes(self.sizes)
+        self.meter.record(
+            message.sender, message.recipient, size, self.current_round
+        )
+        self.messages_sent += 1
+        for rule in self.drop_rules:
+            if rule(message):
+                self.messages_dropped += 1
+                return
+        for tap in self.taps:
+            tap.observe(message, size)
+        self._queue.append(message)
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def pop(self) -> Optional[Message]:
+        """Next message to deliver, or None when the round is quiescent."""
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def begin_round(self, round_no: int) -> None:
+        if self._queue:
+            raise RuntimeError(
+                f"round {round_no} started with {len(self._queue)} "
+                "undelivered messages"
+            )
+        self.current_round = round_no
+
+    def add_tap(self, tap: TrafficTap) -> None:
+        self.taps.append(tap)
+
+    def add_drop_rule(self, rule: DropRule) -> None:
+        self.drop_rules.append(rule)

@@ -1,0 +1,47 @@
+"""Base class for simulated protocol participants."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.network import Network
+
+__all__ = ["SimNode"]
+
+
+class SimNode:
+    """A node participating in a round-based protocol.
+
+    Life cycle per round R:
+
+    1. ``begin_round(R)`` — the node initiates its exchanges for the
+       round (e.g. a PAG node sends ``KeyRequest`` to its successors).
+    2. ``on_message(msg)`` — called for every message delivered to the
+       node while the round's queue drains; handlers may send replies,
+       which are delivered in the same round.
+    3. ``end_round(R)`` — quiescence reached; the node finalises state
+       (e.g. monitors run the forwarding verification for round R-1).
+    """
+
+    def __init__(self, node_id: int, network: "Network") -> None:
+        self.node_id = node_id
+        self.network = network
+
+    def begin_round(self, round_no: int) -> None:
+        """Initiate this round's exchanges.  Default: do nothing."""
+
+    def on_message(self, message: Message) -> None:
+        """Handle one delivered message.  Default: ignore silently."""
+
+    def end_round(self, round_no: int) -> None:
+        """Round post-processing.  Default: do nothing."""
+
+    def send(self, message: Message) -> None:
+        """Convenience wrapper around ``network.send``."""
+        self.network.send(message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} id={self.node_id}>"

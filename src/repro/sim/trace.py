@@ -1,0 +1,87 @@
+"""Traffic tracing: the global passive observer and test probes.
+
+Section III's adversary "can monitor and record the traffic on network
+links".  :class:`TraceRecorder` is that observer: it records message
+metadata (never plaintext — the observer cannot invert encryptions) for
+privacy analysis, and full references for white-box test assertions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+from repro.sim.message import Message
+
+__all__ = ["TraceRecord", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """Metadata of one observed message (what a wiretap sees)."""
+
+    round_no: int
+    sender: int
+    recipient: int
+    kind: str
+    size: int
+
+
+@dataclass
+class TraceRecorder:
+    """Records all delivered traffic.
+
+    Attributes:
+        keep_messages: when True, full message objects are retained for
+            white-box assertions in tests; the privacy analyses only use
+            the metadata records, as a real wiretap would.
+    """
+
+    keep_messages: bool = False
+    records: List[TraceRecord] = field(default_factory=list)
+    messages: List[Message] = field(default_factory=list)
+
+    def observe(self, message: Message, size: int) -> None:
+        self.records.append(
+            TraceRecord(
+                round_no=message.round_no,
+                sender=message.sender,
+                recipient=message.recipient,
+                kind=message.kind,
+                size=size,
+            )
+        )
+        if self.keep_messages:
+            self.messages.append(message)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def kinds(self) -> Counter:
+        """Histogram of observed message kinds."""
+        return Counter(record.kind for record in self.records)
+
+    def between(self, sender: int, recipient: int) -> List[TraceRecord]:
+        return [
+            r
+            for r in self.records
+            if r.sender == sender and r.recipient == recipient
+        ]
+
+    def in_round(self, round_no: int) -> List[TraceRecord]:
+        return [r for r in self.records if r.round_no == round_no]
+
+    def total_bytes(self) -> int:
+        return sum(r.size for r in self.records)
+
+    def link_set(self) -> set[Tuple[int, int]]:
+        """All (sender, recipient) pairs that ever communicated."""
+        return {(r.sender, r.recipient) for r in self.records}
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.messages.clear()

@@ -1,0 +1,20 @@
+"""Live-streaming application layer: quality ladder and playback metrics."""
+
+from repro.streaming.player import PlaybackReport, evaluate_playback
+from repro.streaming.video import (
+    LINK_CAPACITIES_KBPS,
+    QUALITY_LADDER,
+    VideoQuality,
+    max_quality_under,
+    quality_by_name,
+)
+
+__all__ = [
+    "LINK_CAPACITIES_KBPS",
+    "PlaybackReport",
+    "QUALITY_LADDER",
+    "VideoQuality",
+    "evaluate_playback",
+    "max_quality_under",
+    "quality_by_name",
+]

@@ -1,0 +1,96 @@
+"""Playback model: did the stream arrive in time to be watched?
+
+The paper's qualitative claim is that PAG "is compatible with the
+visualisation of live video content on commodity Internet connections":
+chunks are released 10 seconds before their playout deadline, and a
+viewer misses a chunk if it has not arrived by then.  This module turns
+a node's reception log into the standard live-streaming metrics:
+continuity (fraction of chunks on time) and average lag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.gossip.updates import Update, UpdateStore
+
+__all__ = ["PlaybackReport", "evaluate_playback"]
+
+
+@dataclass(frozen=True)
+class PlaybackReport:
+    """Streaming quality as experienced by one node.
+
+    Attributes:
+        chunks_due: chunks whose playout deadline has passed.
+        chunks_on_time: of those, how many arrived before the deadline.
+        chunks_late: arrived after the deadline (unplayable, but counted
+            separately from never-arrived for diagnosis).
+        chunks_missing: never arrived at all.
+        mean_lag_rounds: average rounds between release and arrival for
+            chunks that did arrive.
+    """
+
+    chunks_due: int
+    chunks_on_time: int
+    chunks_late: int
+    chunks_missing: int
+    mean_lag_rounds: float
+
+    @property
+    def continuity(self) -> float:
+        """Fraction of due chunks played on time (1.0 = perfect stream)."""
+        if self.chunks_due == 0:
+            return 1.0
+        return self.chunks_on_time / self.chunks_due
+
+    def is_watchable(self, threshold: float = 0.99) -> bool:
+        """A stream is considered watchable above a continuity threshold."""
+        return self.continuity >= threshold
+
+
+def evaluate_playback(
+    released: Iterable[Update],
+    store: UpdateStore,
+    current_round: int,
+    warmup_rounds: int = 0,
+) -> PlaybackReport:
+    """Compare a node's receptions against the source's release schedule.
+
+    Args:
+        released: all updates the source released.
+        store: the node's reception store.
+        current_round: evaluation time; only chunks whose deadline passed
+            are judged.
+        warmup_rounds: ignore chunks released before this round (a node
+            that joined at round 0 still needs a few rounds of ramp-up).
+    """
+    due = 0
+    on_time = 0
+    late = 0
+    missing = 0
+    lags: List[int] = []
+    for update in released:
+        if update.round_created < warmup_rounds:
+            continue
+        if update.expiry_round >= current_round:
+            continue  # deadline not reached yet
+        due += 1
+        arrival: Optional[int] = store.arrival_round(update.uid)
+        if arrival is None:
+            missing += 1
+            continue
+        lags.append(arrival - update.round_created)
+        if arrival <= update.expiry_round:
+            on_time += 1
+        else:
+            late += 1
+    mean_lag = sum(lags) / len(lags) if lags else 0.0
+    return PlaybackReport(
+        chunks_due=due,
+        chunks_on_time=on_time,
+        chunks_late=late,
+        chunks_missing=missing,
+        mean_lag_rounds=mean_lag,
+    )

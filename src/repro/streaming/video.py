@@ -1,0 +1,83 @@
+"""Video quality ladder used throughout the paper's evaluation.
+
+Table I fixes the payload rate of each quality level; Table II asks, for
+each network link capacity, which quality each protocol can sustain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = [
+    "VideoQuality",
+    "QUALITY_LADDER",
+    "quality_by_name",
+    "max_quality_under",
+    "LINK_CAPACITIES_KBPS",
+]
+
+
+@dataclass(frozen=True)
+class VideoQuality:
+    """One rung of the quality ladder.
+
+    Attributes:
+        name: label used in the paper (e.g. ``480p``).
+        payload_kbps: stream bit rate from Table I.
+    """
+
+    name: str
+    payload_kbps: float
+
+    def updates_per_second(self, update_bytes: int = 938) -> float:
+        """Chunks per second at this rate (938 B chunks by default)."""
+        return self.payload_kbps * 1000.0 / (update_bytes * 8.0)
+
+
+#: Table I, rows 1-2: qualities and payload sizes.
+QUALITY_LADDER: List[VideoQuality] = [
+    VideoQuality("144p", 80.0),
+    VideoQuality("240p", 300.0),
+    VideoQuality("360p", 750.0),
+    VideoQuality("480p", 1000.0),
+    VideoQuality("720p", 2500.0),
+    VideoQuality("1080p", 4500.0),
+]
+
+#: Table II columns: link technologies and their capacity in Kbps.
+LINK_CAPACITIES_KBPS: Dict[str, float] = {
+    "ADSL Lite (1.5Mbps)": 1_500.0,
+    "Ethernet (10Mbps)": 10_000.0,
+    "Fast Ethernet (100Mbps)": 100_000.0,
+    "Gigabit Ethernet (1Gbps)": 1_000_000.0,
+    "10 Gigabit Ethernet (10Gbps)": 10_000_000.0,
+}
+
+
+def quality_by_name(name: str) -> VideoQuality:
+    for quality in QUALITY_LADDER:
+        if quality.name == name:
+            return quality
+    raise KeyError(f"unknown video quality {name!r}")
+
+
+def max_quality_under(
+    capacity_kbps: float, cost_of_quality
+) -> Optional[VideoQuality]:
+    """Highest quality whose protocol cost fits under a link capacity.
+
+    Args:
+        capacity_kbps: link capacity.
+        cost_of_quality: callable mapping a :class:`VideoQuality` to the
+            per-node bandwidth the protocol consumes at that quality.
+
+    Returns:
+        The best sustainable quality, or None (the paper's ∅ cells for
+        RAC) when even the lowest rung does not fit.
+    """
+    best: Optional[VideoQuality] = None
+    for quality in QUALITY_LADDER:
+        if cost_of_quality(quality) <= capacity_kbps:
+            best = quality
+    return best

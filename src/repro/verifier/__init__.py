@@ -1,0 +1,56 @@
+"""Symbolic (Dolev-Yao) verification of PAG's privacy property P1.
+
+A purpose-built substitute for the paper's ProVerif analysis
+(section VI-A): term algebra with the homomorphic-hash equational theory
+(:mod:`terms`), two-phase intruder deduction (:mod:`deduction`), the
+PAG round model (:mod:`protocol`), and the paper's attack scenarios
+(:mod:`scenarios`).
+"""
+
+from repro.verifier.deduction import analyze, can_derive
+from repro.verifier.protocol import PagScenario, Role
+from repro.verifier.scenarios import (
+    LinkSecrecy,
+    attacker_knowledge,
+    case1_network_attacker,
+    case2_coalitions,
+    check_secrecy,
+    f_coalition_attack,
+)
+from repro.verifier.terms import (
+    AEnc,
+    Atom,
+    HHash,
+    Pair,
+    PrivKey,
+    Prod,
+    PubKey,
+    Sig,
+    Term,
+    multiset,
+    tuple_term,
+)
+
+__all__ = [
+    "AEnc",
+    "Atom",
+    "HHash",
+    "LinkSecrecy",
+    "Pair",
+    "PagScenario",
+    "PrivKey",
+    "Prod",
+    "PubKey",
+    "Role",
+    "Sig",
+    "Term",
+    "analyze",
+    "attacker_knowledge",
+    "can_derive",
+    "case1_network_attacker",
+    "case2_coalitions",
+    "check_secrecy",
+    "f_coalition_attack",
+    "multiset",
+    "tuple_term",
+]

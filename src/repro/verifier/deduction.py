@@ -1,0 +1,195 @@
+"""Dolev-Yao deduction: what can the attacker derive?
+
+Standard two-phase intruder deduction, the same structure ProVerif's
+Horn-clause saturation computes for this class of protocol:
+
+1. **Analysis** (destructors to saturation): open pairs, open
+   signatures, decrypt with known private keys, and divide known prime
+   products by known sub-products.  All rules shrink terms, so the
+   closure terminates.
+2. **Synthesis** (constructors, on demand): to decide whether a target
+   term is derivable, recursively check whether it can be built from
+   analysed knowledge with pairing, encryption, signing (needs the
+   key), multiplying products, and applying/re-keying/combining the
+   homomorphic hash.
+
+The attacker cannot invert the hash, decrypt without the key, forge
+signatures, or factor a product it does not already partially know —
+exactly the assumptions of section III ("The only limitation of the
+global and active opponent is that it is not able to invert
+encryptions") plus the hardness of factoring (section IV-B).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Set
+
+from repro.verifier.terms import (
+    AEnc,
+    Atom,
+    HHash,
+    Pair,
+    PrivKey,
+    Prod,
+    PubKey,
+    Sig,
+    Term,
+    is_subset,
+    multiset_subtract,
+)
+
+__all__ = ["analyze", "can_derive", "Knowledge"]
+
+Knowledge = FrozenSet[Term]
+
+
+def analyze(initial: Iterable[Term]) -> Knowledge:
+    """Destructor closure of the attacker's knowledge."""
+    knowledge: Set[Term] = set(initial)
+    changed = True
+    while changed:
+        changed = False
+        for term in list(knowledge):
+            for derived in _destruct(term, knowledge):
+                if derived not in knowledge:
+                    knowledge.add(derived)
+                    changed = True
+        # Division: for every pair of known products, a known
+        # sub-product exposes the quotient.
+        products = [t for t in knowledge if isinstance(t, Prod)]
+        for big in products:
+            for small in products:
+                if big is small:
+                    continue
+                if is_subset(small.primes, big.primes) and small.primes:
+                    quotient = Prod(
+                        multiset_subtract(big.primes, small.primes)
+                    )
+                    if quotient.primes and quotient not in knowledge:
+                        knowledge.add(quotient)
+                        changed = True
+        # A singleton product and its atom are interchangeable.
+        for term in list(knowledge):
+            if isinstance(term, Prod) and len(term.primes) == 1:
+                name, count = term.primes[0]
+                if count == 1 and Atom(name) not in knowledge:
+                    knowledge.add(Atom(name))
+                    changed = True
+            if isinstance(term, Atom):
+                single = Prod.of(term.name)
+                if single not in knowledge:
+                    knowledge.add(single)
+                    changed = True
+    return frozenset(knowledge)
+
+
+def _destruct(term: Term, knowledge: Set[Term]) -> Iterable[Term]:
+    if isinstance(term, Pair):
+        yield term.left
+        yield term.right
+    elif isinstance(term, Sig):
+        # Signatures are content-revealing.
+        yield term.message
+    elif isinstance(term, AEnc):
+        if PrivKey(term.agent) in knowledge:
+            yield term.message
+
+
+def can_derive(target: Term, knowledge: Knowledge) -> bool:
+    """Synthesis: can the attacker construct ``target``?
+
+    ``knowledge`` must already be analysed (destructor-closed).
+    """
+    return _derive(target, knowledge, in_progress=set())
+
+
+def _derive(
+    target: Term, knowledge: Knowledge, in_progress: Set[Term]
+) -> bool:
+    if target in knowledge:
+        return True
+    if target in in_progress:
+        return False  # cycle: this branch cannot make progress
+    in_progress = in_progress | {target}
+
+    if isinstance(target, Pair):
+        return _derive(target.left, knowledge, in_progress) and _derive(
+            target.right, knowledge, in_progress
+        )
+    if isinstance(target, PubKey):
+        return True  # public keys are public
+    if isinstance(target, AEnc):
+        return _derive(target.message, knowledge, in_progress)
+    if isinstance(target, Sig):
+        # Forging needs the signer's private key.
+        return PrivKey(target.agent) in knowledge and _derive(
+            target.message, knowledge, in_progress
+        )
+    if isinstance(target, Atom):
+        # Atoms are not inventable; only direct knowledge (or the
+        # singleton-product equivalence, handled by analyze) yields them.
+        return Prod.of(target.name) in knowledge
+    if isinstance(target, Prod):
+        return _derive_product(target, knowledge, in_progress)
+    if isinstance(target, HHash):
+        return _derive_hash(target, knowledge, in_progress)
+    return False
+
+
+def _derive_product(
+    target: Prod, knowledge: Knowledge, in_progress: Set[Term]
+) -> bool:
+    if not target.primes:
+        return True  # the empty product (1) is trivial
+    # Multiply two known/derivable sub-products: try splitting off any
+    # known product that fits inside the target.
+    for term in knowledge:
+        if not isinstance(term, Prod) or not term.primes:
+            continue
+        if term == target:
+            return True
+        if is_subset(term.primes, target.primes):
+            rest = Prod(multiset_subtract(target.primes, term.primes))
+            if _derive(rest, knowledge, in_progress):
+                return True
+    return False
+
+
+def _derive_hash(
+    target: HHash, knowledge: Knowledge, in_progress: Set[Term]
+) -> bool:
+    # Direct construction: know the base product's factors (updates are
+    # public candidates in the paper's attack model only if the attacker
+    # holds them as atoms) and the full key product.
+    base_atoms_known = all(
+        Prod.of(name) in knowledge or Atom(name) in knowledge
+        for name, _count in target.base
+    )
+    if base_atoms_known and _derive(
+        Prod(target.key), knowledge, in_progress
+    ):
+        return True
+    # Re-keying: lift any known hash of the same base by a derivable
+    # complementary product.
+    for term in knowledge:
+        if not isinstance(term, HHash) or term.base != target.base:
+            continue
+        if term.key == target.key:
+            return True
+        if is_subset(term.key, target.key):
+            complement = Prod(multiset_subtract(target.key, term.key))
+            if _derive(complement, knowledge, in_progress):
+                return True
+    # Combination: split the base into a known hash under the same key
+    # plus a derivable remainder.
+    for term in knowledge:
+        if not isinstance(term, HHash) or term.key != target.key:
+            continue
+        if is_subset(term.base, target.base) and term.base != target.base:
+            rest = HHash(
+                base=multiset_subtract(target.base, term.base),
+                key=target.key,
+            )
+            if _derive(rest, knowledge, in_progress):
+                return True
+    return False

@@ -1,0 +1,220 @@
+"""Symbolic model of one PAG round — the scenario of section VI-A.
+
+"We consider the representative situation where a node B, assumed to be
+correct, receives updates from three predecessors A1, A2 and A3, and has
+to forward them to one of its successors C.  For each node, we
+instantiated a set of monitors."
+
+The model produces, for that scenario (with configurable fanout f):
+
+* the complete list of wire messages (what the *global* attacker sees);
+* the private initial knowledge of every role (what a *corrupted* role
+  contributes to a coalition).
+
+Update and prime names are per-link: predecessor ``Ai`` serves update
+``u_i`` to B, hashed under prime ``p_i`` freshly chosen by B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.verifier.terms import (
+    AEnc,
+    Atom,
+    HHash,
+    Pair,
+    PrivKey,
+    Prod,
+    PubKey,
+    Sig,
+    Term,
+    multiset,
+    multiset_subtract,
+    tuple_term,
+)
+
+__all__ = ["PagScenario", "Role"]
+
+
+@dataclass(frozen=True)
+class Role:
+    """One protocol participant in the symbolic scenario."""
+
+    name: str
+    kind: str  # "receiver" | "predecessor" | "monitor" | "successor"
+
+
+@dataclass
+class PagScenario:
+    """The Fig. 4 / section VI-A verification scenario.
+
+    Attributes:
+        fanout: number of predecessors of B (and of monitors; the paper
+            couples them — f = 3 is "the simplest where the protocol can
+            be proved secure").
+    """
+
+    fanout: int = 3
+    receiver: str = "B"
+    successor: str = "C"
+    predecessors: List[str] = field(default_factory=list)
+    monitors: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.fanout < 3:
+            raise ValueError(
+                "the scenario needs at least 3 predecessors (the paper's "
+                "minimum for privacy)"
+            )
+        if not self.predecessors:
+            self.predecessors = [f"A{i}" for i in range(1, self.fanout + 1)]
+        if not self.monitors:
+            self.monitors = [f"M{i}" for i in range(1, self.fanout + 1)]
+
+    # -- naming conventions ------------------------------------------------
+
+    def update_name(self, i: int) -> str:
+        return f"u{i}"
+
+    def prime_name(self, i: int) -> str:
+        return f"p{i}"
+
+    def all_primes(self) -> List[str]:
+        return [self.prime_name(i) for i in range(1, self.fanout + 1)]
+
+    def round_key(self) -> Prod:
+        """K(R, B) = product of all primes B issued this round."""
+        return Prod(multiset(self.all_primes()))
+
+    def cofactor(self, i: int) -> Prod:
+        """``prod_{k != i} p_k`` — what message 7 for predecessor i carries."""
+        key = multiset(self.all_primes())
+        return Prod(multiset_subtract(key, multiset([self.prime_name(i)])))
+
+    def designated_monitor(self, i: int) -> str:
+        """Monitor receiving messages 6-7 for predecessor i (one each —
+        the round-robin assignment of section V-B)."""
+        return self.monitors[(i - 1) % len(self.monitors)]
+
+    # -- the trace ----------------------------------------------------------
+
+    def wire_messages(self) -> List[Term]:
+        """Every message of the round, as observed on the network."""
+        messages: List[Term] = []
+        b = self.receiver
+        for i, a in enumerate(self.predecessors, start=1):
+            u = self.update_name(i)
+            p = self.prime_name(i)
+            serve_key = Atom(f"Kprev_{a}")  # A's previous-round key
+            # 1. KeyRequest (signed, clear).
+            messages.append(Sig(tuple_term(Atom("keyreq"), Atom(a), Atom(b)), a))
+            # 2. KeyResponse: {<p_i, buffermap hashes>_B}pk(A).
+            buffermap = HHash.of([f"owned_{b}"], [p])
+            messages.append(
+                AEnc(Sig(tuple_term(Atom(p), buffermap), b), a)
+            )
+            # 3. Serve: {<updates, K(R-1, A)>_A}pk(B).
+            messages.append(
+                AEnc(Sig(tuple_term(Atom(u), serve_key), a), b)
+            )
+            # 4. Attestation: <H(u_i)_(p_i)>_A (clear).
+            attestation = Sig(HHash.of([u], [p]), a)
+            messages.append(attestation)
+            # 5. Ack: <H(u_i)_(Kprev_A)>_B (clear).  The previous-round
+            # key is opaque to this round's analysis; model it as a
+            # distinct atom key.
+            messages.append(
+                Sig(HHash.of([u], [f"Kprev_{a}"]), b)
+            )
+            # 6. AckCopy to the designated monitor (same ack term).
+            messages.append(Sig(HHash.of([u], [f"Kprev_{a}"]), b))
+            # 7. AttestationRelay: {<attestation, cofactor_i>_B}pk(M).
+            monitor = self.designated_monitor(i)
+            messages.append(
+                AEnc(Sig(Pair(attestation, self.cofactor(i)), b), monitor)
+            )
+            # 8. MonitorBroadcast: <H(u_i)_(K(R,B))>_M to peer monitors.
+            messages.append(
+                Sig(HHash.of([u], self.all_primes()), monitor)
+            )
+        # Next round: B forwards everything to C; C acknowledges under
+        # K(R, B) — the combined hash of section V-C (clear signature).
+        all_updates = [
+            self.update_name(i) for i in range(1, self.fanout + 1)
+        ]
+        messages.append(
+            AEnc(
+                Sig(
+                    tuple_term(
+                        *[Atom(u) for u in all_updates], self.round_key()
+                    ),
+                    self.receiver,
+                ),
+                self.successor,
+            )
+        )
+        messages.append(
+            Sig(HHash.of(all_updates, self.all_primes()), self.successor)
+        )
+        return messages
+
+    # -- role knowledge -------------------------------------------------
+
+    def role_private_knowledge(self, role: str) -> List[Term]:
+        """What a corrupted ``role`` contributes to a coalition."""
+        knowledge: List[Term] = [PrivKey(role)]
+        if role == self.receiver:
+            knowledge += [Atom(p) for p in self.all_primes()]
+            knowledge += [
+                Atom(self.update_name(i))
+                for i in range(1, self.fanout + 1)
+            ]
+        elif role in self.predecessors:
+            i = self.predecessors.index(role) + 1
+            knowledge.append(Atom(self.prime_name(i)))
+            knowledge.append(Atom(self.update_name(i)))
+            knowledge.append(Atom(f"Kprev_{role}"))
+        elif role in self.monitors:
+            # Monitors' round state is what messages 6-8 delivered; the
+            # wire + its private key already decrypts those.
+            pass
+        elif role == self.successor:
+            knowledge += [
+                Atom(self.update_name(i))
+                for i in range(1, self.fanout + 1)
+            ]
+        else:
+            raise ValueError(f"unknown role {role!r}")
+        return knowledge
+
+    def public_knowledge(self) -> List[Term]:
+        """What everyone (and the attacker) starts with.
+
+        Per the paper's attack model, "the attacker has access to the
+        list of updates that node B may have received from its
+        predecessor": candidate update names are public — what must stay
+        secret is *which* of them travelled, i.e. the primes.
+        """
+        knowledge: List[Term] = []
+        roles = (
+            [self.receiver, self.successor]
+            + self.predecessors
+            + self.monitors
+        )
+        knowledge += [PubKey(r) for r in roles]
+        knowledge += [Atom(r) for r in roles]
+        knowledge += [
+            Atom(self.update_name(i)) for i in range(1, self.fanout + 1)
+        ]
+        # A fresh candidate update for the offline guessing test: P1 is
+        # broken when the attacker can hash an arbitrary candidate under
+        # a link key and compare with observations.
+        knowledge.append(Atom(self.probe_update()))
+        return knowledge
+
+    @staticmethod
+    def probe_update() -> str:
+        """Name of the attacker's dictionary-test candidate."""
+        return "u_probe"

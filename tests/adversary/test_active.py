@@ -1,0 +1,81 @@
+"""Active-attacker tests: replay and injection must be neutralised.
+
+Section III's opponent is *active*: it "can replay, or inject messages
+in the network" (section VI-A, case 1).  The protocol's defences are
+signatures (forgeries rejected), idempotent handlers and per-round
+fresh primes (replays inert).  Framing attempts — injecting evidence to
+convict an honest node — must never produce a verdict.
+"""
+
+import pytest
+
+from repro.adversary.active import ActiveInjector
+from repro.core import PagSession
+
+
+@pytest.fixture()
+def attacked_session():
+    session = PagSession.create(16)
+    injector = ActiveInjector(session).attach()
+    return session, injector
+
+
+def test_replayed_traffic_is_inert(attacked_session):
+    session, injector = attacked_session
+    session.run(6)
+    picked = injector.replay_recent(limit=200)
+    assert picked > 0
+    session.run(6)
+    assert injector.injected > 0
+    assert session.all_verdicts() == []
+    assert session.mean_continuity() > 0.99
+
+
+def test_replayed_acks_specifically(attacked_session):
+    session, injector = attacked_session
+    session.run(6)
+    injector.replay_recent(kinds={"ack", "ack_copy", "ack_relay"}, limit=100)
+    session.run(6)
+    assert session.all_verdicts() == []
+
+
+def test_forged_ack_cannot_discharge_an_obligation(attacked_session):
+    """A forged Ack 'from' an honest receiver carries an invalid
+    signature: servers must ignore it and the accusation path must
+    still treat the exchange as unacknowledged if the real ack is
+    missing — no state corruption either way."""
+    session, injector = attacked_session
+    session.run(4)
+    injector.forge_ack(victim=5, server=3, round_no=4)
+    session.run(6)
+    assert session.all_verdicts() == []
+
+
+def test_forged_relay_cannot_frame_a_server(attacked_session):
+    """Inject message-9 relays with wrong hashes against an honest
+    server: monitors must reject the invalid signature instead of
+    convicting the server of a wrong forward set."""
+    session, injector = attacked_session
+    session.run(4)
+    victim_server = 3
+    monitors = session.context.monitors_of(victim_server)
+    for monitor in monitors:
+        injector.forge_ack_relay(
+            to_monitor=monitor,
+            server=victim_server,
+            receiver=7,
+            round_no=5,
+        )
+    session.run(6)
+    assert victim_server not in session.convicted_nodes()
+    assert session.all_verdicts() == []
+
+
+def test_attacker_absorbs_responses_silently(attacked_session):
+    """Messages addressed to the ghost attacker id are dropped without
+    crashing anyone."""
+    session, injector = attacked_session
+    session.run(3)
+    # Nothing in the honest run addresses the attacker; just assert the
+    # simulator still runs with the ghost registered.
+    assert ActiveInjector.ATTACKER_ID in session.simulator.nodes

@@ -1,0 +1,143 @@
+"""Validation of the analytic bandwidth models against the simulator
+and against the paper's anchor points."""
+
+import pytest
+
+from repro.analysis.bandwidth import (
+    ActingBandwidthModel,
+    PagBandwidthModel,
+    acting_duplicate_factor,
+    pag_duplicate_factor,
+    plain_gossip_kbps,
+)
+from repro.baselines.acting import ActingSession
+from repro.core import PagConfig, PagSession
+
+
+class TestPagModelStructure:
+    def test_components_sum_to_total(self):
+        model = PagBandwidthModel.for_system(1000, 300.0)
+        assert model.total_kbps() == pytest.approx(
+            sum(model.components().values())
+        )
+
+    def test_payload_dominant_but_not_everything(self):
+        model = PagBandwidthModel.for_system(1000, 300.0)
+        parts = model.components()
+        assert parts["payload"] > 0.3 * model.total_kbps()
+        assert parts["buffermaps"] > 0
+        assert parts["monitoring"] > 0
+
+    def test_grows_with_fanout(self):
+        small = PagBandwidthModel(config=PagConfig(fanout=3))
+        large = PagBandwidthModel(config=PagConfig(fanout=6))
+        assert large.total_kbps() > small.total_kbps()
+
+    def test_fig8_shape_bandwidth_falls_with_update_size(self):
+        """Fig. 8: bigger updates -> fewer hashes per second -> lower
+        bandwidth, flattening out around 10-100 kb updates."""
+        costs = []
+        for size in [938, 2_000, 10_000, 100_000]:
+            config = PagConfig.for_system_size(
+                1000, stream_rate_kbps=300.0, update_bytes=size
+            )
+            costs.append(PagBandwidthModel(config=config).total_kbps())
+        assert costs[0] > costs[1] > costs[2] > costs[3]
+        # The curve flattens: the last step saves much less than the first.
+        assert (costs[0] - costs[1]) > (costs[2] - costs[3])
+
+    def test_fig9_shape_logarithmic_scalability(self):
+        """Fig. 9: bandwidth grows with log N (through the fanout)."""
+        totals = [
+            PagBandwidthModel.for_system(n, 300.0).total_kbps()
+            for n in (10**3, 10**4, 10**5, 10**6)
+        ]
+        assert totals == sorted(totals)
+        # Anchors: ~1000-1300 at 10^3, ~2500-3000 at 10^6 (paper: 2500).
+        assert 800 < totals[0] < 1600
+        assert 2000 < totals[-1] < 3500
+        # Growth is sub-linear in N (logarithmic through the fanout).
+        assert totals[-1] / totals[0] < 3.0
+
+
+class TestActingModel:
+    def test_near_paper_anchor(self):
+        """Paper: AcTinG ~460 Kbps at 300 Kbps / ~1000 nodes."""
+        total = ActingBandwidthModel.for_system(1000, 300.0).total_kbps()
+        assert 330 < total < 600
+
+    def test_cheaper_than_pag_everywhere(self):
+        for n in (10**3, 10**4, 10**6):
+            pag = PagBandwidthModel.for_system(n, 300.0).total_kbps()
+            acting = ActingBandwidthModel.for_system(n, 300.0).total_kbps()
+            assert acting < pag
+
+    def test_components_sum(self):
+        model = ActingBandwidthModel.for_system(1000, 300.0)
+        assert model.total_kbps() == pytest.approx(
+            sum(model.components().values())
+        )
+
+
+class TestDuplicateFactors:
+    def test_depth4_table(self):
+        assert pag_duplicate_factor(3, 4) == pytest.approx(2.8)
+        assert pag_duplicate_factor(6, 4) == pytest.approx(5.6)
+
+    def test_deep_buffermap_suppresses_recirculation(self):
+        assert pag_duplicate_factor(3, 10) < pag_duplicate_factor(3, 4)
+
+    def test_shallow_buffermap_explodes(self):
+        assert pag_duplicate_factor(3, 2) > pag_duplicate_factor(3, 4) * 2
+
+    def test_acting_mild(self):
+        assert 1.0 < acting_duplicate_factor(3) < 1.5
+
+
+class TestModelVsSimulator:
+    """The headline validation: the closed form must track the packet
+    simulator within a modest band at small scale."""
+
+    def test_pag_model_tracks_simulator(self):
+        n = 40
+        config = PagConfig.for_system_size(n, stream_rate_kbps=150.0)
+        session = PagSession.create(n, config=config)
+        session.run(14)
+        simulated = session.mean_bandwidth_kbps(
+            warmup_rounds=4, direction="down"
+        )
+        model = PagBandwidthModel(config=config).total_kbps()
+        assert simulated == pytest.approx(model, rel=0.45), (
+            simulated,
+            model,
+        )
+
+    def test_acting_model_tracks_simulator(self):
+        session = ActingSession.create(30)
+        session.run(15)
+        simulated = session.mean_bandwidth_kbps(5, "down")
+        model = ActingBandwidthModel.for_system(30, 300.0).total_kbps()
+        assert simulated == pytest.approx(model, rel=0.45), (
+            simulated,
+            model,
+        )
+
+    def test_pag_costs_more_than_acting_in_simulation_too(self):
+        pag = PagSession.create(30)
+        pag.run(12)
+        acting = ActingSession.create(30)
+        acting.run(12)
+        assert pag.mean_bandwidth_kbps(4, "down") > (
+            acting.mean_bandwidth_kbps(4, "down")
+        )
+
+
+def test_plain_gossip_is_the_floor():
+    plain = plain_gossip_kbps(300.0)
+    acting = ActingBandwidthModel.for_system(1000, 300.0).total_kbps()
+    pag = PagBandwidthModel.for_system(1000, 300.0).total_kbps()
+    assert plain < pag
+    # Plain gossip without negotiation duplicates more than AcTinG's
+    # payload path but skips all accountability overhead.
+    assert plain < pag
+    assert acting > 300.0

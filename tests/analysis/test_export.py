@@ -1,0 +1,64 @@
+"""Tests for the results exporter."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.export import EXPORTERS, export_all
+
+
+@pytest.fixture(scope="module")
+def artefacts(tmp_path_factory):
+    out = tmp_path_factory.mktemp("results")
+    return export_all(out), out
+
+
+def test_every_exporter_writes_a_file(artefacts):
+    written, out = artefacts
+    assert set(written) == set(EXPORTERS)
+    for path in written.values():
+        assert path.exists()
+        assert path.stat().st_size > 0
+
+
+def test_fig9_csv_is_well_formed(artefacts):
+    written, _ = artefacts
+    with written["fig9"].open() as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == 4
+    assert rows[0]["nodes"] == "1000"
+    for row in rows:
+        assert float(row["pag_kbps"]) > float(row["acting_kbps"])
+
+
+def test_fig10_fractions_cover_unit_interval(artefacts):
+    written, _ = artefacts
+    with written["fig10"].open() as handle:
+        rows = list(csv.DictReader(handle))
+    fractions = [float(r["attacker_fraction"]) for r in rows]
+    assert fractions[0] == 0.0
+    assert fractions[-1] == 1.0
+
+
+def test_table2_json_structure(artefacts):
+    written, _ = artefacts
+    payload = json.loads(written["table2"].read_text())
+    assert set(payload) == {"PAG", "AcTinG", "RAC"}
+    assert all(cell["quality"] is None for cell in payload["RAC"])
+
+
+def test_table1_signature_constant_in_csv(artefacts):
+    written, _ = artefacts
+    with written["table1"].open() as handle:
+        rows = list(csv.DictReader(handle))
+    assert all(float(r["signatures_per_s"]) == 33.0 for r in rows)
+
+
+def test_cli_export_command(tmp_path, capsys):
+    from repro.cli import main
+
+    assert main(["export", "--out", str(tmp_path / "r")]) == 0
+    out = capsys.readouterr().out
+    assert "fig9" in out
+    assert (tmp_path / "r" / "fig9_scalability.csv").exists()

@@ -1,0 +1,81 @@
+"""Executable Nash-equilibrium check (section VI-B).
+
+"Our analysis shows that PAG is a Nash equilibrium, which means that
+selfish nodes have no interest in deviating from the protocol."  Every
+deviation in the catalogue must be unprofitable under the utility model.
+"""
+
+import pytest
+
+from repro.adversary.selfish import (
+    ContactAvoider,
+    DeclarationSkipper,
+    FreeRider,
+    PartialForwarder,
+    SilentReceiver,
+    StealthyFreeRider,
+)
+from repro.analysis.nash import UtilityModel, evaluate_deviation
+
+DEVIATIONS = [
+    FreeRider(),
+    PartialForwarder(keep_fraction=0.5, seed=1),
+    SilentReceiver(),
+    DeclarationSkipper(),
+    ContactAvoider(),
+    StealthyFreeRider(drop_every=4),
+]
+
+
+class TestUtilityModel:
+    def test_utility_arithmetic(self):
+        model = UtilityModel(
+            benefit_per_continuity=100.0, cost_per_kbps=0.01, punishment=50.0
+        )
+        assert model.utility(1.0, 1000.0, convicted=False) == pytest.approx(
+            90.0
+        )
+        assert model.utility(1.0, 1000.0, convicted=True) == pytest.approx(
+            40.0
+        )
+        assert model.utility(0.0, 0.0, convicted=False) == 0.0
+
+
+@pytest.mark.parametrize(
+    "behavior", DEVIATIONS, ids=[type(b).__name__ for b in DEVIATIONS]
+)
+def test_no_deviation_is_profitable(behavior):
+    outcome = evaluate_deviation(behavior, n_nodes=20, rounds=16)
+    assert outcome.deviant_convicted, (
+        f"{outcome.deviation} was never convicted"
+    )
+    assert not outcome.deviation_profitable, (
+        f"{outcome.deviation}: deviant utility "
+        f"{outcome.deviant_utility:.1f} exceeds correct utility "
+        f"{outcome.correct_utility:.1f} — Nash equilibrium falsified"
+    )
+
+
+def test_bandwidth_saving_is_real_but_dominated():
+    """The temptation exists (free-riding does save bandwidth), yet the
+    punishment dominates — the exact structure of the incentive
+    argument."""
+    outcome = evaluate_deviation(FreeRider(), n_nodes=20, rounds=16)
+    assert outcome.bandwidth_saved_kbps > 0
+    saving_value = (
+        UtilityModel().cost_per_kbps * outcome.bandwidth_saved_kbps
+    )
+    assert UtilityModel().punishment > saving_value
+
+
+def test_without_punishment_deviation_would_pay():
+    """Sanity check that the equilibrium hinges on detection: with a
+    toothless monitor (zero punishment), free-riding is profitable —
+    which is exactly why plain gossip degrades (section I)."""
+    model = UtilityModel(punishment=0.0)
+    outcome = evaluate_deviation(
+        FreeRider(), n_nodes=20, rounds=16, model=model
+    )
+    # The deviant still watches the stream (R1 satisfied by others'
+    # serves) while paying less upload.
+    assert outcome.deviant_utility > outcome.correct_utility - 1e-6

@@ -1,0 +1,85 @@
+"""Tests for the RAC baseline and its capacity model."""
+
+import pytest
+
+from repro.baselines.rac import (
+    RAC_OVERHEAD_CALIBRATION,
+    RacConfig,
+    RacSession,
+    rac_max_payload_kbps,
+    rac_per_node_kbps,
+)
+
+
+class TestRacSimulation:
+    @pytest.fixture(scope="class")
+    def session(self):
+        s = RacSession.create(15)
+        s.run(8)
+        return s
+
+    def test_payload_reaches_everyone(self, session):
+        """Exit broadcast floods the membership: all nodes receive the
+        anonymous stream."""
+        delivered = sum(
+            1 for n in session.nodes.values() if len(n.store) > 0
+        )
+        assert delivered == len(session.nodes)
+
+    def test_bandwidth_scales_with_membership(self):
+        """Per-node bandwidth grows roughly linearly with N — the
+        structural reason RAC cannot stream (Table II)."""
+        small = RacSession.create(10)
+        small.run(6)
+        large = RacSession.create(20)
+        large.run(6)
+        bw_small = small.mean_bandwidth_kbps(2)
+        bw_large = large.mean_bandwidth_kbps(2)
+        ratio = bw_large / bw_small
+        assert 1.5 < ratio < 3.0  # ~2x for 2x nodes
+
+    def test_cover_traffic_flows_even_without_content(self):
+        config = RacConfig(cells_per_round=2)
+        s = RacSession.create(8, config)
+        s.source.stream_updates_per_round = 0  # silence the source
+        s.run(5)
+        assert s.mean_bandwidth_kbps() > 0
+
+
+class TestCapacityModel:
+    def test_calibration_anchor(self):
+        """The paper's measured point: 63 Kbps payload on 10 Gbps links
+        with 1000 nodes."""
+        got = rac_max_payload_kbps(10_000_000, 1000)
+        assert got == pytest.approx(63.0, rel=0.01)
+
+    def test_no_link_in_table2_supports_streaming(self):
+        """RAC's Table II row is ∅ everywhere: even 10 Gbps cannot carry
+        the minimum 300 Kbps stream."""
+        from repro.streaming.video import LINK_CAPACITIES_KBPS
+
+        for capacity in LINK_CAPACITIES_KBPS.values():
+            assert rac_max_payload_kbps(capacity, 1000) < 80.0
+
+    def test_cost_is_linear_in_payload_and_nodes(self):
+        base = rac_per_node_kbps(10.0, 100)
+        assert rac_per_node_kbps(20.0, 100) == pytest.approx(2 * base)
+        assert rac_per_node_kbps(10.0, 200) == pytest.approx(2 * base)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rac_per_node_kbps(10.0, 1)
+
+    def test_model_and_simulation_agree_on_shape(self):
+        """The simulated per-node bandwidth should scale with N times
+        the cell rate, like the model's structural term."""
+        s10 = RacSession.create(10)
+        s10.run(6)
+        bw = s10.mean_bandwidth_kbps(2)
+        cfg = s10.config
+        # Structural floor: every node's cells broadcast to everyone:
+        # N * cells_per_round * cell_size per round, shared across links.
+        floor = (
+            10 * cfg.cells_per_round * cfg.cell_bytes * 8 / 1000.0
+        )
+        assert bw > floor * 0.5

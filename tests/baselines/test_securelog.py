@@ -1,0 +1,95 @@
+"""Tests for the tamper-evident secure log."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.securelog import (
+    LOG_ENTRY_WIRE_BYTES,
+    SecureLog,
+    verify_segment,
+)
+
+
+def make_log(n=5):
+    log = SecureLog(node_id=1)
+    for i in range(n):
+        kind = "SND" if i % 2 == 0 else "RCV"
+        log.append(kind, round_no=i, partner=10 + i, update_uids=[i, i + 1])
+    return log
+
+
+class TestAppend:
+    def test_sequencing(self):
+        log = make_log(3)
+        assert [e.seq for e in log.entries] == [0, 1, 2]
+        assert len(log) == 3
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(ValueError):
+            SecureLog(1).append("XXX", 0, 2, [])
+
+    def test_chain_links(self):
+        log = make_log(3)
+        assert log.entries[1].prev_hash == log.entries[0].chain_hash()
+        assert log.entries[2].prev_hash == log.entries[1].chain_hash()
+
+    def test_uids_stored_sorted(self):
+        log = SecureLog(1)
+        entry = log.append("SND", 0, 2, [5, 1, 3])
+        assert entry.update_uids == (1, 3, 5)
+
+
+class TestVerify:
+    def test_honest_segment_verifies(self):
+        log = make_log(6)
+        assert verify_segment(log.segment(0))
+        assert verify_segment(log.segment(3))
+
+    def test_tampered_content_detected(self):
+        log = make_log(4)
+        entries = log.segment(0)
+        forged = dataclasses.replace(entries[1], partner=999)
+        assert not verify_segment(
+            [entries[0], forged, entries[2], entries[3]]
+        )
+
+    def test_dropped_entry_detected(self):
+        log = make_log(4)
+        entries = log.segment(0)
+        assert not verify_segment([entries[0], entries[2], entries[3]])
+
+    def test_expected_prev_anchors_history(self):
+        """An authenticator pins the chain: the node cannot rewrite
+        entries before a head it already committed to."""
+        log = make_log(4)
+        head_after_2 = log.entries[1].chain_hash()
+        assert verify_segment(log.segment(2), expected_prev=head_after_2)
+        assert not verify_segment(
+            log.segment(2), expected_prev=b"\x00" * 32
+        )
+
+    def test_empty_segment_ok(self):
+        assert verify_segment([])
+
+
+def test_segment_wire_bytes():
+    log = make_log(5)
+    assert log.segment_wire_bytes(2) == 3 * LOG_ENTRY_WIRE_BYTES
+
+
+def test_entries_for_round():
+    log = make_log(5)
+    assert [e.seq for e in log.entries_for_round(2)] == [2]
+
+
+@given(st.lists(st.integers(0, 100), min_size=1, max_size=20))
+@settings(max_examples=40)
+def test_chain_property_any_suffix_verifies(uids):
+    log = SecureLog(1)
+    for i, uid in enumerate(uids):
+        log.append("SND" if uid % 2 else "RCV", i, uid % 7, [uid])
+    for start in range(len(uids)):
+        assert verify_segment(log.segment(start))

@@ -1,0 +1,100 @@
+"""Tests for the session context and the verdict log."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accusations import FaultReason, Verdict, VerdictLog
+from repro.core.config import PagConfig
+from repro.core.context import PagContext
+from repro.membership.directory import Directory
+
+
+@pytest.fixture()
+def context():
+    return PagContext.build(
+        PagConfig(), Directory.of_size(12, source_id=0)
+    )
+
+
+class TestPagContext:
+    def test_build_wires_views_to_config(self, context):
+        assert context.views.fanout == context.config.fanout
+        assert len(context.views.monitors(3)) == (
+            context.config.monitors_per_node
+        )
+
+    def test_modulus_is_composite_and_sized(self, context):
+        bits = context.hasher.modulus.bit_length()
+        assert bits <= context.config.sim_modulus_bits
+        assert bits >= context.config.sim_modulus_bits - 8
+
+    def test_source_identity(self, context):
+        assert context.source_id == 0
+        assert not context.is_monitored(0)
+        assert context.is_monitored(5)
+
+    def test_source_required(self):
+        context = PagContext.build(
+            PagConfig(), Directory.of_size(12, source_id=0)
+        )
+        context.directory.source_id = None
+        with pytest.raises(ValueError):
+            _ = context.source_id
+
+    def test_prime_rngs_differ_per_node(self, context):
+        a = context.prime_rng(1).random()
+        b = context.prime_rng(2).random()
+        assert a != b
+
+    def test_counters(self, context):
+        context.counters_encrypt()
+        context.counters_decrypt()
+        assert context.counters.encryptions == 1
+        assert context.counters.decryptions == 1
+
+
+verdicts_strategy = st.lists(
+    st.builds(
+        Verdict,
+        node=st.integers(min_value=0, max_value=5),
+        reason=st.sampled_from(list(FaultReason)),
+        exchange_round=st.integers(min_value=0, max_value=4),
+        detected_by=st.integers(min_value=0, max_value=5),
+        evidence=st.just(""),
+    ),
+    max_size=40,
+)
+
+
+class TestVerdictLog:
+    def test_dedup_by_node_reason_round(self):
+        log = VerdictLog()
+        v = Verdict(1, FaultReason.WRONG_FORWARD_SET, 3, detected_by=9)
+        assert log.record(v)
+        same_fault_other_monitor = Verdict(
+            1, FaultReason.WRONG_FORWARD_SET, 3, detected_by=4
+        )
+        assert not log.record(same_fault_other_monitor)
+        assert len(log) == 1
+
+    def test_against_and_guilty(self):
+        log = VerdictLog()
+        log.record(Verdict(1, FaultReason.OMISSION_TO_SERVE, 0, 9))
+        log.record(Verdict(2, FaultReason.REFUSED_RECEPTION, 1, 9))
+        assert len(log.against(1)) == 1
+        assert log.guilty_nodes() == {1, 2}
+
+    @given(verdicts_strategy)
+    @settings(max_examples=50)
+    def test_log_properties(self, verdicts):
+        log = VerdictLog()
+        for v in verdicts:
+            log.record(v)
+        keys = {
+            (v.node, v.reason, v.exchange_round) for v in verdicts
+        }
+        assert len(log) == len(keys)
+        assert log.guilty_nodes() == {v.node for v in verdicts}
+        # Iteration yields exactly the recorded verdicts.
+        assert len(list(log)) == len(log)

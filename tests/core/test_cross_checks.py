@@ -1,0 +1,77 @@
+"""Section V-B monitor cross-checks: catching lying monitors.
+
+"To check that monitors correctly compute and forward the hashes of
+updates, nodes can compute this value and send it to their monitors.
+Monitors are then able to check each other's correctness."
+"""
+
+import pytest
+
+from repro.adversary.selfish import LyingMonitor
+from repro.core import FaultReason, PagConfig, PagSession
+
+
+def run_with_liar(cross_checks: bool, n=20, rounds=12, seed=20160627):
+    config = PagConfig(monitor_cross_checks=cross_checks, seed=seed)
+    # Make some node a lying monitor; pick one that actually monitors
+    # someone (all consumers do).
+    session = PagSession.create(
+        n, config=config, behaviors={6: LyingMonitor()}
+    )
+    session.run(rounds)
+    return session
+
+
+def test_honest_run_with_cross_checks_is_clean():
+    config = PagConfig(monitor_cross_checks=True)
+    session = PagSession.create(16, config=config)
+    session.run(10)
+    assert session.all_verdicts() == []
+    assert session.mean_continuity() > 0.99
+
+
+def test_cross_checks_convict_the_lying_monitor():
+    session = run_with_liar(cross_checks=True)
+    verdicts = session.all_verdicts()
+    liar_verdicts = [
+        v
+        for v in verdicts
+        if v.node == 6 and v.reason is FaultReason.MONITOR_MISBEHAVIOR
+    ]
+    assert liar_verdicts, "the lying monitor escaped"
+    # And nobody it monitored was framed.
+    framed = [
+        v
+        for v in verdicts
+        if v.reason is FaultReason.WRONG_FORWARD_SET and v.node != 6
+    ]
+    assert not framed, f"honest nodes framed: {framed}"
+
+
+def test_without_cross_checks_the_liar_can_frame():
+    """The ablation that shows why the mechanism exists: without the
+    self-checks, the corrupted broadcasts poison the other monitors'
+    obligations and an honest node gets convicted."""
+    session = run_with_liar(cross_checks=False)
+    victims = {
+        v.node
+        for v in session.all_verdicts()
+        if v.reason is FaultReason.WRONG_FORWARD_SET
+    }
+    monitored_by_liar = set(session.context.views.monitored_by(6))
+    assert victims & monitored_by_liar, (
+        "expected the liar's victims to be framed without cross-checks"
+    )
+
+
+def test_cross_checks_cost_is_modest():
+    plain = PagSession.create(16, config=PagConfig())
+    plain.run(10)
+    checked = PagSession.create(
+        16, config=PagConfig(monitor_cross_checks=True)
+    )
+    checked.run(10)
+    base = plain.mean_bandwidth_kbps(3, direction="down")
+    with_checks = checked.mean_bandwidth_kbps(3, direction="down")
+    assert with_checks > base  # the messages are real
+    assert with_checks / base < 1.25  # ...and small

@@ -1,0 +1,133 @@
+"""End-to-end tests of a PAG session with all-correct nodes."""
+
+import pytest
+
+from repro.core import PagConfig, PagSession
+from repro.sim.trace import TraceRecorder
+
+
+@pytest.fixture(scope="module")
+def session():
+    s = PagSession.create(24)
+    tap = TraceRecorder()
+    s.simulator.network.add_tap(tap)
+    s.run(14)
+    s._tap = tap
+    return s
+
+
+class TestHonestRun:
+    def test_no_verdicts_against_correct_nodes(self, session):
+        assert session.all_verdicts() == []
+
+    def test_stream_is_watchable(self, session):
+        assert session.mean_continuity() > 0.99
+
+    def test_every_node_gets_every_due_chunk(self, session):
+        for node_id in list(session.nodes)[:5]:
+            report = session.playback_report(node_id)
+            assert report.chunks_missing == 0
+
+    def test_bandwidth_above_stream_rate(self, session):
+        mean_down = session.mean_bandwidth_kbps(
+            warmup_rounds=4, direction="down"
+        )
+        # A 300 Kbps stream cannot be received for less.
+        assert mean_down > 300.0
+        # And the PAG overhead stays within sane bounds (paper: ~3.5x
+        # in deployment, ~7x in large simulations).
+        assert mean_down < 300.0 * 10
+
+    def test_all_exchange_message_kinds_flow(self, session):
+        kinds = session._tap.kinds()
+        for kind in [
+            "key_request",
+            "key_response",
+            "serve",
+            "attestation",
+            "ack",
+            "ack_copy",
+            "attestation_relay",
+            "monitor_broadcast",
+            "ack_relay",
+        ]:
+            assert kinds[kind] > 0, kind
+
+    def test_no_failure_path_traffic_in_honest_run(self, session):
+        kinds = session._tap.kinds()
+        for kind in ["accusation", "monitor_probe", "nack"]:
+            assert kinds[kind] == 0, kind
+
+    def test_crypto_operations_counted(self, session):
+        report = session.crypto_report()
+        assert report["signatures"] > 0
+        assert report["homomorphic_hashes"] > 0
+        assert report["prime_generations"] > 0
+        assert report["encryptions"] > 0
+
+    def test_signature_rate_matches_table1_formula(self, session):
+        """The paper's constant: 33 signatures/s per node at f=fm=3."""
+        from repro.analysis.costs import signatures_per_second
+
+        report = session.crypto_report()
+        # Count over consumers and rounds; source and warmup skew the
+        # constant slightly, so allow a generous band.
+        per_node_per_round = report["signatures"] / (
+            len(session.nodes) * session.current_round
+        )
+        expected = signatures_per_second(3, 3)
+        assert expected * 0.5 < per_node_per_round < expected * 1.5
+
+
+class TestSessionConstruction:
+    def test_default_config_uses_size_fanout(self):
+        s = PagSession.create(12)
+        assert s.context.config.fanout == 3
+
+    def test_custom_config_respected(self):
+        cfg = PagConfig(fanout=4, monitors_per_node=5)
+        s = PagSession.create(30, config=cfg)
+        assert s.context.config.fanout == 4
+        assert len(s.context.views.monitors(3)) == 5
+
+    def test_source_is_node_zero_and_unmonitored(self):
+        s = PagSession.create(12)
+        assert s.source.node_id == 0
+        assert not s.context.is_monitored(0)
+
+    def test_deterministic_given_seed(self):
+        a = PagSession.create(12)
+        a.run(6)
+        b = PagSession.create(12)
+        b.run(6)
+        assert a.bandwidth_kbps() == b.bandwidth_kbps()
+
+    def test_different_seeds_differ(self):
+        a = PagSession.create(12, config=PagConfig(seed=1))
+        a.run(6)
+        b = PagSession.create(12, config=PagConfig(seed=2))
+        b.run(6)
+        assert a.bandwidth_kbps() != b.bandwidth_kbps()
+
+
+class TestExpiration:
+    def test_stores_are_bounded(self):
+        s = PagSession.create(12)
+        s.run(20)
+        for node in s.nodes.values():
+            # Payload buffer retains at most ~TTL rounds of chunks.
+            ttl = s.context.config.playout_delay_rounds
+            per_round = 300_000 / (938 * 8)
+            assert len(node.store) <= per_round * (ttl + 2)
+
+    def test_no_expired_chunk_is_ever_served(self):
+        s = PagSession.create(12)
+        tap = TraceRecorder(keep_messages=True)
+        s.simulator.network.add_tap(tap)
+        s.run(16)
+        from repro.core.messages import Serve
+
+        for message in tap.messages:
+            if isinstance(message, Serve):
+                for entry in message.entries:
+                    assert not entry.update.is_expired(message.round_no)

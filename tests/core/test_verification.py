@@ -1,0 +1,143 @@
+"""Tests for the homomorphic bookkeeping helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.messages import ServeEntry
+from repro.core.verification import (
+    ack_hash,
+    combine_lifted,
+    entries_product,
+    hash_entries,
+    lift_attested,
+    serve_hashes,
+)
+from repro.crypto.homomorphic import fresh_hasher
+from repro.crypto.primes import generate_distinct_primes, product
+from repro.gossip.updates import Update
+
+import random
+
+
+def entry(uid, count=1, ack_only=False, payload=True):
+    return ServeEntry(
+        update=Update(uid=uid, round_created=0, expiry_round=10),
+        count=count,
+        has_payload=payload,
+        ack_only=ack_only,
+    )
+
+
+@pytest.fixture()
+def hasher():
+    return fresh_hasher(bits=128, seed=3)
+
+
+class TestEntriesProduct:
+    def test_empty_is_one(self, hasher):
+        assert entries_product(hasher, []) == 1
+
+    def test_multiplicity_is_exponent(self, hasher):
+        single = entries_product(hasher, [entry(1, count=1)])
+        double = entries_product(hasher, [entry(1, count=2)])
+        content = entry(1).update.content % hasher.modulus
+        assert double == (single * content) % hasher.modulus
+
+    def test_order_independent(self, hasher):
+        a = entries_product(hasher, [entry(1), entry(2)])
+        b = entries_product(hasher, [entry(2), entry(1)])
+        assert a == b
+
+
+class TestServeHashes:
+    def test_splits_forward_and_ack_only(self, hasher):
+        entries = [entry(1), entry(2, ack_only=True)]
+        fwd, ack = serve_hashes(hasher, entries, 65537)
+        assert fwd == hash_entries(hasher, [entries[0]], 65537)
+        assert ack == hash_entries(hasher, [entries[1]], 65537)
+
+    def test_empty_lists_hash_to_identity(self, hasher):
+        fwd, ack = serve_hashes(hasher, [], 65537)
+        assert fwd == 1
+        assert ack == 1
+
+
+class TestLiftAndCombine:
+    def test_lift_is_rekey(self, hasher):
+        h = hash_entries(hasher, [entry(1)], 101)
+        assert lift_attested(hasher, h, 103) == hash_entries(
+            hasher, [entry(1)], 101 * 103
+        )
+
+    def test_lift_identity_stays_identity(self, hasher):
+        assert lift_attested(hasher, 1, 99991) == 1
+
+    def test_monitor_pipeline_equals_direct_hash(self, hasher):
+        """The full section V-C pipeline: per-predecessor attestations,
+        lifted by cofactors, combined — must equal the successor's ack
+        over the union under the round key."""
+        rng = random.Random(7)
+        p1, p2, p3 = generate_distinct_primes(3, 32, rng)
+        s1 = [entry(1, count=1), entry(2, count=2)]
+        s2 = [entry(3, count=1)]
+        s3 = [entry(4, count=3)]
+        key = p1 * p2 * p3
+        lifted = [
+            lift_attested(hasher, hash_entries(hasher, s1, p1), p2 * p3),
+            lift_attested(hasher, hash_entries(hasher, s2, p2), p1 * p3),
+            lift_attested(hasher, hash_entries(hasher, s3, p3), p1 * p2),
+        ]
+        obligation = combine_lifted(hasher, lifted)
+        successor_ack = ack_hash(hasher, s1 + s2 + s3, key)
+        assert obligation == successor_ack
+
+    def test_tampered_set_breaks_the_pipeline(self, hasher):
+        rng = random.Random(8)
+        p1, p2 = generate_distinct_primes(2, 32, rng)
+        s1, s2 = [entry(1)], [entry(2)]
+        lifted = [
+            lift_attested(hasher, hash_entries(hasher, s1, p1), p2),
+            lift_attested(hasher, hash_entries(hasher, s2, p2), p1),
+        ]
+        obligation = combine_lifted(hasher, lifted)
+        # Forwarding a different set cannot match.
+        forged = ack_hash(hasher, [entry(1), entry(9)], p1 * p2)
+        assert obligation != forged
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=50),
+            st.integers(min_value=1, max_value=4),
+        ),
+        min_size=1,
+        max_size=6,
+        unique_by=lambda t: t[0],
+    ),
+    st.integers(min_value=2, max_value=5),
+    st.data(),
+)
+@settings(max_examples=30, deadline=None)
+def test_pipeline_property(update_specs, n_preds, data):
+    """Arbitrary update sets split across arbitrary predecessors still
+    satisfy the verification equation."""
+    hasher = fresh_hasher(bits=128, seed=11)
+    rng = random.Random(data.draw(st.integers(0, 2**32)))
+    primes = generate_distinct_primes(n_preds, 32, rng)
+    entries = [entry(uid, count=c) for uid, c in update_specs]
+    # Partition entries across predecessors.
+    per_pred = [[] for _ in range(n_preds)]
+    for idx, e in enumerate(entries):
+        per_pred[idx % n_preds].append(e)
+    key = product(primes)
+    lifted = []
+    for i, batch in enumerate(per_pred):
+        cofactor = product(p for j, p in enumerate(primes) if j != i)
+        lifted.append(
+            lift_attested(
+                hasher, hash_entries(hasher, batch, primes[i]), cofactor
+            )
+        )
+    assert combine_lifted(hasher, lifted) == ack_hash(hasher, entries, key)

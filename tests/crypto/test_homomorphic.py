@@ -1,0 +1,196 @@
+"""Tests for the homomorphic hash: the exact identities of section IV-B."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.homomorphic import (
+    HomomorphicHasher,
+    fresh_hasher,
+    make_modulus,
+)
+from repro.crypto.primes import generate_distinct_primes, product
+
+
+@pytest.fixture(scope="module")
+def hasher():
+    return fresh_hasher(bits=256, seed=11)
+
+
+updates_strategy = st.lists(
+    st.integers(min_value=2, max_value=2**128), min_size=1, max_size=5
+)
+
+
+def test_make_modulus_size():
+    m = make_modulus(256, random.Random(3))
+    assert 250 <= m.bit_length() <= 256
+
+
+def test_modulus_must_be_composite():
+    with pytest.raises(ValueError):
+        HomomorphicHasher(modulus=101)  # prime
+    with pytest.raises(ValueError):
+        HomomorphicHasher(modulus=2)
+
+
+def test_hash_is_deterministic(hasher):
+    assert hasher.hash(123456, 65537) == hasher.hash(123456, 65537)
+
+
+def test_hash_rejects_nonpositive_exponent(hasher):
+    with pytest.raises(ValueError):
+        hasher.hash(5, 0)
+    with pytest.raises(ValueError):
+        hasher.hash(5, -7)
+
+
+def test_product_property(hasher):
+    """H(u1) * H(u2) == H(u1 * u2) under the same exponent."""
+    u1, u2, p = 0xDEADBEEF, 0xCAFEBABE, 65537
+    lhs = (hasher.hash(u1, p) * hasher.hash(u2, p)) % hasher.modulus
+    rhs = hasher.hash(u1 * u2, p)
+    assert lhs == rhs
+
+
+def test_rekey_property(hasher):
+    """H(H(u)_(p1))_(p2) == H(u)_(p1*p2)."""
+    u, p1, p2 = 0x1234567890, 101, 257
+    assert hasher.rekey(hasher.hash(u, p1), p2) == hasher.hash(u, p1 * p2)
+
+
+def test_hash_set_equals_hash_of_product(hasher):
+    updates = [11, 22, 33, 44]
+    p = 65537
+    prod = 1
+    for u in updates:
+        prod *= u
+    assert hasher.hash_set(updates, p) == hasher.hash(prod, p)
+
+
+def test_hash_set_empty_is_identity(hasher):
+    assert hasher.hash_set([], 65537) == 1
+
+
+def test_combine_is_modular_product(hasher):
+    values = [hasher.hash(u, 13) for u in (5, 7, 9)]
+    expected = 1
+    for v in values:
+        expected = (expected * v) % hasher.modulus
+    assert hasher.combine(values) == expected
+
+
+def test_combine_empty(hasher):
+    assert hasher.combine([]) == 1
+
+
+def test_operation_counter(hasher):
+    hasher.reset_counter()
+    hasher.hash(5, 3)
+    hasher.hash_set([2, 3], 5)
+    hasher.rekey(7, 11)
+    assert hasher.reset_counter() == 3
+    assert hasher.operations == 0
+
+
+def test_byte_size(hasher):
+    assert hasher.byte_size == (hasher.modulus.bit_length() + 7) // 8
+
+
+class TestForwardingEquation:
+    """End-to-end check of the monitors' verification (Fig. 4 / section V-B).
+
+    Node B receives S_1 from A (hashed under p_1) and S_2 from F (under
+    p_2), forwards everything to D, and D acknowledges under p_1 * p_2.
+    B's monitors must accept; any tampering must be rejected.
+    """
+
+    def setup_method(self):
+        self.hasher = fresh_hasher(bits=256, seed=21)
+        rng = random.Random(99)
+        self.p1, self.p2, self.p3 = generate_distinct_primes(3, 64, rng)
+        self.s1 = [1001, 1003]  # updates from predecessor A
+        self.s2 = [2001]  # updates from predecessor F
+        self.s3 = [3001, 3003]  # updates from predecessor G
+
+    def _attested(self, sets_and_primes):
+        all_primes = [p for _, p in sets_and_primes]
+        attested = []
+        for updates, p in sets_and_primes:
+            cofactor = product(q for q in all_primes if q != p)
+            attested.append((self.hasher.hash_set(updates, p), cofactor))
+        return attested, product(all_primes)
+
+    def test_honest_forwarding_accepted(self):
+        attested, key = self._attested(
+            [(self.s1, self.p1), (self.s2, self.p2)]
+        )
+        ack = self.hasher.hash_set(self.s1 + self.s2, key)
+        assert self.hasher.verify_forwarding(attested, ack)
+
+    def test_three_predecessors_accepted(self):
+        attested, key = self._attested(
+            [(self.s1, self.p1), (self.s2, self.p2), (self.s3, self.p3)]
+        )
+        ack = self.hasher.hash_set(self.s1 + self.s2 + self.s3, key)
+        assert self.hasher.verify_forwarding(attested, ack)
+
+    def test_dropped_update_rejected(self):
+        attested, key = self._attested(
+            [(self.s1, self.p1), (self.s2, self.p2)]
+        )
+        # B selfishly forwards only s1 — the ack no longer matches.
+        ack = self.hasher.hash_set(self.s1, key)
+        assert not self.hasher.verify_forwarding(attested, ack)
+
+    def test_substituted_update_rejected(self):
+        attested, key = self._attested(
+            [(self.s1, self.p1), (self.s2, self.p2)]
+        )
+        forged = self.s1 + [9999]  # replace F's update with junk
+        ack = self.hasher.hash_set(forged, key)
+        assert not self.hasher.verify_forwarding(attested, ack)
+
+    def test_wrong_key_rejected(self):
+        attested, _ = self._attested([(self.s1, self.p1), (self.s2, self.p2)])
+        ack = self.hasher.hash_set(self.s1 + self.s2, self.p1 * self.p3)
+        assert not self.hasher.verify_forwarding(attested, ack)
+
+
+@given(updates_strategy, updates_strategy, st.data())
+@settings(max_examples=40, deadline=None)
+def test_forwarding_equation_property(set_a, set_f, data):
+    """The verification equation holds for arbitrary update sets."""
+    hasher = fresh_hasher(bits=128, seed=5)
+    rng = random.Random(data.draw(st.integers(0, 2**32)))
+    p_a, p_f = generate_distinct_primes(2, 32, rng)
+    attested = [
+        (hasher.hash_set(set_a, p_a), p_f),
+        (hasher.hash_set(set_f, p_f), p_a),
+    ]
+    ack = hasher.hash_set(set_a + set_f, p_a * p_f)
+    assert hasher.verify_forwarding(attested, ack)
+
+
+@given(
+    st.integers(min_value=2, max_value=2**256),
+    st.integers(min_value=2, max_value=2**64),
+    st.integers(min_value=2, max_value=2**64),
+)
+@settings(max_examples=100, deadline=None)
+def test_rekey_property_holds_for_arbitrary_inputs(u, e1, e2):
+    hasher = fresh_hasher(bits=128, seed=6)
+    assert hasher.rekey(hasher.hash(u, e1), e2) == hasher.hash(u, e1 * e2)
+
+
+@given(updates_strategy, st.integers(min_value=2, max_value=2**32))
+@settings(max_examples=100, deadline=None)
+def test_hash_set_order_independent(updates, exponent):
+    """Multiplication commutes, so reception order cannot matter."""
+    hasher = fresh_hasher(bits=128, seed=7)
+    shuffled = list(reversed(updates))
+    assert hasher.hash_set(updates, exponent) == hasher.hash_set(
+        shuffled, exponent
+    )

@@ -1,0 +1,81 @@
+"""Tests for the key directory and crypto counters."""
+
+import random
+
+import pytest
+
+from repro.crypto.keystore import (
+    CryptoCounters,
+    KeyStore,
+    check_signed_blob,
+    signed_blob,
+)
+
+
+@pytest.fixture()
+def store():
+    return KeyStore(key_bits=384, rng=random.Random(5))
+
+
+class TestKeyStore:
+    def test_register_is_idempotent(self, store):
+        first = store.register(7)
+        second = store.register(7)
+        assert first is second
+        assert len(store) == 1
+
+    def test_public_key_registers_on_demand(self, store):
+        key = store.public_key(3)
+        assert 3 in store
+        assert key == store.register(3).public
+
+    def test_key_pair_requires_registration(self, store):
+        with pytest.raises(KeyError):
+            store.key_pair(99)
+        store.register(99)
+        assert store.key_pair(99).public.modulus > 0
+
+    def test_distinct_nodes_distinct_keys(self, store):
+        assert store.public_key(1) != store.public_key(2)
+
+    def test_known_nodes_sorted(self, store):
+        store.register(5)
+        store.register(2)
+        assert store.known_nodes() == [2, 5]
+
+    def test_deterministic_under_seed(self):
+        a = KeyStore(key_bits=256, rng=random.Random(1))
+        b = KeyStore(key_bits=256, rng=random.Random(1))
+        assert a.public_key(1) == b.public_key(1)
+
+
+class TestSignedBlobs:
+    def test_roundtrip_and_counting(self, store):
+        counters = CryptoCounters()
+        payload, signature = signed_blob(store, 4, b"hello", counters)
+        assert payload == b"hello"
+        assert counters.signatures == 1
+        assert check_signed_blob(store, 4, payload, signature, counters)
+        assert counters.verifications == 1
+
+    def test_rejects_wrong_signer(self, store):
+        _, signature = signed_blob(store, 4, b"hello")
+        assert not check_signed_blob(store, 5, b"hello", signature)
+
+
+class TestCryptoCounters:
+    def test_snapshot_and_reset(self):
+        counters = CryptoCounters(signatures=3, homomorphic_hashes=7)
+        snap = counters.snapshot()
+        assert snap["signatures"] == 3
+        assert snap["homomorphic_hashes"] == 7
+        counters.reset()
+        assert counters.snapshot()["signatures"] == 0
+
+    def test_add_accumulates(self):
+        a = CryptoCounters(signatures=1, encryptions=2)
+        b = CryptoCounters(signatures=4, decryptions=5)
+        a.add(b)
+        assert a.signatures == 5
+        assert a.encryptions == 2
+        assert a.decryptions == 5

@@ -1,0 +1,123 @@
+"""Unit and property tests for prime generation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.primes import (
+    SMALL_PRIMES,
+    generate_distinct_primes,
+    generate_prime,
+    is_prime,
+    next_prime,
+    product,
+)
+
+KNOWN_PRIMES = [2, 3, 5, 7, 11, 101, 7919, 104729, 2**61 - 1]
+KNOWN_COMPOSITES = [0, 1, 4, 6, 9, 100, 7917, 2**61 - 3, 561, 41041, 825265]
+# 561, 41041, 825265 are Carmichael numbers: Fermat pseudoprimes to every
+# coprime base, the classic trap for weak primality tests.
+
+
+def test_small_prime_table_starts_correctly():
+    assert SMALL_PRIMES[:10] == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29]
+
+
+@pytest.mark.parametrize("n", KNOWN_PRIMES)
+def test_known_primes_pass(n):
+    assert is_prime(n)
+
+
+@pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+def test_known_composites_fail(n):
+    assert not is_prime(n)
+
+
+def test_negative_numbers_are_not_prime():
+    assert not is_prime(-7)
+
+
+def test_is_prime_matches_sieve_below_10000():
+    sieve = bytearray([1]) * 10000
+    sieve[0] = sieve[1] = 0
+    for i in range(2, 100):
+        if sieve[i]:
+            for j in range(i * i, 10000, i):
+                sieve[j] = 0
+    for n in range(10000):
+        assert is_prime(n) == bool(sieve[n]), n
+
+
+@pytest.mark.parametrize("bits", [8, 16, 64, 128, 512])
+def test_generate_prime_has_requested_bit_length(bits):
+    rng = random.Random(42)
+    p = generate_prime(bits, rng)
+    assert p.bit_length() == bits
+    assert is_prime(p)
+
+
+def test_generate_prime_rejects_tiny_sizes():
+    with pytest.raises(ValueError):
+        generate_prime(1, random.Random(0))
+
+
+def test_generate_prime_two_bits():
+    rng = random.Random(7)
+    assert generate_prime(2, rng) in (2, 3)
+
+
+def test_generate_prime_is_deterministic_under_seed():
+    a = generate_prime(128, random.Random(123))
+    b = generate_prime(128, random.Random(123))
+    assert a == b
+
+
+def test_generate_distinct_primes_are_distinct():
+    rng = random.Random(5)
+    primes = generate_distinct_primes(8, 32, rng)
+    assert len(primes) == 8
+    assert len(set(primes)) == 8
+    assert all(is_prime(p) for p in primes)
+
+
+def test_next_prime():
+    assert next_prime(0) == 2
+    assert next_prime(2) == 3
+    assert next_prime(3) == 5
+    assert next_prime(13) == 17
+    assert next_prime(7918) == 7919
+
+
+def test_product():
+    assert product([]) == 1
+    assert product([7]) == 7
+    assert product([2, 3, 5]) == 30
+
+
+@given(st.integers(min_value=2, max_value=10**6))
+@settings(max_examples=200)
+def test_miller_rabin_no_false_negatives_on_products(n):
+    """A product of two integers >= 2 must never be declared prime."""
+    assert not is_prime(n * (n + 1))
+
+
+@given(st.integers(min_value=0, max_value=2**48))
+@settings(max_examples=100)
+def test_next_prime_is_prime_and_greater(n):
+    p = next_prime(n)
+    assert p > n
+    assert is_prime(p)
+
+
+@given(st.data())
+@settings(max_examples=20, deadline=None)
+def test_generated_primes_are_coprime_pairwise(data):
+    rng = random.Random(data.draw(st.integers(0, 2**32)))
+    primes = generate_distinct_primes(4, 48, rng)
+    import math
+
+    for i in range(4):
+        for j in range(i + 1, 4):
+            assert math.gcd(primes[i], primes[j]) == 1

@@ -1,0 +1,110 @@
+"""Unit tests for the pure-Python RSA implementation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.rsa import RsaPublicKey, generate_keypair
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(bits=512, rng=random.Random(1))
+
+
+def test_keypair_modulus_size(keypair):
+    assert 500 <= keypair.bits <= 512
+
+
+def test_keypair_is_deterministic_under_seed():
+    a = generate_keypair(bits=256, rng=random.Random(99))
+    b = generate_keypair(bits=256, rng=random.Random(99))
+    assert a.public == b.public
+
+
+def test_encrypt_decrypt_roundtrip(keypair):
+    plaintext = b"prime p_j for round R"
+    ciphertext = keypair.public.encrypt(plaintext)
+    assert keypair.private.decrypt(ciphertext) == plaintext
+
+
+def test_encrypt_produces_distinct_ciphertext_for_distinct_messages(keypair):
+    c1 = keypair.public.encrypt(b"update-1")
+    c2 = keypair.public.encrypt(b"update-2")
+    assert c1 != c2
+
+
+def test_encrypt_rejects_oversized_plaintext(keypair):
+    with pytest.raises(ValueError):
+        keypair.public.encrypt(b"x" * 100)  # > 512-bit modulus capacity
+
+
+def test_raw_encrypt_rejects_out_of_range(keypair):
+    with pytest.raises(ValueError):
+        keypair.public.encrypt_int(keypair.public.modulus)
+    with pytest.raises(ValueError):
+        keypair.public.encrypt_int(-1)
+
+
+def test_decrypt_garbage_raises(keypair):
+    # An unrelated ciphertext decrypts to bytes without the domain tag.
+    with pytest.raises(ValueError):
+        keypair.private.decrypt(1234567890123456789)
+
+
+def test_sign_verify_roundtrip(keypair):
+    message = b"Ack, R, B, A, H(...)"
+    signature = keypair.private.sign(message)
+    assert keypair.public.verify(message, signature)
+
+
+def test_verify_rejects_tampered_message(keypair):
+    signature = keypair.private.sign(b"original")
+    assert not keypair.public.verify(b"tampered", signature)
+
+
+def test_verify_rejects_tampered_signature(keypair):
+    signature = keypair.private.sign(b"original")
+    assert not keypair.public.verify(b"original", signature ^ 1)
+
+
+def test_verify_rejects_out_of_range_signature(keypair):
+    assert not keypair.public.verify(b"m", keypair.public.modulus + 5)
+    assert not keypair.public.verify(b"m", -3)
+
+
+def test_signature_by_other_key_rejected(keypair):
+    other = generate_keypair(bits=512, rng=random.Random(2))
+    signature = other.private.sign(b"message")
+    assert not keypair.public.verify(b"message", signature)
+
+
+def test_generate_keypair_validates_arguments():
+    with pytest.raises(ValueError):
+        generate_keypair(bits=32)
+    with pytest.raises(ValueError):
+        generate_keypair(bits=128, public_exponent=4)
+    with pytest.raises(ValueError):
+        generate_keypair(bits=128, public_exponent=1)
+
+
+def test_public_key_byte_size():
+    key = RsaPublicKey(modulus=(1 << 255) + 1, exponent=3)
+    assert key.byte_size == 32
+
+
+@given(st.binary(min_size=0, max_size=24))
+@settings(max_examples=50, deadline=None)
+def test_roundtrip_property(payload):
+    pair = generate_keypair(bits=384, rng=random.Random(7))
+    assert pair.private.decrypt(pair.public.encrypt(payload)) == payload
+
+
+@given(st.binary(min_size=1, max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_sign_verify_property(message):
+    pair = generate_keypair(bits=384, rng=random.Random(8))
+    assert pair.public.verify(message, pair.private.sign(message))
+    assert not pair.public.verify(message + b"!", pair.private.sign(message))

@@ -1,0 +1,106 @@
+"""Tests for the interest-obfuscation extension (the paper's future work)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extensions.obfuscation import (
+    ObfuscationPlan,
+    anonymity_set_size,
+    interest_posterior,
+)
+
+SESSIONS = [100, 200, 300, 400, 500]
+
+
+def make_plan(cover=3, n_nodes=12, seed=1):
+    interests = {node: SESSIONS[node % len(SESSIONS)] for node in range(n_nodes)}
+    return ObfuscationPlan(
+        sessions=SESSIONS,
+        true_interest=interests,
+        cover_factor=cover,
+        seed=seed,
+    )
+
+
+class TestPlanConstruction:
+    def test_memberships_include_true_interest(self):
+        plan = make_plan()
+        for node, interest in plan.true_interest.items():
+            assert interest in plan.memberships[node]
+
+    def test_membership_size_is_cover_factor(self):
+        plan = make_plan(cover=3)
+        assert all(len(s) == 3 for s in plan.memberships.values())
+
+    def test_deterministic(self):
+        assert make_plan(seed=9).memberships == make_plan(seed=9).memberships
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_plan(cover=0)
+        with pytest.raises(ValueError):
+            make_plan(cover=len(SESSIONS) + 1)
+        with pytest.raises(ValueError):
+            ObfuscationPlan(
+                sessions=SESSIONS, true_interest={1: 999}, cover_factor=1
+            )
+
+    def test_bandwidth_multiplier(self):
+        assert make_plan(cover=3).bandwidth_multiplier() == 3.0
+
+    def test_session_members(self):
+        plan = make_plan()
+        members = plan.session_members(100)
+        assert all(100 in plan.memberships[m] for m in members)
+
+
+class TestAttackerInference:
+    def test_uniform_posterior_is_one_over_k(self):
+        plan = make_plan(cover=3)
+        posteriors = interest_posterior(plan.observer_view())
+        for node, posterior in posteriors.items():
+            assert all(
+                p == pytest.approx(1 / 3) for p in posterior.values()
+            )
+
+    def test_no_obfuscation_reveals_interest(self):
+        plan = make_plan(cover=1)
+        posteriors = interest_posterior(plan.observer_view())
+        for node, posterior in posteriors.items():
+            assert posterior == {plan.true_interest[node]: 1.0}
+
+    def test_anonymity_set_equals_cover_factor(self):
+        plan = make_plan(cover=4)
+        sizes = anonymity_set_size(plan.observer_view())
+        assert all(s == pytest.approx(4.0) for s in sizes.values())
+
+    def test_popularity_prior_shrinks_anonymity(self):
+        """The known weakness: an unpopular decoy convinces nobody."""
+        plan = make_plan(cover=3)
+        popularity = {s: 1.0 for s in SESSIONS}
+        popularity[plan.true_interest[0]] = 50.0  # the hit show
+        sizes = anonymity_set_size(plan.observer_view(), popularity)
+        assert sizes[0] < 3.0
+
+    def test_empty_membership_rejected(self):
+        with pytest.raises(ValueError):
+            interest_posterior({1: set()})
+
+    def test_degenerate_prior_falls_back_to_uniform(self):
+        posterior = interest_posterior(
+            {1: {100, 200}}, popularity={100: 0.0, 200: 0.0}
+        )
+        assert posterior[1][100] == pytest.approx(0.5)
+
+
+@given(st.integers(min_value=1, max_value=5), st.integers(0, 2**16))
+@settings(max_examples=30)
+def test_anonymity_never_exceeds_cover_factor(cover, seed):
+    plan = make_plan(cover=cover, seed=seed)
+    sizes = anonymity_set_size(plan.observer_view())
+    for size in sizes.values():
+        assert size <= cover + 1e-9
+        assert size >= 1.0 - 1e-9

@@ -1,0 +1,57 @@
+"""Property-based tests over the whole protocol.
+
+Hypothesis drives random (small) configurations through full sessions
+and asserts the protocol's two global invariants:
+
+* **no false positives** — an all-correct session never produces a
+  verdict, whatever the topology, fanout, monitor count, rate or seed;
+* **soundness of detection** — wherever a free-rider is placed, it is
+  the node convicted.
+
+These complement the fixed-seed integration tests with breadth.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.selfish import FreeRider
+from repro.core import PagConfig, PagSession
+
+configs = st.builds(
+    PagConfig,
+    fanout=st.integers(min_value=2, max_value=4),
+    monitors_per_node=st.integers(min_value=2, max_value=4),
+    stream_rate_kbps=st.sampled_from([40.0, 80.0, 150.0]),
+    buffermap_depth=st.integers(min_value=3, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+
+
+@given(configs, st.integers(min_value=12, max_value=20))
+@settings(max_examples=8, deadline=None)
+def test_honest_sessions_never_convict(config, n_nodes):
+    session = PagSession.create(n_nodes, config=config)
+    session.run(10)
+    assert session.all_verdicts() == [], (
+        config,
+        [(v.node, v.reason) for v in session.all_verdicts()],
+    )
+
+
+@given(
+    configs,
+    st.integers(min_value=14, max_value=20),
+    st.data(),
+)
+@settings(max_examples=6, deadline=None)
+def test_free_rider_always_and_only_convicted(config, n_nodes, data):
+    deviant = data.draw(
+        st.integers(min_value=1, max_value=n_nodes - 1), label="deviant"
+    )
+    session = PagSession.create(
+        n_nodes, config=config, behaviors={deviant: FreeRider()}
+    )
+    session.run(12)
+    convicted = session.convicted_nodes()
+    assert deviant in convicted, (config, deviant)
+    assert convicted == {deviant}, (config, deviant, convicted)

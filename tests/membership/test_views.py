@@ -1,0 +1,206 @@
+"""Tests for membership directory and per-round views."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.membership.directory import Directory
+from repro.membership.sampling import PeerSampler, chi_square_uniformity
+from repro.membership.views import ViewProvider, default_fanout
+from repro.sim.rng import SeedSequence
+
+
+def make_views(n=20, fanout=3, monitors=3, seed=1):
+    directory = Directory.of_size(n)
+    return ViewProvider(
+        directory=directory,
+        seeds=SeedSequence(seed),
+        fanout=fanout,
+        monitors_per_node=monitors,
+    )
+
+
+class TestDirectory:
+    def test_of_size(self):
+        d = Directory.of_size(5)
+        assert d.size == 5
+        assert d.source_id == 0
+        assert d.consumers() == [1, 2, 3, 4]
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            Directory.of_size(1)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            Directory(members=[1, 1, 2])
+
+    def test_rejects_foreign_source(self):
+        with pytest.raises(ValueError):
+            Directory(members=[1, 2], source_id=9)
+
+    def test_others(self):
+        d = Directory.of_size(4)
+        assert d.others(2) == [0, 1, 3]
+
+    def test_validate_subset(self):
+        d = Directory.of_size(4)
+        d.validate_subset([1, 2])
+        with pytest.raises(ValueError):
+            d.validate_subset([1, 9])
+
+    def test_contains_and_len(self):
+        d = Directory.of_size(4)
+        assert 3 in d
+        assert 4 not in d
+        assert len(d) == 4
+
+
+class TestDefaultFanout:
+    def test_paper_settings(self):
+        assert default_fanout(1000) == 3  # section VII-A
+        assert default_fanout(10**6) == 6  # Fig. 9 scaling
+        assert default_fanout(432) == 3  # the deployment
+        assert default_fanout(10) == 3  # floor
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            default_fanout(1)
+
+
+class TestSuccessors:
+    def test_count_and_exclusions(self):
+        views = make_views()
+        succ = views.successors(5, round_no=0)
+        assert len(succ) == 3
+        assert 5 not in succ
+        assert 0 not in succ  # the source is never served
+
+    def test_deterministic(self):
+        assert make_views().successors(5, 3) == make_views().successors(5, 3)
+
+    def test_varies_across_rounds(self):
+        views = make_views(n=100)
+        picks = {tuple(views.successors(5, r)) for r in range(10)}
+        assert len(picks) > 1
+
+    def test_distinct_members(self):
+        views = make_views()
+        succ = views.successors(7, 2)
+        assert len(set(succ)) == len(succ)
+
+    def test_fanout_validation(self):
+        with pytest.raises(ValueError):
+            make_views(n=4, fanout=4)
+        with pytest.raises(ValueError):
+            make_views(n=4, fanout=0)
+
+
+class TestPredecessors:
+    def test_inverts_successors(self):
+        views = make_views(n=30)
+        for node in range(30):
+            for succ in views.successors(node, 4):
+                assert node in views.predecessors(succ, 4)
+
+    def test_every_predecessor_listed_chose_the_node(self):
+        views = make_views(n=30)
+        for node in range(1, 30):
+            for pred in views.predecessors(node, 4):
+                assert node in views.successors(pred, 4)
+
+    def test_source_receives_nothing(self):
+        views = make_views(n=30)
+        assert views.predecessors(0, 1) == []
+
+    def test_mean_predecessor_count_equals_fanout(self):
+        views = make_views(n=50, fanout=3)
+        consumers = views.directory.consumers()
+        total = sum(len(views.predecessors(c, 2)) for c in consumers)
+        # 50 nodes each pick 3 successors among 49 consumers.
+        assert total == 50 * 3
+
+
+class TestMonitors:
+    def test_stable_across_rounds(self):
+        views = make_views()
+        assert views.monitors(5) == views.monitors(5)
+
+    def test_count_and_exclusions(self):
+        views = make_views(monitors=4)
+        mons = views.monitors(7)
+        assert len(mons) == 4
+        assert 7 not in mons
+        assert 0 not in mons
+
+    def test_monitored_by_inverts(self):
+        views = make_views(n=15)
+        for node in range(15):
+            for mon in views.monitors(node):
+                assert node in views.monitored_by(mon)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_views(n=4, monitors=0)
+
+
+def test_prune_rounds_before():
+    views = make_views()
+    views.successors(1, 0)
+    views.predecessors(1, 0)
+    views.successors(1, 5)
+    views.prune_rounds_before(3)
+    assert 0 not in views._successor_cache
+    assert 5 in views._successor_cache
+
+
+class TestPeerSampler:
+    def test_sample_excludes_self_and_source(self):
+        sampler = PeerSampler(Directory.of_size(10), SeedSequence(3))
+        picks = sampler.sample(4, round_no=0, count=5)
+        assert 4 not in picks
+        assert 0 not in picks
+        assert len(picks) == 5
+
+    def test_sample_too_large(self):
+        sampler = PeerSampler(Directory.of_size(5), SeedSequence(3))
+        with pytest.raises(ValueError):
+            sampler.sample(1, 0, count=4)  # only 3 candidates remain
+
+    def test_deterministic(self):
+        s1 = PeerSampler(Directory.of_size(10), SeedSequence(3))
+        s2 = PeerSampler(Directory.of_size(10), SeedSequence(3))
+        assert s1.sample(2, 5, 3) == s2.sample(2, 5, 3)
+
+    def test_uniformity_chi_square(self):
+        # Aggregate successor picks over many rounds; the statistic should
+        # stay below a generous chi-square bound for 48 dof (~85 at 99.9%).
+        views = make_views(n=50, seed=9)
+        observations = []
+        for rnd in range(200):
+            observations.extend(views.successors(10, rnd))
+        population = [m for m in range(50) if m not in (0, 10)]
+        stat = chi_square_uniformity(observations, population)
+        assert stat < 100.0
+
+    def test_chi_square_validations(self):
+        with pytest.raises(ValueError):
+            chi_square_uniformity([], [1, 2])
+        with pytest.raises(ValueError):
+            chi_square_uniformity([9], [1, 2])
+
+
+@given(st.integers(min_value=5, max_value=60), st.integers(0, 2**16))
+@settings(max_examples=30, deadline=None)
+def test_views_property_successors_well_formed(n, seed):
+    views = ViewProvider(
+        directory=Directory.of_size(n),
+        seeds=SeedSequence(seed),
+        fanout=min(3, n - 2) or 1,
+        monitors_per_node=min(3, n - 2) or 1,
+    )
+    for node in range(0, n, max(1, n // 5)):
+        succ = views.successors(node, 1)
+        assert node not in succ
+        assert 0 not in succ
+        assert len(set(succ)) == len(succ)

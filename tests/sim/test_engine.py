@@ -1,0 +1,171 @@
+"""Tests for the round-synchronous engine and network."""
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.message import Message, WireSizes
+from repro.sim.network import Network
+from repro.sim.node import SimNode
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass
+class Ping(Message):
+    hops_left: int = 0
+    kind: ClassVar[str] = "ping"
+
+    def size_bytes(self, sizes: WireSizes) -> int:
+        return sizes.header + 4
+
+
+class PingNode(SimNode):
+    """Replies to pings until hops run out; counts receptions."""
+
+    def __init__(self, node_id, network, peer):
+        super().__init__(node_id, network)
+        self.peer = peer
+        self.received = 0
+        self.rounds_begun = []
+        self.rounds_ended = []
+
+    def begin_round(self, round_no):
+        self.rounds_begun.append(round_no)
+        if self.node_id == 0:
+            self.send(
+                Ping(
+                    sender=self.node_id,
+                    recipient=self.peer,
+                    round_no=round_no,
+                    hops_left=3,
+                )
+            )
+
+    def on_message(self, message):
+        self.received += 1
+        if message.hops_left > 0:
+            self.send(
+                Ping(
+                    sender=self.node_id,
+                    recipient=message.sender,
+                    round_no=message.round_no,
+                    hops_left=message.hops_left - 1,
+                )
+            )
+
+    def end_round(self, round_no):
+        self.rounds_ended.append(round_no)
+
+
+def make_sim():
+    network = Network()
+    sim = Simulator(network=network)
+    a = PingNode(0, network, peer=1)
+    b = PingNode(1, network, peer=0)
+    sim.add_node(a)
+    sim.add_node(b)
+    return sim, a, b
+
+
+def test_intra_round_message_chains_drain_to_quiescence():
+    sim, a, b = make_sim()
+    sim.run_round()
+    # 0 sends ping(3), 1 replies ping(2), 0 replies ping(1), 1 ping(0).
+    assert b.received == 2
+    assert a.received == 2
+    assert sim.network.pending() == 0
+
+
+def test_round_lifecycle_order():
+    sim, a, b = make_sim()
+    sim.run(3)
+    assert a.rounds_begun == [0, 1, 2]
+    assert a.rounds_ended == [0, 1, 2]
+    assert sim.current_round == 3
+
+
+def test_duplicate_node_id_rejected():
+    sim, a, b = make_sim()
+    with pytest.raises(ValueError):
+        sim.add_node(PingNode(0, sim.network, peer=1))
+
+
+def test_self_send_rejected():
+    network = Network()
+    with pytest.raises(ValueError):
+        network.send(Ping(sender=1, recipient=1, round_no=0, hops_left=0))
+
+
+def test_bandwidth_is_metered():
+    sim, a, b = make_sim()
+    sim.run_round()
+    # 4 messages of (24 + 4) bytes each.
+    assert sim.network.meter.node_bytes(0) == 4 * 28
+    assert sim.network.meter.node_bytes(1) == 4 * 28
+
+
+def test_message_to_departed_node_is_dropped_silently():
+    network = Network()
+    sim = Simulator(network=network)
+    a = PingNode(0, network, peer=99)  # 99 never joins
+    sim.add_node(a)
+    sim.run_round()  # must not raise
+    assert a.received == 0
+
+
+def test_drop_rule_suppresses_delivery_but_still_meters():
+    sim, a, b = make_sim()
+    sim.network.add_drop_rule(lambda m: m.recipient == 1)
+    sim.run_round()
+    assert b.received == 0
+    assert a.received == 0
+    assert sim.network.meter.node_bytes(0) > 0
+    assert sim.network.messages_dropped == 1
+
+
+def test_trace_recorder_sees_all_traffic():
+    sim, a, b = make_sim()
+    tap = TraceRecorder()
+    sim.network.add_tap(tap)
+    sim.run_round()
+    assert len(tap) == 4
+    assert tap.kinds() == {"ping": 4}
+    assert tap.total_bytes() == 4 * 28
+    assert (0, 1) in tap.link_set()
+    assert len(tap.between(0, 1)) == 2
+    assert len(tap.in_round(0)) == 4
+
+
+def test_runaway_message_loop_detected():
+    class LoopNode(SimNode):
+        def begin_round(self, round_no):
+            if self.node_id == 0:
+                self.send(Ping(0, 1, round_no, hops_left=1))
+
+        def on_message(self, message):
+            # Always bounce back: infinite ping-pong.
+            self.send(
+                Ping(
+                    sender=self.node_id,
+                    recipient=message.sender,
+                    round_no=message.round_no,
+                    hops_left=1,
+                )
+            )
+
+    network = Network()
+    sim = Simulator(network=network)
+    sim.add_node(LoopNode(0, network))
+    sim.add_node(LoopNode(1, network))
+    with pytest.raises(RuntimeError, match="budget"):
+        sim.run_round()
+
+
+def test_bandwidth_kbps_reporting():
+    sim, a, b = make_sim()
+    sim.run(2)
+    report = sim.bandwidth_kbps()
+    assert set(report) == {0, 1}
+    assert report[0] > 0

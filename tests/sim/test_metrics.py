@@ -1,0 +1,72 @@
+"""Tests for bandwidth metering and CDF helpers."""
+
+import pytest
+
+from repro.sim.metrics import BandwidthMeter, cdf_points, kbps
+
+
+def test_kbps_conversion():
+    # 1250 bytes over 1 s = 10_000 bits/s = 10 kbps.
+    assert kbps(1250, 1.0) == pytest.approx(10.0)
+    assert kbps(1250, 2.0) == pytest.approx(5.0)
+
+
+def test_kbps_rejects_nonpositive_duration():
+    with pytest.raises(ValueError):
+        kbps(100, 0)
+
+
+def test_record_attributes_symmetrically():
+    meter = BandwidthMeter()
+    meter.record(sender=1, recipient=2, size=100, rnd=0)
+    assert meter.totals[1].bytes_up == 100
+    assert meter.totals[1].bytes_down == 0
+    assert meter.totals[2].bytes_down == 100
+    assert meter.totals[2].bytes_up == 0
+    assert meter.totals[1].messages_up == 1
+    assert meter.totals[2].messages_down == 1
+
+
+def test_record_rejects_negative_size():
+    with pytest.raises(ValueError):
+        BandwidthMeter().record(1, 2, -1, 0)
+
+
+def test_node_bytes_window():
+    meter = BandwidthMeter()
+    meter.record(1, 2, 100, rnd=0)
+    meter.record(1, 2, 200, rnd=1)
+    meter.record(2, 1, 50, rnd=1)
+    meter.record(1, 2, 400, rnd=2)
+    assert meter.node_bytes(1, first_round=1, last_round=1) == 250
+    assert meter.node_bytes(1) == 750
+    assert meter.node_bytes(2) == 750
+
+
+def test_node_kbps_uses_window_duration():
+    meter = BandwidthMeter()
+    meter.record(1, 2, 1250, rnd=0)
+    meter.record(1, 2, 1250, rnd=1)
+    # 2500 bytes over 2 rounds of 1 s = 10 kbps.
+    assert meter.node_kbps(1) == pytest.approx(10.0)
+    # Only round 1: 1250 bytes over 1 s = 10 kbps.
+    assert meter.node_kbps(1, first_round=1) == pytest.approx(10.0)
+
+
+def test_mean_kbps():
+    meter = BandwidthMeter()
+    meter.record(1, 2, 1250, rnd=0)
+    assert meter.mean_kbps([1, 2]) == pytest.approx(10.0)
+    assert meter.mean_kbps([]) == 0.0
+
+
+def test_cdf_points_from_mapping():
+    points = cdf_points({1: 10.0, 2: 30.0, 3: 20.0, 4: 40.0})
+    values = [v for v, _ in points]
+    percents = [p for _, p in points]
+    assert values == [10.0, 20.0, 30.0, 40.0]
+    assert percents == [25.0, 50.0, 75.0, 100.0]
+
+
+def test_cdf_points_empty():
+    assert cdf_points([]) == []

@@ -1,0 +1,100 @@
+"""Tests for the video quality ladder and playback evaluation."""
+
+import pytest
+
+from repro.gossip.updates import Update, UpdateStore
+from repro.streaming.player import evaluate_playback
+from repro.streaming.video import (
+    LINK_CAPACITIES_KBPS,
+    QUALITY_LADDER,
+    max_quality_under,
+    quality_by_name,
+)
+
+
+class TestQualityLadder:
+    def test_table1_rates(self):
+        expected = {
+            "144p": 80,
+            "240p": 300,
+            "360p": 750,
+            "480p": 1000,
+            "720p": 2500,
+            "1080p": 4500,
+        }
+        assert {q.name: q.payload_kbps for q in QUALITY_LADDER} == expected
+
+    def test_quality_by_name(self):
+        assert quality_by_name("480p").payload_kbps == 1000
+        with pytest.raises(KeyError):
+            quality_by_name("4k")
+
+    def test_updates_per_second_matches_paper_unit(self):
+        # 1080p at 938 B updates: 4500 Kbps / 7504 bits ~= 600 chunks/s.
+        assert quality_by_name("1080p").updates_per_second() == pytest.approx(
+            4_500_000 / (938 * 8)
+        )
+
+    def test_link_capacities(self):
+        assert LINK_CAPACITIES_KBPS["ADSL Lite (1.5Mbps)"] == 1500
+
+
+class TestMaxQualityUnder:
+    def test_picks_highest_fitting(self):
+        # Protocol cost = 2x payload: 10 Mbps link fits up to 1080p (9 Mbps).
+        got = max_quality_under(10_000, lambda q: 2 * q.payload_kbps)
+        assert got.name == "1080p"
+
+    def test_none_when_nothing_fits(self):
+        # RAC-like: enormous fixed cost.
+        assert max_quality_under(10_000, lambda q: 1e9) is None
+
+    def test_threshold_boundary(self):
+        got = max_quality_under(1000, lambda q: q.payload_kbps)
+        assert got.name == "480p"
+
+
+def make_update(uid, created, ttl=10):
+    return Update(uid=uid, round_created=created, expiry_round=created + ttl)
+
+
+class TestPlayback:
+    def test_perfect_stream(self):
+        released = [make_update(i, created=i) for i in range(5)]
+        store = UpdateStore()
+        for u in released:
+            store.add(u, u.round_created + 3)  # arrives well before deadline
+        report = evaluate_playback(released, store, current_round=30)
+        assert report.continuity == 1.0
+        assert report.chunks_due == 5
+        assert report.mean_lag_rounds == 3.0
+        assert report.is_watchable()
+
+    def test_missing_and_late_chunks(self):
+        released = [make_update(i, created=0) for i in range(4)]
+        store = UpdateStore()
+        store.add(released[0], 5)  # on time
+        store.add(released[1], 12)  # late (deadline 10)
+        # released[2], [3] never arrive
+        report = evaluate_playback(released, store, current_round=30)
+        assert report.chunks_on_time == 1
+        assert report.chunks_late == 1
+        assert report.chunks_missing == 2
+        assert report.continuity == 0.25
+        assert not report.is_watchable()
+
+    def test_undue_chunks_not_counted(self):
+        released = [make_update(0, created=0, ttl=100)]
+        report = evaluate_playback(released, UpdateStore(), current_round=5)
+        assert report.chunks_due == 0
+        assert report.continuity == 1.0
+
+    def test_warmup_exclusion(self):
+        released = [make_update(0, created=0), make_update(1, created=20)]
+        store = UpdateStore()
+        store.add(released[1], 22)
+        report = evaluate_playback(
+            released, store, current_round=50, warmup_rounds=10
+        )
+        assert report.chunks_due == 1
+        assert report.continuity == 1.0

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.nodes == 30
+        assert args.rate == 300.0
+
+    def test_detect_strategy_choices(self):
+        args = build_parser().parse_args(
+            ["detect", "--strategy", "silent-receiver"]
+        )
+        assert args.strategy == "silent-receiver"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["detect", "--strategy", "nonsense"])
+
+
+class TestCommands:
+    def test_run(self, capsys):
+        assert main(["run", "--nodes", "12", "--rounds", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "mean download" in out
+        assert "verdicts           : 0" in out
+
+    def test_detect(self, capsys):
+        code = main(
+            ["detect", "--strategy", "free-rider", "--nodes", "16",
+             "--rounds", "10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GUILTY" in out
+
+    def test_fig8(self, capsys):
+        assert main(["fig8"]) == 0
+        assert "update size" in capsys.readouterr().out
+
+    def test_fig9(self, capsys):
+        assert main(["fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "1000000" in out
+
+    def test_fig10(self, capsys):
+        assert main(["fig10"]) == 0
+        assert "attackers" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "1080p" in out
+        assert "33" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "∅" in out
+
+    def test_verify(self, capsys):
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert "SAFE" in out
+        assert "True" in out
+
+    def test_fig7_small(self, capsys):
+        assert main(["fig7", "--nodes", "20", "--rounds", "8"]) == 0
+        assert "AcTinG" in capsys.readouterr().out

@@ -1,0 +1,122 @@
+"""Tests for the Dolev-Yao deduction engine."""
+
+from repro.verifier.deduction import analyze, can_derive
+from repro.verifier.terms import (
+    AEnc,
+    Atom,
+    HHash,
+    Pair,
+    PrivKey,
+    Prod,
+    PubKey,
+    Sig,
+)
+
+
+class TestAnalysis:
+    def test_unpairing(self):
+        k = analyze([Pair(Atom("a"), Atom("b"))])
+        assert Atom("a") in k and Atom("b") in k
+
+    def test_signature_reveals_message(self):
+        k = analyze([Sig(Atom("m"), "A")])
+        assert Atom("m") in k
+
+    def test_decrypt_with_key(self):
+        k = analyze([AEnc(Atom("m"), "B"), PrivKey("B")])
+        assert Atom("m") in k
+
+    def test_no_decrypt_without_key(self):
+        k = analyze([AEnc(Atom("m"), "B")])
+        assert Atom("m") not in k
+
+    def test_nested_destructuring(self):
+        term = AEnc(Sig(Pair(Atom("p"), Atom("q")), "A"), "B")
+        k = analyze([term, PrivKey("B")])
+        assert Atom("p") in k and Atom("q") in k
+
+    def test_product_division(self):
+        k = analyze([Prod.of("p1", "p2", "p3"), Atom("p2"), Atom("p3")])
+        assert Prod.of("p1") in k
+        assert Atom("p1") in k
+
+    def test_no_factoring_without_knowledge(self):
+        k = analyze([Prod.of("p1", "p2")])
+        assert Atom("p1") not in k
+        assert Atom("p2") not in k
+
+    def test_division_leaves_composite_residual_unfactored(self):
+        k = analyze([Prod.of("p1", "p2", "p3"), Atom("p3")])
+        assert Prod.of("p1", "p2") in k
+        assert Atom("p1") not in k
+
+
+class TestSynthesis:
+    def test_pairing(self):
+        k = analyze([Atom("a"), Atom("b")])
+        assert can_derive(Pair(Atom("a"), Atom("b")), k)
+
+    def test_encryption_always_possible_to_known_agents(self):
+        k = analyze([Atom("m")])
+        assert can_derive(AEnc(Atom("m"), "B"), k)
+
+    def test_signing_needs_private_key(self):
+        k = analyze([Atom("m")])
+        assert not can_derive(Sig(Atom("m"), "A"), k)
+        k2 = analyze([Atom("m"), PrivKey("A")])
+        assert can_derive(Sig(Atom("m"), "A"), k2)
+
+    def test_atoms_not_inventable(self):
+        assert not can_derive(Atom("secret"), analyze([Atom("other")]))
+
+    def test_product_multiplication(self):
+        k = analyze([Atom("p1"), Atom("p2")])
+        assert can_derive(Prod.of("p1", "p2"), k)
+        assert not can_derive(Prod.of("p1", "p3"), k)
+
+    def test_hash_from_base_and_key(self):
+        k = analyze([Atom("u"), Atom("p")])
+        assert can_derive(HHash.of(["u"], ["p"]), k)
+
+    def test_hash_not_invertible(self):
+        k = analyze([HHash.of(["u"], ["p"])])
+        assert not can_derive(Atom("u"), k)
+        assert not can_derive(Prod.of("p"), k)
+
+    def test_rekeying(self):
+        """H(u)_(p1) + p2 derives H(u)_(p1*p2) — the monitors' lift."""
+        k = analyze([HHash.of(["u"], ["p1"]), Atom("p2")])
+        assert can_derive(HHash.of(["u"], ["p1", "p2"]), k)
+        assert not can_derive(HHash.of(["u"], ["p1", "p3"]), k)
+
+    def test_combination(self):
+        """H(u1)_K * H(u2)_K derives H(u1*u2)_K — the product rule."""
+        k = analyze(
+            [HHash.of(["u1"], ["p"]), HHash.of(["u2"], ["p"])]
+        )
+        assert can_derive(HHash.of(["u1", "u2"], ["p"]), k)
+
+    def test_combination_requires_matching_keys(self):
+        k = analyze(
+            [HHash.of(["u1"], ["p1"]), HHash.of(["u2"], ["p2"])]
+        )
+        assert not can_derive(HHash.of(["u1", "u2"], ["p1"]), k)
+
+    def test_cofactor_attack_end_to_end(self):
+        """The heart of the f-coalition attack: a cofactor plus the
+        other primes isolates the victim's prime and enables the
+        dictionary hash."""
+        k = analyze(
+            [
+                Prod.of("p1", "p3"),  # cofactor_2 held by a monitor
+                Atom("p1"),  # colluding predecessor's prime
+                Atom("u_probe"),  # public candidate update
+            ]
+        )
+        assert can_derive(Prod.of("p3"), k)
+        assert can_derive(HHash.of(["u_probe"], ["p3"]), k)
+
+    def test_two_honest_primes_resist(self):
+        k = analyze([Prod.of("p1", "p2", "p3"), Atom("p1"), Atom("u")])
+        assert not can_derive(Prod.of("p2"), k)
+        assert not can_derive(HHash.of(["u"], ["p2"]), k)

@@ -1,0 +1,68 @@
+"""Exhaustive coalition sweep at f = 4 (slow).
+
+Section VI-A tests "several configurations ... that were all tested";
+here every coalition of up to 3 nodes among the 8 predecessor/monitor
+roles of the f = 4 scenario is checked: the privacy boundary must be
+exactly the section VII-E criterion at every size.
+"""
+
+from itertools import combinations
+
+import pytest
+
+from repro.verifier.protocol import PagScenario
+from repro.verifier.scenarios import check_secrecy
+
+
+@pytest.mark.slow
+def test_all_small_coalitions_at_f4():
+    scenario = PagScenario(fanout=4)
+    pool = scenario.predecessors + scenario.monitors
+    for size in (1, 2):
+        for coalition in combinations(pool, size):
+            verdicts = check_secrecy(scenario, corrupted=coalition)
+            for pred, verdict in verdicts.items():
+                if pred in coalition:
+                    continue
+                # At f=4 no coalition of size <= 2 may break privacy:
+                # a cofactor has 3 primes, so one colluding
+                # predecessor's prime cannot reduce it to a singleton.
+                assert verdict.private, (coalition, pred)
+
+
+@pytest.mark.slow
+def test_breaking_coalitions_at_f4_are_always_mixed():
+    """Size-3 coalitions break in two structural ways, both mixed:
+
+    * the §VII-E pattern — two colluding predecessors' primes reduce a
+      corrupted monitor's cofactor to the victim's prime;
+    * a *chained-division* pattern the deduction engine surfaced beyond
+      the paper's enumeration: two corrupted monitors holding different
+      cofactors plus one predecessor (e.g. cofactor_2 ÷ p1 = p3*p4,
+      then cofactor_1 ÷ (p3*p4) = p2).
+
+    The invariant that holds universally: every breaking coalition
+    mixes at least one monitor with at least one predecessor —
+    predecessor-only and monitor-only coalitions never break, which is
+    the composition claim of §VI-A.
+    """
+    scenario = PagScenario(fanout=4)
+    pool = scenario.predecessors + scenario.monitors
+    breaking = []
+    chained = []
+    for coalition in combinations(pool, 3):
+        verdicts = check_secrecy(scenario, corrupted=coalition)
+        exposed = [
+            p
+            for p, v in verdicts.items()
+            if p not in coalition and not v.private
+        ]
+        if exposed:
+            breaking.append((coalition, exposed))
+            preds = [r for r in coalition if r.startswith("A")]
+            monitors = [r for r in coalition if r.startswith("M")]
+            assert preds and monitors, coalition
+            if len(monitors) >= 2:
+                chained.append(coalition)
+    assert breaking, "the threshold attack must exist at size 3"
+    assert chained, "the chained-division attack pattern must appear"

@@ -1,0 +1,102 @@
+"""Tests for the symbolic term algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.verifier.terms import (
+    AEnc,
+    Atom,
+    HHash,
+    Pair,
+    PrivKey,
+    Prod,
+    PubKey,
+    Sig,
+    is_subset,
+    multiset,
+    multiset_subtract,
+    multiset_union,
+    tuple_term,
+)
+
+
+class TestMultisets:
+    def test_build_from_iterable(self):
+        assert multiset(["b", "a", "a"]) == (("a", 2), ("b", 1))
+
+    def test_build_from_mapping(self):
+        assert multiset({"a": 2, "b": 1}) == (("a", 2), ("b", 1))
+        assert multiset({"a": 0}) == ()
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            multiset({"a": -1})
+
+    def test_union(self):
+        a = multiset(["x", "y"])
+        b = multiset(["y", "z"])
+        assert multiset_union(a, b) == (("x", 1), ("y", 2), ("z", 1))
+
+    def test_subset(self):
+        assert is_subset(multiset(["x"]), multiset(["x", "y"]))
+        assert not is_subset(multiset(["x", "x"]), multiset(["x", "y"]))
+
+    def test_subtract(self):
+        a = multiset(["x", "x", "y"])
+        assert multiset_subtract(a, multiset(["x"])) == (
+            ("x", 1),
+            ("y", 1),
+        )
+        with pytest.raises(ValueError):
+            multiset_subtract(multiset(["x"]), multiset(["z"]))
+
+    @given(
+        st.lists(st.sampled_from("abcd"), max_size=6),
+        st.lists(st.sampled_from("abcd"), max_size=6),
+    )
+    @settings(max_examples=60)
+    def test_union_subtract_roundtrip(self, xs, ys):
+        a, b = multiset(xs), multiset(ys)
+        assert multiset_subtract(multiset_union(a, b), b) == a
+
+
+class TestTerms:
+    def test_atoms_equal_by_name(self):
+        assert Atom("u1") == Atom("u1")
+        assert Atom("u1") != Atom("u2")
+
+    def test_terms_hashable(self):
+        terms = {
+            Atom("x"),
+            PubKey("A"),
+            PrivKey("A"),
+            Pair(Atom("x"), Atom("y")),
+            AEnc(Atom("x"), "B"),
+            Sig(Atom("x"), "A"),
+            Prod.of("p1", "p2"),
+            HHash.of(["u1"], ["p1"]),
+        }
+        assert len(terms) == 8
+
+    def test_prod_of(self):
+        assert Prod.of("p1", "p1", "p2").primes == (("p1", 2), ("p2", 1))
+
+    def test_hhash_normal_form_is_order_free(self):
+        assert HHash.of(["u1", "u2"], ["p1", "p2"]) == HHash.of(
+            ["u2", "u1"], ["p2", "p1"]
+        )
+
+    def test_hhash_multiplicity_matters(self):
+        assert HHash.of(["u1", "u1"], ["p1"]) != HHash.of(["u1"], ["p1"])
+
+    def test_tuple_term_right_nested(self):
+        t = tuple_term(Atom("a"), Atom("b"), Atom("c"))
+        assert t == Pair(Atom("a"), Pair(Atom("b"), Atom("c")))
+        with pytest.raises(ValueError):
+            tuple_term()
+
+    def test_reprs_are_readable(self):
+        assert repr(Prod.of("p1", "p2")) == "p1*p2"
+        assert "H(" in repr(HHash.of(["u1"], ["p1"]))
+        assert repr(PubKey("A")) == "pk(A)"
