@@ -1,0 +1,54 @@
+"""Hot-path throughput — hashes/s, primes/s, engine rounds/s.
+
+Not a figure of the paper but the perf ledger of this reproduction:
+every run rewrites ``BENCH_hotpath.json`` (machine-readable, schema in
+PERFORMANCE.md) so the crypto and engine throughput trajectory is
+tracked PR over PR.  The paper's reference point is Table I: 4,800
+homomorphic hashes/s/core at 512 bits with openssl; pure Python lands
+well below that, gmpy2 closes most of the gap.
+
+Scale knobs are shared with the other benches (``REPRO_BENCH_NODES``,
+``REPRO_BENCH_ROUNDS``); the same measurements are importable from
+``repro.analysis.hotpath`` and runnable via ``python -m repro bench``.
+"""
+
+from benchmarks.conftest import bench_nodes, bench_rounds, print_header
+from repro.analysis.hotpath import SCHEMA_VERSION, run_hotpath_bench
+
+
+def test_hotpath_bench(benchmark):
+    report = benchmark.pedantic(
+        run_hotpath_bench,
+        kwargs={
+            "out_path": "BENCH_hotpath.json",
+            "engine_nodes": min(bench_nodes(), 60),
+            "engine_rounds": min(bench_rounds(), 10),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print_header(
+        "Hot path — crypto and engine throughput",
+        "Table I anchor: 4,800 homomorphic 512-bit hashes/s/core (openssl)",
+    )
+    print(f"backend              : {report['backend']}")
+    print(f"hashes/s  256-bit    : {report['hashes_per_s']['256']:>12,.0f}")
+    print(f"hashes/s  512-bit    : {report['hashes_per_s']['512']:>12,.0f}")
+    print(
+        "rekeys/s  512-bit    : "
+        f"{report['rekey_fixed_base_per_s']['512']:>12,.0f} (fixed-base)"
+    )
+    print(f"primes/s  512-bit    : {report['primes_per_s']['512']:>12,.1f}")
+    engine = report["engine"]
+    print(
+        f"engine rounds/s      : {engine['rounds_per_s']:>12,.2f} "
+        f"({engine['nodes']} nodes, {engine['rounds']} rounds)"
+    )
+    print(f"written to           : {report['written_to']}")
+
+    assert report["schema"] == SCHEMA_VERSION
+    assert report["hashes_per_s"]["256"] > report["hashes_per_s"]["512"] / 4
+    assert report["hashes_per_s"]["512"] > 0
+    assert report["primes_per_s"]["512"] > 0
+    assert engine["rounds_per_s"] > 0
+    assert report["written_to"] == "BENCH_hotpath.json"

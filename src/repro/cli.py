@@ -6,6 +6,7 @@ Usage::
     python -m repro detect [--strategy free-rider] [--nodes N]
     python -m repro fig7 | fig8 | fig9 | fig10 | table1 | table2
     python -m repro verify [--fanout F]
+    python -m repro bench [--out BENCH_hotpath.json] [--quick]
 
 Each figure/table subcommand prints the regenerated series next to the
 paper's reference values (the same generators the benchmarks assert on).
@@ -74,6 +75,17 @@ def build_parser() -> argparse.ArgumentParser:
         "export", help="write every figure/table series as CSV/JSON"
     )
     export.add_argument("--out", default="results")
+
+    bench = sub.add_parser(
+        "bench", help="hot-path throughput benchmark (BENCH_hotpath.json)"
+    )
+    bench.add_argument("--out", default="BENCH_hotpath.json")
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="short time boxes (smoke-test scale)",
+    )
+    bench.add_argument("--nodes", type=int, default=40)
+    bench.add_argument("--rounds", type=int, default=8)
     return parser
 
 
@@ -249,6 +261,32 @@ def _cmd_verify(args) -> int:
     return 0 if ok and victim.prime_derivable else 1
 
 
+def _cmd_bench(args) -> int:
+    from repro.analysis.hotpath import run_hotpath_bench
+
+    report = run_hotpath_bench(
+        out_path=args.out,
+        quick=args.quick,
+        engine_nodes=args.nodes,
+        engine_rounds=args.rounds,
+    )
+    print(f"Hot-path throughput [{report['backend']} backend]")
+    print(f"  hashes/s 256-bit : {report['hashes_per_s']['256']:>12,.0f}")
+    print(f"  hashes/s 512-bit : {report['hashes_per_s']['512']:>12,.0f}")
+    print(
+        "  rekeys/s 512-bit : "
+        f"{report['rekey_fixed_base_per_s']['512']:>12,.0f}"
+    )
+    print(f"  primes/s 512-bit : {report['primes_per_s']['512']:>12,.1f}")
+    engine = report["engine"]
+    print(
+        f"  engine rounds/s  : {engine['rounds_per_s']:>12,.2f} "
+        f"({engine['nodes']} nodes)"
+    )
+    print(f"  written          : {args.out}")
+    return 0
+
+
 def _cmd_export(args) -> int:
     from repro.analysis.export import export_all
 
@@ -271,6 +309,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "table2": _cmd_table2,
         "verify": _cmd_verify,
         "export": _cmd_export,
+        "bench": _cmd_bench,
     }[args.command]
     return handler(args)
 

@@ -8,6 +8,7 @@ from typing import List
 
 from repro.core.config import PagConfig
 from repro.core.signing import Signer, TokenSigner
+from repro.crypto.backend import resolve_backend
 from repro.crypto.homomorphic import HomomorphicHasher, make_modulus
 from repro.crypto.keystore import CryptoCounters
 from repro.membership.directory import Directory
@@ -64,8 +65,12 @@ class PagContext:
             monitors_per_node=config.monitors_per_node,
         )
         modulus_rng = seeds.stream("modulus")
+        backend = None
+        if config.crypto_backend != "auto":
+            backend = resolve_backend(config.crypto_backend)
         hasher = HomomorphicHasher(
-            modulus=make_modulus(config.sim_modulus_bits, modulus_rng)
+            modulus=make_modulus(config.sim_modulus_bits, modulus_rng),
+            backend=backend,
         )
         return cls(
             config=config,

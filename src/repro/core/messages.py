@@ -49,7 +49,7 @@ __all__ = [
 _COUNT_BYTES = 2
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ServeEntry:
     """One update inside a Serve message.
 
@@ -80,7 +80,7 @@ class ServeEntry:
         return body
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SignedAck:
     """Message 5 content: ``<Ack, R, B, A, H(prod u_i)_(K(R-1,A), M)>_B``.
 
@@ -114,7 +114,7 @@ class SignedAck:
         return sizes.hash_value + sizes.signature + 12
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SignedAttestation:
     """Message 4 content: ``<Attestation, R, A, B, H(.)_(p_j,M)>_A``.
 
@@ -144,7 +144,7 @@ class SignedAttestation:
 # ---------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class KeyRequest(Message):
     """Message 1: ``<KeyRequest, R, A, B>_A`` — A asks B for a prime."""
 
@@ -155,7 +155,7 @@ class KeyRequest(Message):
         return sizes.header + sizes.signature
 
 
-@dataclass
+@dataclass(slots=True)
 class KeyResponse(Message):
     """Message 2: ``{<KeyResponse, R, B, A, p_j, H(u_{i in S_B})_(p_j,M)>_B}pk(A)``.
 
@@ -178,7 +178,7 @@ class KeyResponse(Message):
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class Serve(Message):
     """Message 3: ``{<Serve, R, A, B, K(R-1,A), updates, intersections>_A}pk(B)``."""
 
@@ -206,7 +206,7 @@ class Serve(Message):
         return tuple(e for e in self.entries if e.ack_only)
 
 
-@dataclass
+@dataclass(slots=True)
 class Attestation(Message):
     """Message 4: the signed attestation A sends to B."""
 
@@ -217,7 +217,7 @@ class Attestation(Message):
         return sizes.header + self.attestation.wire_bytes(sizes)
 
 
-@dataclass
+@dataclass(slots=True)
 class Ack(Message):
     """Message 5: B's signed acknowledgement back to A."""
 
@@ -233,7 +233,7 @@ class Ack(Message):
 # ---------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class AckCopy(Message):
     """Message 6: B copies its Ack to one of its own monitors."""
 
@@ -244,7 +244,7 @@ class AckCopy(Message):
         return sizes.header + self.ack.wire_bytes(sizes)
 
 
-@dataclass
+@dataclass(slots=True)
 class AttestationRelay(Message):
     """Message 7: ``{<attestation, prod_{k!=j} p_k>_B}pk(D)``.
 
@@ -271,7 +271,7 @@ class AttestationRelay(Message):
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class DeclarationAck(Message):
     """Monitor -> declarer: the message 6/7 pair was received.
 
@@ -291,7 +291,7 @@ class DeclarationAck(Message):
         return sizes.header + 8 + sizes.signature
 
 
-@dataclass
+@dataclass(slots=True)
 class MonitorBroadcast(Message):
     """Message 8: the designated monitor shares the lifted hash pair.
 
@@ -317,7 +317,7 @@ class MonitorBroadcast(Message):
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class SelfCheck(Message):
     """Monitored node -> each of its monitors: my own lifted hash pair.
 
@@ -346,7 +346,7 @@ class SelfCheck(Message):
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class AckRelay(Message):
     """Message 9: B's monitors forward B's ack to A's monitors.
 
@@ -370,7 +370,7 @@ class AckRelay(Message):
 # ---------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class Accusation(Message):
     """A tells M(B): B did not acknowledge my serve; here is the serve.
 
@@ -402,7 +402,7 @@ class Accusation(Message):
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class MonitorProbe(Message):
     """M(B) forwards the accused serve to B and demands an Ack."""
 
@@ -424,7 +424,7 @@ class MonitorProbe(Message):
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class ProbeAck(Message):
     """B answers a probe with a signed Ack."""
 
@@ -435,7 +435,7 @@ class ProbeAck(Message):
         return sizes.header + self.ack.wire_bytes(sizes)
 
 
-@dataclass
+@dataclass(slots=True)
 class Confirm(Message):
     """M(B) -> M(A): ``Confirm(<Ack(u, A)>_B)`` — B did acknowledge."""
 
@@ -449,7 +449,7 @@ class Confirm(Message):
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class Nack(Message):
     """M(B) -> M(A): B never answered the probe; B is unresponsive."""
 
@@ -463,7 +463,7 @@ class Nack(Message):
         return sizes.header + 12 + sizes.signature
 
 
-@dataclass
+@dataclass(slots=True)
 class InvestigateRequest(Message):
     """M(A) -> A: exhibit the Ack that successor B should have produced."""
 
@@ -476,7 +476,7 @@ class InvestigateRequest(Message):
         return sizes.header + 8 + sizes.signature
 
 
-@dataclass
+@dataclass(slots=True)
 class InvestigateResponse(Message):
     """A -> M(A): the exhibited Ack, or nothing (which convicts A)."""
 

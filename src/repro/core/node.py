@@ -49,7 +49,7 @@ from repro.core.messages import (
 from repro.core.monitor import MonitorEngine
 from repro.core.state import OutgoingExchange, PagNodeState
 from repro.core.verification import ack_hash, hash_entries, serve_hashes
-from repro.crypto.primes import generate_prime
+from repro.crypto.primes import PrimePool
 from repro.gossip.source import StreamSchedule
 from repro.gossip.updates import Update, UpdateStore
 from repro.sim.message import Message
@@ -85,6 +85,12 @@ class PagNode(SimNode):
             lift_transform=self.behavior.transform_lifted,
         )
         self._prime_rng = context.prime_rng(node_id)
+        #: sieve-windowed pool amortising the per-round prime draws.
+        self._prime_pool = PrimePool(
+            context.config.sim_prime_bits, self._prime_rng
+        )
+        #: (round, contents) advertised to every predecessor this round.
+        self._buffermap_cache: Tuple[int, List[int]] = (-1, [])
         self._queued_accusations: List[Tuple[int, OutgoingExchange]] = []
         self._contacted: Dict[int, List[int]] = {}
         self._designations: Dict[int, int] = {}
@@ -401,13 +407,21 @@ class PagNode(SimNode):
     def _fresh_prime(self, round_no: int) -> int:
         issued = set(self.state.primes_issued.get(round_no, {}).values())
         while True:
-            prime = generate_prime(
-                self.context.config.sim_prime_bits, self._prime_rng
-            )
+            prime = self._prime_pool.take()
             if prime not in issued:
                 return prime
 
     def _buffermap_contents(self, round_no: int) -> List[int]:
+        """Contents advertised in this round's buffermaps.
+
+        Cached per round: every predecessor's KeyRequest reads the same
+        store state, because all KeyRequests of a round are queued at
+        round start and therefore drain before any of the round's serves
+        is ingested.
+        """
+        cached_round, contents = self._buffermap_cache
+        if cached_round == round_no:
+            return contents
         depth = self.context.config.buffermap_depth
         uids = self.store.recent_uids(round_no, depth)
         contents = []
@@ -415,6 +429,7 @@ class PagNode(SimNode):
             update = self.store.get(uid)
             if update is not None:
                 contents.append(update.content)
+        self._buffermap_cache = (round_no, contents)
         return contents
 
     def _on_serve(self, message: Serve) -> None:
@@ -685,9 +700,7 @@ class PagSourceNode(PagNode):
         chunks = self.schedule.release(round_no)
         self.released.extend(chunks)
         self._round_chunks[round_no] = chunks
-        self._source_keys[round_no] = generate_prime(
-            self.context.config.sim_prime_bits, self._prime_rng
-        )
+        self._source_keys[round_no] = self._prime_pool.take()
         super().begin_round(round_no)
 
     def _forward_items(self, round_no: int) -> List[Tuple[Update, int]]:
@@ -696,9 +709,7 @@ class PagSourceNode(PagNode):
     def _serving_key(self, round_no: int) -> Tuple[int, int]:
         key = self._source_keys.get(round_no)
         if key is None:
-            key = generate_prime(
-                self.context.config.sim_prime_bits, self._prime_rng
-            )
+            key = self._prime_pool.take()
             self._source_keys[round_no] = key
         return key, 1
 

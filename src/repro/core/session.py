@@ -116,7 +116,7 @@ class PagSession:
         if node_id == self.source.node_id:
             raise ValueError("the source is assumed correct and present")
         del self.nodes[node_id]
-        del self.simulator.nodes[node_id]
+        self.simulator.remove_node(node_id)
 
     @property
     def current_round(self) -> int:

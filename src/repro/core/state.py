@@ -13,7 +13,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.messages import ServeEntry, SignedAck
-from repro.crypto.primes import product
 from repro.gossip.updates import Update
 
 __all__ = ["OutgoingExchange", "ForwardSet", "PagNodeState"]
@@ -76,6 +75,11 @@ class PagNodeState:
     #: primes issued this session: round -> predecessor -> prime.
     primes_issued: Dict[int, Dict[int, int]] = field(default_factory=dict)
 
+    #: round -> running product of the primes issued that round, kept
+    #: incrementally so round keys and cofactors never refold the whole
+    #: prime set (the folds dominated the receiver-side hot path).
+    _key_products: Dict[int, int] = field(default_factory=dict, repr=False)
+
     #: updates to forward, keyed by the round they were received in.
     forward_sets: Dict[int, ForwardSet] = field(default_factory=dict)
 
@@ -99,27 +103,41 @@ class PagNodeState:
                 f"prime already issued to {predecessor} in round {round_no}"
             )
         per_round[predecessor] = prime
+        self._key_products[round_no] = (
+            self._key_products.get(round_no, 1) * prime
+        )
 
     def prime_for(self, round_no: int, predecessor: int) -> Optional[int]:
         return self.primes_issued.get(round_no, {}).get(predecessor)
 
     def round_key(self, round_no: int) -> Tuple[int, int]:
         """``(K(round, self), number of primes)`` — K is 1 if none issued."""
-        primes = self.primes_issued.get(round_no, {})
-        return product(primes.values()), len(primes)
+        primes = self.primes_issued.get(round_no)
+        if not primes:
+            return 1, 0
+        return self._key_products[round_no], len(primes)
 
     def cofactor(self, round_no: int, predecessor: int) -> Tuple[int, int]:
-        """``prod_{k != j} p_k`` and its prime count, for message 7."""
-        primes = self.primes_issued.get(round_no, {})
-        others = [p for pred, p in primes.items() if pred != predecessor]
-        return product(others), len(others)
+        """``prod_{k != j} p_k`` and its prime count, for message 7.
+
+        Derived from the incremental round product by exact division:
+        the issued primes are nonzero, so ``K / p_j`` equals the product
+        of the other primes without refolding them.
+        """
+        primes = self.primes_issued.get(round_no)
+        if not primes:
+            return 1, 0
+        own = primes.get(predecessor)
+        if own is None:
+            return self._key_products[round_no], len(primes)
+        return self._key_products[round_no] // own, len(primes) - 1
 
     def forward_set(self, round_no: int) -> ForwardSet:
         return self.forward_sets.setdefault(round_no, ForwardSet())
 
     def prune_before(self, round_no: int) -> None:
         """Drop state older than ``round_no`` (bounded memory)."""
-        for store in (self.primes_issued, self.forward_sets):
+        for store in (self.primes_issued, self.forward_sets, self._key_products):
             for rnd in [r for r in store if r < round_no]:
                 del store[rnd]
         for keyed in (self.outgoing, self.pending_serves, self.acks_sent):

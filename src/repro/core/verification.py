@@ -8,10 +8,12 @@ tests exercise the math in isolation.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterable, Sequence, Tuple
 
 from repro.crypto.homomorphic import HomomorphicHasher
 from repro.core.messages import ServeEntry
+from repro.gossip.updates import content_integer
 
 __all__ = [
     "entries_product",
@@ -21,6 +23,22 @@ __all__ = [
     "lift_attested",
     "combine_lifted",
 ]
+
+
+@lru_cache(maxsize=1 << 16)
+def _entry_power(
+    uid: int, session: int, count: int, modulus: int, powmod
+) -> int:
+    """``content(uid)^count mod modulus``, cached.
+
+    With fanout f every update is typically received f times, so the
+    same ``u^count`` term recurs in the server's, the receiver's and the
+    monitors' folds of the same round — and in every successor's serve.
+    The key is a small-int tuple (plus the backend primitive, so gmpy2
+    and pure-Python results never share entries), much cheaper than
+    re-reducing the 1024-bit content each time.
+    """
+    return powmod(content_integer(uid, session), count, modulus)
 
 
 def entries_product(
@@ -34,8 +52,16 @@ def entries_product(
     """
     acc = 1
     modulus = hasher.modulus
+    powmod = hasher.backend.powmod
     for entry in entries:
-        acc = (acc * pow(entry.update.content, entry.count, modulus)) % modulus
+        update = entry.update
+        acc = (
+            acc
+            * _entry_power(
+                update.uid, update.session, entry.count, modulus, powmod
+            )
+            % modulus
+        )
     return acc
 
 

@@ -9,6 +9,16 @@ simulations), while also exposing operation counters for the large-scale
 cost accounting of section VII.
 """
 
+from repro.crypto.backend import (
+    Backend,
+    FixedBaseCache,
+    Gmpy2Backend,
+    PythonBackend,
+    available_backends,
+    default_backend,
+    gmpy2_available,
+    resolve_backend,
+)
 from repro.crypto.homomorphic import (
     DEFAULT_MODULUS_BITS,
     DEFAULT_PRIME_BITS,
@@ -18,6 +28,7 @@ from repro.crypto.homomorphic import (
 )
 from repro.crypto.keystore import CryptoCounters, KeyStore
 from repro.crypto.primes import (
+    PrimePool,
     generate_distinct_primes,
     generate_prime,
     is_prime,
@@ -36,9 +47,18 @@ __all__ = [
     "DEFAULT_KEY_BITS",
     "DEFAULT_MODULUS_BITS",
     "DEFAULT_PRIME_BITS",
+    "Backend",
     "CryptoCounters",
+    "FixedBaseCache",
+    "Gmpy2Backend",
     "HomomorphicHasher",
     "KeyStore",
+    "PrimePool",
+    "PythonBackend",
+    "available_backends",
+    "default_backend",
+    "gmpy2_available",
+    "resolve_backend",
     "RsaKeyPair",
     "RsaPrivateKey",
     "RsaPublicKey",

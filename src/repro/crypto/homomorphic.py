@@ -29,8 +29,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
+from repro.crypto.backend import (
+    Backend,
+    FixedBaseCache,
+    PythonBackend,
+    default_backend,
+)
 from repro.crypto.primes import generate_prime, is_prime, product
 
 __all__ = [
@@ -42,6 +48,22 @@ __all__ = [
 
 DEFAULT_MODULUS_BITS = 512
 DEFAULT_PRIME_BITS = 512
+
+#: Bound on the (value, exponent) -> hash memo; when full, the oldest
+#: half is evicted (insertion order), which is cheap and good enough for
+#: the round-local reuse pattern.
+_MEMO_MAX = 1 << 14
+
+#: Bound on the per-base fixed-base ladder cache used by hot bases.
+_FIXED_BASE_MAX = 1024
+
+#: The power ladder beats built-in ``pow`` when squarings dominate: for
+#: small exponents (the per-link primes; pow re-reduces the wide update
+#: base every call) and at production modulus widths (where each C-level
+#: multiply is expensive enough to amortise the interpreter loop).  For
+#: wide exponents over a narrow simulation modulus, built-in pow wins.
+_SMALL_EXPONENT_BITS = 64
+_WIDE_MODULUS_BITS = 256
 
 
 def make_modulus(bits: int, rng: random.Random) -> int:
@@ -72,11 +94,18 @@ class HomomorphicHasher:
     Attributes:
         modulus: the public RSA-style modulus ``M``.
         operations: number of modular exponentiations performed, i.e. the
-            "homomorphic hashes per second" unit of Table I.
+            "homomorphic hashes per second" unit of Table I.  Counted at
+            the protocol-call level (one per :meth:`hash`/:meth:`rekey`),
+            so backend swaps and result caching never change the tally.
+        backend: modular-arithmetic provider; None selects the process
+            default (gmpy2 when installed, else built-in ``pow``).
     """
 
     modulus: int
     operations: int = field(default=0, compare=False)
+    backend: Optional[Backend] = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.modulus < 4:
@@ -86,6 +115,28 @@ class HomomorphicHasher:
                 "modulus must be composite (RSA-style p*q); a prime modulus "
                 "makes discrete roots easy and breaks one-wayness"
             )
+        if self.backend is None:
+            self.backend = default_backend()
+        self._powmod = self.backend.powmod
+        #: (value, exponent) -> hash result.  The same exchange hash is
+        #: recomputed by the server, the receiver, and the monitors; the
+        #: memo collapses those to one exponentiation (while `operations`
+        #: still counts every protocol-level evaluation).
+        self._memo: dict = {}
+        #: fixed-base fast path: per-base power ladders, built from the
+        #: second hashing of a base onward (building costs one pow).
+        #: Covers the buffermap/serve membership hashes (the same update
+        #: contents hashed under a fresh prime per link per round) and
+        #: the monitor rekey path (the same attested hash raised to many
+        #: cofactors).
+        self._fixed_bases: dict = {}
+        self._hot_candidates: set = set()
+        #: the ladder only beats C-level pow when pow itself runs in
+        #: the interpreter's bigint code, not when gmpy2 is active.
+        self._use_fixed_base = isinstance(self.backend, PythonBackend)
+        self._wide_modulus = (
+            self.modulus.bit_length() >= _WIDE_MODULUS_BITS
+        )
 
     @property
     def byte_size(self) -> int:
@@ -102,7 +153,64 @@ class HomomorphicHasher:
         if exponent <= 0:
             raise ValueError("hash exponent must be positive")
         self.operations += 1
-        return pow(update, exponent, self.modulus)
+        # Narrow exponents (the per-link primes): fixed-base tables win
+        # and results repeat too rarely to be worth memoising.
+        if self._use_fixed_base and (
+            exponent.bit_length() <= _SMALL_EXPONENT_BITS
+        ):
+            cache = self._fixed_bases.get(update)
+            if cache is not None:
+                return cache.powmod(exponent)
+            return self._warm_base(update, exponent)
+        # Wide exponents (round-key and cofactor products): each
+        # evaluation costs tens of microseconds and the same hash is
+        # recomputed by the server, the receiver and the monitors, so
+        # memoise by value (`operations` already counted the call).
+        memo = self._memo
+        key = (update, exponent)
+        result = memo.get(key)
+        if result is not None:
+            return result
+        if self._use_fixed_base and self._wide_modulus:
+            cache = self._fixed_bases.get(update)
+            if cache is not None:
+                result = cache.powmod(exponent)
+            else:
+                result = self._warm_base(update, exponent)
+        else:
+            result = self._powmod(update, exponent, self.modulus)
+        if len(memo) >= _MEMO_MAX:
+            self._evict(memo)
+        memo[key] = result
+        return result
+
+    def _warm_base(self, update: int, exponent: int) -> int:
+        """Track base reuse; build its window table on second sighting.
+
+        Narrow exponents (per-link primes) get a 4-bit window — many
+        reuses, quarter the multiplies; wide ones (cofactor and round-key
+        products) a 1-bit ladder, which amortises after a single reuse.
+        """
+        hot = self._hot_candidates
+        if update in hot:
+            if len(self._fixed_bases) >= _FIXED_BASE_MAX:
+                self._evict(self._fixed_bases)
+            window = (
+                4 if exponent.bit_length() <= _SMALL_EXPONENT_BITS else 1
+            )
+            cache = FixedBaseCache(update, self.modulus, window=window)
+            self._fixed_bases[update] = cache
+            return cache.powmod(exponent)
+        hot.add(update)
+        if len(hot) > _FIXED_BASE_MAX * 4:
+            hot.clear()
+        return self._powmod(update, exponent, self.modulus)
+
+    @staticmethod
+    def _evict(memo: dict) -> None:
+        """Drop the oldest half of a bounded memo (insertion order)."""
+        for key in list(memo.keys())[: len(memo) // 2]:
+            del memo[key]
 
     def hash_set(self, updates: Iterable[int], exponent: int) -> int:
         """Hash of the product of a set of updates under one exponent.
@@ -129,6 +237,12 @@ class HomomorphicHasher:
         ``H(u)_(p1*p2)``.  This is what a monitor does in message 8 of
         Fig. 6 when it raises an attested hash to the product of the
         monitored node's *other* primes.
+
+        The same attested hash is typically lifted to several cofactors
+        within a round; from the second hashing of a base onward the
+        hasher switches that base to a fixed-base power ladder
+        (:class:`~repro.crypto.backend.FixedBaseCache`), which skips all
+        the squarings a cold ``pow`` would redo.
         """
         return self.hash(hashed, exponent)
 

@@ -13,7 +13,8 @@ and seeded random prime generation so that simulations are reproducible.
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Optional
+from collections import deque
+from typing import Deque, Iterable, List, Optional, Set
 
 __all__ = [
     "is_prime",
@@ -21,6 +22,7 @@ __all__ = [
     "generate_distinct_primes",
     "next_prime",
     "product",
+    "PrimePool",
     "SMALL_PRIMES",
 ]
 
@@ -69,6 +71,24 @@ def _miller_rabin_witness(n: int, a: int, d: int, r: int) -> bool:
     return True
 
 
+def _miller_rabin(n: int, rng: Optional[random.Random]) -> bool:
+    """Miller-Rabin stage only — callers must have trial-divided first."""
+    # Write n - 1 = d * 2^r with d odd.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for bound, witnesses in _DETERMINISTIC_WITNESSES:
+        if n < bound:
+            return not any(
+                _miller_rabin_witness(n, a, d, r) for a in witnesses
+            )
+    rng = rng if rng is not None else random.Random(n & 0xFFFFFFFF)
+    bases = (rng.randrange(2, n - 1) for _ in range(_PROBABILISTIC_ROUNDS))
+    return not any(_miller_rabin_witness(n, a, d, r) for a in bases)
+
+
 def is_prime(n: int, rng: Optional[random.Random] = None) -> bool:
     """Primality test: exact below ~3.3e23, Miller-Rabin above.
 
@@ -88,20 +108,7 @@ def is_prime(n: int, rng: Optional[random.Random] = None) -> bool:
             return True
         if n % p == 0:
             return False
-    # Write n - 1 = d * 2^r with d odd.
-    d = n - 1
-    r = 0
-    while d % 2 == 0:
-        d //= 2
-        r += 1
-    for bound, witnesses in _DETERMINISTIC_WITNESSES:
-        if n < bound:
-            return not any(
-                _miller_rabin_witness(n, a, d, r) for a in witnesses
-            )
-    rng = rng if rng is not None else random.Random(n & 0xFFFFFFFF)
-    bases = (rng.randrange(2, n - 1) for _ in range(_PROBABILISTIC_ROUNDS))
-    return not any(_miller_rabin_witness(n, a, d, r) for a in bases)
+    return _miller_rabin(n, rng)
 
 
 def generate_prime(bits: int, rng: random.Random) -> int:
@@ -166,3 +173,109 @@ def product(values: Iterable[int]) -> int:
     for value in values:
         result *= value
     return result
+
+
+class PrimePool:
+    """Amortised prime generation: sieve a window, test the survivors.
+
+    Every node draws one fresh prime per predecessor per round
+    (section V-A), so prime generation sits on the round hot path.
+    :func:`generate_prime` pays full trial division on every random
+    candidate; the pool instead draws one random window base per refill
+    and crosses out all small-prime multiples across the whole window in
+    bulk (a segmented sieve), so only the ~1/4 of candidates that
+    survive the wheel reach Miller-Rabin — and those skip trial division
+    entirely, since the sieve already performed it.
+
+    The pool consumes randomness only from its own ``rng`` and in a
+    fixed order, so draws are reproducible under a fixed seed.  Primes
+    returned by :meth:`take` are pairwise distinct for the lifetime of
+    the pool.
+
+    Attributes:
+        bits: bit length of generated primes; the top two bits are set
+            (like :func:`generate_prime`) so prime products reach full
+            modulus width.
+        window: candidates sieved per refill (odd numbers, so a window
+            spans ``2 * window`` integers).
+    """
+
+    def __init__(
+        self, bits: int, rng: random.Random, window: int = 256
+    ) -> None:
+        if bits < 8:
+            raise ValueError("prime pool needs at least 8-bit primes")
+        if window < 1:
+            raise ValueError("window must be positive")
+        self.bits = bits
+        self.window = window
+        self._rng = rng
+        self._ready: Deque[int] = deque()
+        self._seen: Set[int] = set()
+        self.generated = 0
+        self.candidates_tested = 0
+
+    #: Refills that yield no new prime before declaring exhaustion.  At
+    #: practical sizes (>= 32 bits) tens of millions of eligible primes
+    #: exist and this bound is unreachable; it exists so degenerate
+    #: widths fail loudly instead of spinning forever once every
+    #: eligible prime has been handed out.
+    _MAX_BARREN_REFILLS = 64
+
+    def take(self) -> int:
+        """Return the next pooled prime, refilling when the pool runs dry.
+
+        Raises:
+            RuntimeError: when the distinct-prime space for this bit
+                width is exhausted (only reachable at tiny widths).
+        """
+        barren = 0
+        while not self._ready:
+            before = len(self._seen)
+            self._refill()
+            if len(self._seen) == before:
+                barren += 1
+                if barren >= self._MAX_BARREN_REFILLS:
+                    raise RuntimeError(
+                        f"prime pool exhausted: all distinct {self.bits}-bit "
+                        f"primes ({len(self._seen)}) have been drawn"
+                    )
+            else:
+                barren = 0
+        prime = self._ready.popleft()
+        self.generated += 1
+        return prime
+
+    def take_many(self, count: int) -> List[int]:
+        return [self.take() for _ in range(count)]
+
+    def _refill(self) -> None:
+        bits = self.bits
+        base = self._rng.getrandbits(bits)
+        base |= (1 << (bits - 1)) | (1 << (bits - 2)) | 1
+        span = self.window
+        top = (1 << bits) - 1
+        if base + 2 * (span - 1) > top:
+            span = (top - base) // 2 + 1
+        # survivors[k] == 0 <=> base + 2k has no small-prime factor.
+        survivors = bytearray(span)
+        for p in SMALL_PRIMES:
+            if p == 2:
+                continue  # all candidates are odd
+            # Smallest k >= 0 with base + 2k ≡ 0 (mod p); the modular
+            # inverse of 2 mod an odd p is (p + 1) // 2.
+            k = (-base % p) * ((p + 1) // 2) % p
+            if base + 2 * k == p:
+                k += p  # p itself is prime, not a composite multiple
+            if k < span:
+                run = len(range(k, span, p))
+                survivors[k::p] = b"\x01" * run
+        for k in range(span):
+            if survivors[k]:
+                continue
+            candidate = base + 2 * k
+            self.candidates_tested += 1
+            if _miller_rabin(candidate, self._rng):
+                if candidate not in self._seen:
+                    self._seen.add(candidate)
+                    self._ready.append(candidate)

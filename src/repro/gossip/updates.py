@@ -12,11 +12,13 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Iterable, List, Optional, Set
 
 __all__ = ["Update", "UpdateStore", "content_integer"]
 
 
+@lru_cache(maxsize=1 << 16)
 def content_integer(uid: int, session: int = 0) -> int:
     """Deterministic 1024-bit integer standing in for an update's bytes.
 
@@ -26,6 +28,10 @@ def content_integer(uid: int, session: int = 0) -> int:
     on the content, hashes are reproducible, and the integer is wider
     than the 512-bit modulus (the paper notes updates are larger than M,
     which is what makes the hash non-invertible).
+
+    Cached: every hash, buffermap and product evaluation re-reads update
+    contents, and the four SHA-256 blocks per read dominated simulation
+    profiles before memoisation.
     """
     blocks = []
     for counter in range(4):  # 4 x 256 bits = 1024 bits

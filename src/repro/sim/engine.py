@@ -42,11 +42,30 @@ class Simulator:
     round_seconds: float = 1.0
     current_round: int = 0
     round_hooks: List[RoundHook] = field(default_factory=list)
+    #: id-sorted node list, rebuilt only when membership changes (the
+    #: seed engine re-sorted the whole dict twice per round).
+    _sorted_nodes: Optional[List[SimNode]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def add_node(self, node: SimNode) -> None:
         if node.node_id in self.nodes:
             raise ValueError(f"duplicate node id {node.node_id}")
         self.nodes[node.node_id] = node
+        self._sorted_nodes = None
+
+    def remove_node(self, node_id: int) -> None:
+        """Drop a node from the engine (churn); undelivered traffic to it
+        is silently discarded by the drain loop."""
+        del self.nodes[node_id]
+        self._sorted_nodes = None
+
+    def _ordered_nodes(self) -> List[SimNode]:
+        if self._sorted_nodes is None:
+            self._sorted_nodes = [
+                self.nodes[node_id] for node_id in sorted(self.nodes)
+            ]
+        return self._sorted_nodes
 
     def add_round_hook(self, hook: RoundHook) -> None:
         self.round_hooks.append(hook)
@@ -55,11 +74,12 @@ class Simulator:
         """Execute one full round: begin, drain to quiescence, end."""
         round_no = self.current_round
         self.network.begin_round(round_no)
-        for node_id in sorted(self.nodes):
-            self.nodes[node_id].begin_round(round_no)
+        ordered = self._ordered_nodes()
+        for node in ordered:
+            node.begin_round(round_no)
         self._drain(round_no)
-        for node_id in sorted(self.nodes):
-            self.nodes[node_id].end_round(round_no)
+        for node in ordered:
+            node.end_round(round_no)
         for hook in self.round_hooks:
             hook(round_no)
         self.current_round += 1
@@ -70,28 +90,39 @@ class Simulator:
             self.run_round()
 
     def _drain(self, round_no: int) -> None:
+        """Deliver queued messages until quiescence, in batches.
+
+        The network hands over its whole pending queue at once; replies
+        sent while a batch is processed accumulate into the next batch.
+        Delivery order is identical to one-at-a-time FIFO popping, but
+        the per-message queue bookkeeping happens once per batch.
+        """
         budget = _MAX_DELIVERIES_PER_ROUND_PER_NODE * max(1, len(self.nodes))
         delivered = 0
+        nodes_get = self.nodes.get
+        take_pending = self.network.take_pending
         while True:
-            message = self.network.pop()
-            if message is None:
+            batch = take_pending()
+            if not batch:
                 return
-            delivered += 1
+            delivered += len(batch)
             if delivered > budget:
                 raise RuntimeError(
                     f"round {round_no}: delivery budget exceeded "
                     f"({budget} messages); suspected message loop"
                 )
-            recipient = self.nodes.get(message.recipient)
-            if recipient is None:
-                # Recipient left the system (churn); gossip tolerates this.
-                continue
-            recipient.on_message(message)
+            for message in batch:
+                recipient = nodes_get(message.recipient)
+                if recipient is None:
+                    # Recipient left the system (churn); gossip tolerates
+                    # this.
+                    continue
+                recipient.on_message(message)
 
     # -- reporting helpers -------------------------------------------------
 
     def node_ids(self) -> List[int]:
-        return sorted(self.nodes)
+        return [node.node_id for node in self._ordered_nodes()]
 
     def bandwidth_kbps(
         self, first_round: int = 0, last_round: Optional[int] = None

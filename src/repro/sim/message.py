@@ -14,7 +14,7 @@ from typing import ClassVar
 __all__ = ["Message", "WireSizes"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WireSizes:
     """Wire-size constants shared by all protocols in a run.
 
@@ -44,11 +44,15 @@ class WireSizes:
         return (modulus_bits + 7) // 8
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A protocol message travelling between two simulated nodes.
 
     Subclasses add payload fields and override :meth:`size_bytes`.
+    Hot-path subclasses (the PAG wire messages) also declare
+    ``slots=True``: millions of message instances flow through a long
+    simulation, and slotted instances are smaller and faster to create
+    and to read attributes from than ``__dict__``-backed ones.
     """
 
     sender: int

@@ -28,7 +28,7 @@ def kbps(total_bytes: float, seconds: float) -> float:
     return total_bytes * 8.0 / 1000.0 / seconds
 
 
-@dataclass
+@dataclass(slots=True)
 class NodeTraffic:
     """Per-node cumulative traffic counters."""
 
@@ -42,7 +42,7 @@ class NodeTraffic:
         return self.bytes_up + self.bytes_down
 
 
-@dataclass
+@dataclass(slots=True)
 class BandwidthMeter:
     """Accounts every byte that crosses the simulated network.
 

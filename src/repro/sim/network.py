@@ -92,6 +92,17 @@ class Network:
             return None
         return self._queue.popleft()
 
+    def take_pending(self) -> Deque[Message]:
+        """Hand over the whole pending queue and start a fresh one.
+
+        Replies sent while the caller processes the batch land in the
+        new queue, so alternating ``take_pending`` with batch delivery
+        yields exactly the order one-at-a-time :meth:`pop` would.
+        """
+        batch = self._queue
+        self._queue = deque()
+        return batch
+
     def begin_round(self, round_no: int) -> None:
         if self._queue:
             raise RuntimeError(

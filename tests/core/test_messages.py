@@ -1,5 +1,7 @@
 """Wire-size tests: every PAG message prices its real content."""
 
+import dataclasses
+
 import pytest
 
 from repro.core.messages import (
@@ -199,14 +201,26 @@ class TestSignedPayloadDescriptions:
             ("round_no", 4), ("receiver", 9), ("server", 9),
             ("hash_total", 1),
         ]:
-            changed = SignedAck(
-                **{**make_ack().__dict__, field: value}
+            changed = dataclasses.replace(
+                make_ack(), **{field: value}
             ).payload_bytes_desc()
             assert changed != base, field
 
     def test_attestation_desc_binds_hashes(self):
         base = make_attestation().payload_bytes_desc()
-        changed = SignedAttestation(
-            **{**make_attestation().__dict__, "hash_forward": 42}
+        changed = dataclasses.replace(
+            make_attestation(), hash_forward=42
         ).payload_bytes_desc()
         assert changed != base
+
+    def test_hot_messages_are_slotted(self):
+        """Hot-path messages must stay ``__dict__``-free (memory/speed)."""
+        instances = [
+            make_ack(),
+            make_attestation(),
+            make_entry(),
+            KeyRequest(sender=1, recipient=2, round_no=0),
+            Serve(sender=1, recipient=2, round_no=0),
+        ]
+        for instance in instances:
+            assert not hasattr(instance, "__dict__"), type(instance)

@@ -1,0 +1,238 @@
+"""Backend parity: every arithmetic backend computes the same algebra.
+
+The fast path (gmpy2, fixed-base tables, memoisation) must be invisible:
+hash values, the homomorphic identities and the Table I operation
+counts have to be identical whichever backend computes them.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.backend import (
+    FixedBaseCache,
+    Gmpy2Backend,
+    PythonBackend,
+    available_backends,
+    default_backend,
+    gmpy2_available,
+    resolve_backend,
+)
+from repro.crypto.homomorphic import HomomorphicHasher, make_modulus
+
+needs_gmpy2 = pytest.mark.skipif(
+    not gmpy2_available(), reason="gmpy2 not installed"
+)
+
+
+def _backends():
+    backends = [PythonBackend()]
+    if gmpy2_available():
+        backends.append(Gmpy2Backend())
+    return backends
+
+
+def _all_backend_params():
+    return [pytest.param(b, id=b.name) for b in _backends()]
+
+
+# ---------------------------------------------------------------------------
+# Selection
+# ---------------------------------------------------------------------------
+
+
+def test_python_backend_always_available():
+    assert "python" in available_backends()
+    assert resolve_backend("python").name == "python"
+
+
+def test_auto_resolution_matches_availability():
+    backend = resolve_backend("auto")
+    assert backend.name == ("gmpy2" if gmpy2_available() else "python")
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError):
+        resolve_backend("openssl")
+
+
+def test_env_var_selects_backend(monkeypatch):
+    monkeypatch.setenv("REPRO_CRYPTO_BACKEND", "python")
+    assert resolve_backend(None).name == "python"
+
+
+def test_missing_gmpy2_fails_loudly():
+    if gmpy2_available():
+        assert resolve_backend("gmpy2").name == "gmpy2"
+    else:
+        with pytest.raises(RuntimeError):
+            resolve_backend("gmpy2")
+
+
+def test_default_backend_is_cached():
+    assert default_backend() is default_backend()
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic parity
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", _all_backend_params())
+@given(
+    base=st.integers(min_value=0, max_value=1 << 1024),
+    exponent=st.integers(min_value=0, max_value=1 << 512),
+    modulus=st.integers(min_value=2, max_value=1 << 512),
+)
+@settings(max_examples=60, deadline=None)
+def test_powmod_matches_builtin_pow(backend, base, exponent, modulus):
+    assert backend.powmod(base, exponent, modulus) == pow(
+        base, exponent, modulus
+    )
+
+
+@pytest.mark.parametrize("backend", _all_backend_params())
+def test_mulmod_matches_builtin(backend):
+    rng = random.Random(5)
+    for _ in range(50):
+        a, b = rng.getrandbits(256), rng.getrandbits(256)
+        m = rng.randrange(2, 1 << 128)
+        assert backend.mulmod(a, b, m) == a * b % m
+
+
+@needs_gmpy2
+def test_gmpy2_returns_plain_ints():
+    backend = Gmpy2Backend()
+    result = backend.powmod(3, 4, 7)
+    assert type(result) is int and result == 4
+
+
+# ---------------------------------------------------------------------------
+# Protocol-level parity: hash / rekey / combine / verify_forwarding and
+# identical operation accounting across backends.
+# ---------------------------------------------------------------------------
+
+
+def _fresh_pair():
+    """Two hashers over the same modulus, one per available backend."""
+    modulus = make_modulus(256, random.Random(11))
+    return [
+        HomomorphicHasher(modulus=modulus, backend=b) for b in _backends()
+    ]
+
+
+def _exercise(hasher, rng):
+    """A fixed workload touching every hashing entry point."""
+    outputs = []
+    primes = [65537, 101, 257]
+    for i in range(40):
+        update = rng.getrandbits(300) + 2
+        outputs.append(hasher.hash(update, primes[i % 3]))
+        # Repeat some hashes so the memo path is exercised too.
+        outputs.append(hasher.hash(update, primes[i % 3]))
+    attested = []
+    for i in range(10):
+        h = hasher.hash(rng.getrandbits(200) + 2, 65537)
+        cofactor = rng.getrandbits(96) | 1
+        # Lift twice: the second lift goes through the fixed-base table.
+        attested.append(hasher.rekey(h, cofactor))
+        attested.append(hasher.rekey(h, cofactor + 2))
+    outputs.extend(attested)
+    outputs.append(hasher.combine(attested))
+    u1, u2 = rng.getrandbits(128) + 2, rng.getrandbits(128) + 2
+    p1, p2 = 101, 257
+    pairs = [
+        (hasher.hash(u1, p1), p2),
+        (hasher.hash(u2, p2), p1),
+    ]
+    acknowledged = hasher.hash(u1, p1 * p2) * hasher.hash(u2, p1 * p2)
+    outputs.append(hasher.verify_forwarding(pairs, acknowledged))
+    return outputs
+
+
+def test_backends_agree_on_all_operations_and_counts():
+    hashers = _fresh_pair()
+    results = []
+    for hasher in hashers:
+        results.append((_exercise(hasher, random.Random(77)), hasher))
+    reference_out, reference_hasher = results[0]
+    for outputs, hasher in results[1:]:
+        assert outputs == reference_out
+        assert hasher.operations == reference_hasher.operations
+    if len(results) == 1:
+        pytest.skip("only the python backend installed; parity is vacuous")
+
+
+@pytest.mark.parametrize("backend", _all_backend_params())
+def test_operation_count_is_call_based_not_compute_based(backend):
+    """Memo hits still count: Table I tallies protocol-level hashes."""
+    hasher = HomomorphicHasher(
+        modulus=make_modulus(128, random.Random(2)), backend=backend
+    )
+    wide_exponent = (1 << 100) + 1  # wide exponents take the memo path
+    hasher.hash(12345, wide_exponent)
+    hasher.hash(12345, wide_exponent)
+    hasher.hash(12345, wide_exponent)
+    assert hasher.operations == 3
+
+
+@pytest.mark.parametrize("backend", _all_backend_params())
+def test_verify_forwarding_parity_with_seed_semantics(backend):
+    """The forwarding equation holds and fails exactly as in the seed."""
+    hasher = HomomorphicHasher(
+        modulus=make_modulus(256, random.Random(4)), backend=backend
+    )
+    rng = random.Random(9)
+    updates = [rng.getrandbits(120) + 2 for _ in range(3)]
+    primes = [101, 257, 65537]
+    full_key = primes[0] * primes[1] * primes[2]
+    attested = []
+    for u, p in zip(updates, primes):
+        cofactor = full_key // p
+        attested.append((hasher.hash(u, p), cofactor))
+    acknowledged = hasher.hash(
+        updates[0] * updates[1] * updates[2], full_key
+    )
+    assert hasher.verify_forwarding(attested, acknowledged)
+    assert not hasher.verify_forwarding(attested, acknowledged + 1)
+
+
+# ---------------------------------------------------------------------------
+# Fixed-base cache
+# ---------------------------------------------------------------------------
+
+
+@given(
+    base=st.integers(min_value=0, max_value=1 << 600),
+    modulus=st.integers(min_value=2, max_value=1 << 512),
+    window=st.integers(min_value=1, max_value=6),
+    exponents=st.lists(
+        st.integers(min_value=0, max_value=1 << 520),
+        min_size=1,
+        max_size=8,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_fixed_base_cache_matches_pow(base, modulus, window, exponents):
+    cache = FixedBaseCache(base, modulus, window=window)
+    for exponent in exponents:
+        assert cache.powmod(exponent) == pow(base, exponent, modulus)
+
+
+def test_fixed_base_cache_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        FixedBaseCache(2, 1)
+    with pytest.raises(ValueError):
+        FixedBaseCache(2, 5, window=0)
+    with pytest.raises(ValueError):
+        FixedBaseCache(2, 5).powmod(-1)
+
+
+def test_fixed_base_cache_table_grows_lazily():
+    cache = FixedBaseCache(3, 1 << 61, window=4)
+    cache.powmod(15)
+    small_levels = len(cache._levels)
+    cache.powmod(1 << 300)
+    assert len(cache._levels) > small_levels

@@ -194,3 +194,45 @@ def test_hash_set_order_independent(updates, exponent):
     assert hasher.hash_set(updates, exponent) == hasher.hash_set(
         shuffled, exponent
     )
+
+
+# ---------------------------------------------------------------------------
+# Fast-path transparency: memoisation and fixed-base tables must be
+# invisible in both values and operation counts.
+# ---------------------------------------------------------------------------
+
+
+@given(
+    update=st.integers(min_value=0, max_value=2**512),
+    exponent=st.integers(min_value=1, max_value=2**256),
+    repeats=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=60, deadline=None)
+def test_cached_hash_equals_builtin_pow(update, exponent, repeats):
+    """Every repetition — memo hit, warm base, cold call — matches pow."""
+    hasher = fresh_hasher(bits=128, seed=21)
+    expected = pow(update, exponent, hasher.modulus)
+    for _ in range(repeats):
+        assert hasher.hash(update, exponent) == expected
+    assert hasher.operations == repeats
+
+
+def test_repeated_rekey_uses_consistent_values(hasher):
+    """Lifting the same base many times (the monitor's message 8 loop)
+    stays equal to pow even after the fixed-base table kicks in."""
+    rng = random.Random(17)
+    base = rng.getrandbits(200)
+    for i in range(12):
+        cofactor = rng.getrandbits(96) | 1
+        assert hasher.rekey(base, cofactor) == pow(
+            base, cofactor, hasher.modulus
+        )
+
+
+def test_memo_does_not_undercount_operations():
+    hasher = fresh_hasher(bits=128, seed=3)
+    before = hasher.operations
+    wide = (1 << 80) + 1
+    for _ in range(5):
+        hasher.hash(999, wide)
+    assert hasher.operations - before == 5

@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 
 from repro.crypto.primes import (
     SMALL_PRIMES,
+    PrimePool,
     generate_distinct_primes,
     generate_prime,
     is_prime,
@@ -121,3 +122,71 @@ def test_generated_primes_are_coprime_pairwise(data):
     for i in range(4):
         for j in range(i + 1, 4):
             assert math.gcd(primes[i], primes[j]) == 1
+
+
+# ---------------------------------------------------------------------------
+# PrimePool: the sieve-windowed batch generator of the round hot path.
+# ---------------------------------------------------------------------------
+
+
+class TestPrimePool:
+    def test_pooled_primes_are_prime(self):
+        pool = PrimePool(32, random.Random(123))
+        for p in pool.take_many(300):
+            assert is_prime(p), p
+
+    def test_pooled_primes_are_distinct(self):
+        pool = PrimePool(24, random.Random(9))
+        drawn = pool.take_many(500)
+        assert len(set(drawn)) == len(drawn)
+
+    def test_reproducible_under_fixed_seed(self):
+        first = PrimePool(32, random.Random(42)).take_many(100)
+        second = PrimePool(32, random.Random(42)).take_many(100)
+        assert first == second
+
+    def test_different_seeds_diverge(self):
+        a = PrimePool(32, random.Random(1)).take_many(20)
+        b = PrimePool(32, random.Random(2)).take_many(20)
+        assert a != b
+
+    @pytest.mark.parametrize("bits", [8, 16, 32, 64, 128])
+    def test_bit_length_and_top_bits(self, bits):
+        """Top two bits set, like generate_prime, so products of two
+        primes reach full modulus width."""
+        pool = PrimePool(bits, random.Random(5))
+        for p in pool.take_many(10):
+            assert p.bit_length() == bits
+            assert p & (1 << (bits - 2)), "second-highest bit must be set"
+            assert p % 2 == 1
+
+    def test_rejects_degenerate_sizes(self):
+        with pytest.raises(ValueError):
+            PrimePool(4, random.Random(0))
+        with pytest.raises(ValueError):
+            PrimePool(32, random.Random(0), window=0)
+
+    def test_survivors_have_no_small_factors(self):
+        """The wheel must actually strip small-prime multiples: every
+        candidate that reached Miller-Rabin is coprime to the wheel."""
+        pool = PrimePool(32, random.Random(3), window=64)
+        pool.take_many(50)
+        # Candidates tested should be well below the raw window count:
+        # ~4/5 of odd numbers have a factor below 1000.
+        assert 0 < pool.candidates_tested < pool.generated * 12
+
+    def test_large_primes(self):
+        pool = PrimePool(256, random.Random(77))
+        p, q = pool.take_many(2)
+        assert p != q
+        assert is_prime(p) and is_prime(q)
+        assert (p * q).bit_length() == 512
+
+    def test_exhaustion_raises_instead_of_hanging(self):
+        """Only 11 eligible 8-bit primes exist (top two bits set); the
+        12th draw must fail loudly, not spin forever."""
+        pool = PrimePool(8, random.Random(0))
+        drawn = pool.take_many(11)
+        assert len(set(drawn)) == 11
+        with pytest.raises(RuntimeError, match="exhausted"):
+            pool.take()

@@ -169,3 +169,93 @@ def test_bandwidth_kbps_reporting():
     report = sim.bandwidth_kbps()
     assert set(report) == {0, 1}
     assert report[0] > 0
+
+
+# ---------------------------------------------------------------------------
+# Hot-loop overhaul: cached node ordering and batched drain.
+# ---------------------------------------------------------------------------
+
+
+def test_node_ids_cached_and_invalidated_by_membership_changes():
+    sim, a, b = make_sim()
+    assert sim.node_ids() == [0, 1]
+    c = PingNode(5, sim.network, peer=0)
+    sim.add_node(c)
+    assert sim.node_ids() == [0, 1, 5]
+    sim.remove_node(1)
+    assert sim.node_ids() == [0, 5]
+
+
+def test_rounds_run_correctly_after_remove_node():
+    sim, a, b = make_sim()
+    sim.run(1)
+    assert a.received > 0
+    sim.remove_node(1)
+    # Node 0 still pings the departed node 1; delivery is dropped.
+    sim.run(2)
+    assert a.rounds_begun == [0, 1, 2]
+    assert b.rounds_begun == [0]
+
+
+def test_nodes_added_out_of_order_begin_rounds_in_id_order():
+    network = Network()
+    sim = Simulator(network=network)
+    order = []
+
+    class Recorder(SimNode):
+        def begin_round(self, round_no):
+            order.append(self.node_id)
+
+    for node_id in (7, 2, 9, 4):
+        sim.add_node(Recorder(node_id, network))
+    sim.run(1)
+    assert order == [2, 4, 7, 9]
+
+
+def test_batched_drain_preserves_fifo_reply_order():
+    """take_pending + batch delivery must equal one-at-a-time popping:
+    replies queued during a batch are delivered after that batch."""
+    network = Network()
+    sim = Simulator(network=network)
+    log = []
+
+    class Echo(SimNode):
+        def begin_round(self, round_no):
+            if self.node_id == 0:
+                for recipient in (1, 2):
+                    self.send(
+                        Ping(
+                            sender=0,
+                            recipient=recipient,
+                            round_no=round_no,
+                            hops_left=1,
+                        )
+                    )
+
+        def on_message(self, message):
+            log.append((self.node_id, message.sender, message.hops_left))
+            if message.hops_left > 0:
+                self.send(
+                    Ping(
+                        sender=self.node_id,
+                        recipient=0,
+                        round_no=message.round_no,
+                        hops_left=0,
+                    )
+                )
+
+    for node_id in (0, 1, 2):
+        sim.add_node(Echo(node_id, network))
+    sim.run(1)
+    # Both first-wave pings deliver before either reply.
+    assert log == [(1, 0, 1), (2, 0, 1), (0, 1, 0), (0, 2, 0)]
+
+
+def test_take_pending_hands_over_everything_once():
+    network = Network()
+    network.send(Ping(sender=0, recipient=1, round_no=0, hops_left=0))
+    network.send(Ping(sender=1, recipient=0, round_no=0, hops_left=0))
+    batch = network.take_pending()
+    assert len(batch) == 2
+    assert network.pending() == 0
+    assert not network.take_pending()

@@ -73,3 +73,25 @@ class TestCommands:
     def test_fig7_small(self, capsys):
         assert main(["fig7", "--nodes", "20", "--rounds", "8"]) == 0
         assert "AcTinG" in capsys.readouterr().out
+
+
+class TestBenchCommand:
+    def test_bench_writes_json(self, capsys, tmp_path):
+        out_file = tmp_path / "BENCH_hotpath.json"
+        code = main(
+            ["bench", "--quick", "--nodes", "16", "--rounds", "3",
+             "--out", str(out_file)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hashes/s 512-bit" in out
+        assert "engine rounds/s" in out
+
+        import json
+
+        report = json.loads(out_file.read_text())
+        assert report["schema"] == 1
+        assert set(report["hashes_per_s"]) == {"256", "512"}
+        assert report["primes_per_s"]["512"] > 0
+        assert report["engine"]["rounds_per_s"] > 0
+        assert report["backend"] in ("python", "gmpy2")

@@ -1,0 +1,41 @@
+"""Tier-1 perf smoke test: throughput floors for the hot paths.
+
+The floors are set 5-10x below what the slowest supported configuration
+(pure Python, shared CI runners) measures, so the test guards against
+order-of-magnitude regressions — an accidentally quadratic drain loop,
+hashing falling off the fixed-base path — without ever flaking on a
+busy machine.  The full numbers live in ``benchmarks/bench_hotpath.py``
+and ``BENCH_hotpath.json``.
+"""
+
+from repro.analysis.hotpath import (
+    measure_engine_throughput,
+    measure_hash_throughput,
+    measure_prime_throughput,
+)
+
+#: Pure Python measures ~1,300 512-bit hashes/s on a 2020s laptop core.
+MIN_HASHES_PER_S_512 = 150
+
+#: A 30-node session runs ~15-20 rounds/s after the hot-loop overhaul.
+MIN_ENGINE_ROUNDS_PER_S = 1.0
+
+#: The sieve-windowed pool draws hundreds of 128-bit primes per second.
+MIN_PRIMES_PER_S_128 = 30
+
+
+def test_hash_throughput_floor_512():
+    assert measure_hash_throughput(512, seconds=0.1) > MIN_HASHES_PER_S_512
+
+
+def test_engine_round_throughput_floor():
+    result = measure_engine_throughput(nodes=30, rounds=5)
+    assert result["rounds_per_s"] > MIN_ENGINE_ROUNDS_PER_S
+    # The session must have actually exercised the crypto path.
+    assert result["hashes"] > 1000
+
+
+def test_prime_pool_throughput_floor():
+    assert (
+        measure_prime_throughput(bits=128, count=20) > MIN_PRIMES_PER_S_128
+    )
