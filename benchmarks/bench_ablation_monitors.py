@@ -15,27 +15,25 @@ import pytest
 
 from benchmarks.conftest import print_header
 from repro.analysis.privacy import pag_discovery_probability
-from repro.core import PagConfig, PagSession
+from repro.scenarios import ScenarioSpec
+
+BASE = ScenarioSpec(
+    name="ablation-monitors",
+    description="monitor-set size sweep at fixed fanout",
+    nodes=40,
+    rounds=12,
+    warmup_rounds=4,
+    fanout=3,
+    stream_rate_kbps=150.0,
+)
 
 
 def test_monitor_count_bandwidth_ablation(benchmark):
     def sweep():
         out = []
         for monitors in (3, 4, 5):
-            config = PagConfig(
-                fanout=3,
-                monitors_per_node=monitors,
-                stream_rate_kbps=150.0,
-            )
-            session = PagSession.create(40, config=config)
-            session.run(12)
-            out.append(
-                (
-                    monitors,
-                    session.mean_bandwidth_kbps(4, direction="down"),
-                    len(session.all_verdicts()),
-                )
-            )
+            result = BASE.with_overrides(monitors_per_node=monitors).run()
+            out.append((monitors, result.mean_kbps, result.verdicts))
         return out
 
     series = benchmark.pedantic(sweep, rounds=1, iterations=1)

@@ -13,24 +13,27 @@ well above the 300 Kbps payload floor, tight distributions.
 import pytest
 
 from benchmarks.conftest import print_header
-from repro.baselines.acting import ActingSession
-from repro.core import PagConfig, PagSession
+from repro.scenarios import get_scenario
 from repro.sim.metrics import cdf_points
 
 _cache = {}
 
 
 def _run_sessions(scale):
+    """Both Fig. 7 workloads, resolved from the scenario registry."""
     key = (scale["nodes"], scale["rounds"])
     if key not in _cache:
         n, rounds = key
-        pag = PagSession.create(
-            n, config=PagConfig.for_system_size(n, stream_rate_kbps=300.0)
-        )
-        pag.run(rounds)
-        acting = ActingSession.create(n)
-        acting.run(rounds)
-        _cache[key] = (pag, acting)
+        pag = get_scenario(
+            "fig7", nodes=n, rounds=rounds, warmup_rounds=scale["warmup"]
+        ).run()
+        acting = get_scenario(
+            "fig7-acting",
+            nodes=n,
+            rounds=rounds,
+            warmup_rounds=scale["warmup"],
+        ).run()
+        _cache[key] = (pag.session, acting.session)
     return _cache[key]
 
 

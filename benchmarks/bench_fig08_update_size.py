@@ -16,7 +16,8 @@ import pytest
 
 from benchmarks.conftest import print_header
 from repro.analysis.bandwidth import PagBandwidthModel
-from repro.core import PagConfig, PagSession
+from repro.core import PagConfig
+from repro.scenarios import get_scenario
 
 SIZES_KBIT = [1, 2, 5, 10, 20, 50, 100]
 
@@ -62,14 +63,10 @@ def test_fig08_simulator_spot_check():
     """The packet simulator confirms the direction at small scale."""
     results = {}
     for update_bytes in (500, 4000):
-        config = PagConfig.for_system_size(
-            40, stream_rate_kbps=150.0, update_bytes=update_bytes
-        )
-        session = PagSession.create(40, config=config)
-        session.run(12)
-        results[update_bytes] = session.mean_bandwidth_kbps(
-            4, direction="down"
-        )
+        result = get_scenario(
+            "fig8", stream_rate_kbps=150.0, update_bytes=update_bytes
+        ).run()
+        results[update_bytes] = result.mean_kbps
     print(
         f"\nsimulator: 500 B updates -> {results[500]:.0f} Kbps, "
         f"4000 B -> {results[4000]:.0f} Kbps"
@@ -84,14 +81,18 @@ def test_fig08_buffermap_depth_ablation(benchmark):
 
     def sweep():
         out = []
+        spec = get_scenario("fig8", stream_rate_kbps=150.0, fanout=3,
+                            monitors_per_node=3)
         for depth in (2, 4, 6, 10):
-            config = PagConfig(
-                buffermap_depth=depth, stream_rate_kbps=150.0
-            )
-            session = PagSession.create(40, config=config)
-            session.run(12)
+            session = spec.build_pag_with(buffermap_depth=depth)
+            session.run(spec.rounds)
             out.append(
-                (depth, session.mean_bandwidth_kbps(4, direction="down"))
+                (
+                    depth,
+                    session.mean_bandwidth_kbps(
+                        spec.warmup_rounds, direction="down"
+                    ),
+                )
             )
         return out
 

@@ -17,7 +17,7 @@ import pytest
 
 from benchmarks.conftest import print_header
 from repro.analysis.bandwidth import ActingBandwidthModel, PagBandwidthModel
-from repro.core import PagConfig, PagSession
+from repro.scenarios import get_scenario
 
 SYSTEM_SIZES = [10**3, 10**4, 10**5, 10**6]
 
@@ -59,13 +59,15 @@ def test_fig09_scalability(benchmark):
 def test_fig09_model_validated_by_simulator(scale):
     """Anchor the model at simulator scale before extrapolating."""
     n = scale["nodes"]
-    config = PagConfig.for_system_size(n, stream_rate_kbps=300.0)
-    session = PagSession.create(n, config=config)
-    session.run(scale["rounds"])
-    simulated = session.mean_bandwidth_kbps(
-        scale["warmup"], direction="down"
+    spec = get_scenario(
+        "fig9",
+        nodes=n,
+        rounds=scale["rounds"],
+        warmup_rounds=scale["warmup"],
     )
-    modelled = PagBandwidthModel(config=config).total_kbps()
+    result = spec.run()
+    simulated = result.mean_kbps
+    modelled = PagBandwidthModel(config=spec.build_config()).total_kbps()
     print(
         f"\nvalidation @N={n}: simulator {simulated:.0f} Kbps, "
         f"model {modelled:.0f} Kbps "

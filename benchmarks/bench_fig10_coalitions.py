@@ -18,12 +18,20 @@ from repro.adversary.coalition import Coalition
 from repro.analysis.privacy import figure10_series
 from repro.membership.directory import Directory
 from repro.membership.views import ViewProvider
+from repro.scenarios import get_scenario
 from repro.sim.rng import SeedSequence
 
 FRACTIONS = [0.0, 0.05, 0.10, 0.20, 0.30, 0.50, 0.70, 0.90, 1.0]
 
+#: Topology parameters come from the registry's fig10 scenario.
+_FIG10 = get_scenario("fig10")
 
-def _monte_carlo(fraction: float, n: int = 300, monitors: int = 3) -> float:
+
+def _monte_carlo(
+    fraction: float, n: int = _FIG10.nodes, monitors: int = None
+) -> float:
+    if monitors is None:
+        monitors = _FIG10.monitors_per_node
     views = ViewProvider(
         directory=Directory.of_size(n),
         seeds=SeedSequence(17),

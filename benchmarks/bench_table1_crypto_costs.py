@@ -23,7 +23,7 @@ from repro.analysis.costs import (
     signatures_per_second,
     table1_rows,
 )
-from repro.core import PagConfig, PagSession
+from repro.scenarios import get_scenario
 from repro.streaming.video import QUALITY_LADDER
 
 PAPER_HASHES = {
@@ -72,9 +72,10 @@ def test_table1_measured_by_simulator(scale):
     """Count real operations in a packet simulation and compare with
     the formulas."""
     n = min(scale["nodes"], 60)  # counters need no large membership
-    config = PagConfig.for_system_size(n, stream_rate_kbps=300.0)
-    session = PagSession.create(n, config=config)
-    session.run(scale["rounds"])
+    spec = get_scenario("table1", nodes=n, rounds=scale["rounds"])
+    config = spec.build_config()
+    session = spec.build()
+    session.run(spec.rounds)
     report = session.crypto_report()
     node_rounds = len(session.nodes) * session.current_round
     measured_sigs = report["signatures"] / node_rounds

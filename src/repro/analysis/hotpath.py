@@ -25,19 +25,81 @@ from repro.crypto.backend import (
 )
 from repro.crypto.homomorphic import HomomorphicHasher, make_modulus
 from repro.crypto.primes import PrimePool
+from repro.sim.metrics import BandwidthMeter, cdf_points
 
 __all__ = [
+    "DictMeterBaseline",
     "measure_hash_throughput",
     "measure_rekey_throughput",
     "measure_prime_throughput",
     "measure_engine_throughput",
+    "measure_meter_cdf_throughput",
     "run_hotpath_bench",
     "SCHEMA_VERSION",
 ]
 
-SCHEMA_VERSION = 1
+#: 2: added ``engine.cache`` (hasher hit rates) and ``meter_cdf``
+#: (columnar vs dict-probe steady-state CDF aggregation).
+SCHEMA_VERSION = 2
 
 _BENCH_SEED = 0x9A6
+
+
+class DictMeterBaseline:
+    """The seed's ``(node, round)``-keyed bandwidth accounting.
+
+    Kept as the reference implementation: the parity tests prove the
+    columnar :class:`~repro.sim.metrics.BandwidthMeter` produces
+    byte-identical totals, and the ``meter_cdf`` benchmark quantifies
+    what retiring the per-(node, round) dict probes bought.
+    """
+
+    def __init__(self) -> None:
+        self.per_round_up = {}
+        self.per_round_down = {}
+        self.rounds_seen = 0
+
+    def record(self, sender: int, recipient: int, size: int, rnd: int) -> None:
+        key_up = (sender, rnd)
+        key_down = (recipient, rnd)
+        self.per_round_up[key_up] = self.per_round_up.get(key_up, 0) + size
+        self.per_round_down[key_down] = (
+            self.per_round_down.get(key_down, 0) + size
+        )
+        if rnd + 1 > self.rounds_seen:
+            self.rounds_seen = rnd + 1
+
+    def node_bytes(
+        self,
+        node: int,
+        first_round: int = 0,
+        last_round: int | None = None,
+        direction: str = "both",
+    ) -> int:
+        last = self.rounds_seen - 1 if last_round is None else last_round
+        total = 0
+        for rnd in range(first_round, last + 1):
+            if direction in ("both", "up"):
+                total += self.per_round_up.get((node, rnd), 0)
+            if direction in ("both", "down"):
+                total += self.per_round_down.get((node, rnd), 0)
+        return total
+
+    def all_node_kbps(
+        self,
+        nodes,
+        round_seconds: float = 1.0,
+        first_round: int = 0,
+        last_round: int | None = None,
+        direction: str = "both",
+    ) -> Dict[int, float]:
+        last = self.rounds_seen - 1 if last_round is None else last_round
+        duration = (last - first_round + 1) * round_seconds
+        scale = 8.0 / 1000.0 / duration
+        return {
+            node: self.node_bytes(node, first_round, last, direction) * scale
+            for node in nodes
+        }
 
 
 def _timebox(fn, min_seconds: float, min_iterations: int = 8) -> float:
@@ -133,12 +195,62 @@ def measure_engine_throughput(
     start = time.perf_counter()
     session.run(rounds)
     elapsed = time.perf_counter() - start
+    stats = session.context.hasher.cache_stats()
     return {
         "nodes": nodes,
         "rounds": rounds,
         "seconds": round(elapsed, 4),
         "rounds_per_s": round(rounds / elapsed, 4),
         "hashes": session.context.hasher.operations,
+        "cache": {
+            "memo_hit_rate": round(stats["memo_hit_rate"], 4),
+            "fixed_base_hit_rate": round(stats["fixed_base_hit_rate"], 4),
+            "memo_entries": stats["memo_entries"],
+            "memo_max": stats["memo_max"],
+            "fixed_base_entries": stats["fixed_base_entries"],
+            "fixed_base_max": stats["fixed_base_max"],
+        },
+    }
+
+
+def measure_meter_cdf_throughput(
+    nodes: int = 240, rounds: int = 60, seconds: float = 0.25
+) -> Dict[str, float]:
+    """Steady-state CDF aggregations/s: columnar meter vs dict probes.
+
+    Fills a columnar :class:`BandwidthMeter` and the seed-layout
+    :class:`DictMeterBaseline` with the identical synthetic workload
+    (every node up/down every round), then times the full Fig. 7
+    aggregation — window sums for all nodes plus the CDF — on each.
+    """
+    rng = random.Random(_BENCH_SEED + 2)
+    columnar = BandwidthMeter()
+    baseline = DictMeterBaseline()
+    for rnd in range(rounds):
+        for node in range(nodes):
+            size = rng.randrange(500, 4000)
+            peer = (node + 1 + rnd) % nodes
+            if peer == node:
+                peer = (node + 1) % nodes
+            columnar.record(node, peer, size, rnd)
+            baseline.record(node, peer, size, rnd)
+    node_ids = list(range(nodes))
+    warmup = max(1, rounds // 5)
+
+    def one_columnar(_i: int) -> None:
+        cdf_points(columnar.all_node_kbps(node_ids, first_round=warmup))
+
+    def one_dict(_i: int) -> None:
+        cdf_points(baseline.all_node_kbps(node_ids, first_round=warmup))
+
+    columnar_per_s = _timebox(one_columnar, seconds, min_iterations=3)
+    dict_per_s = _timebox(one_dict, seconds, min_iterations=3)
+    return {
+        "nodes": nodes,
+        "rounds": rounds,
+        "columnar_per_s": round(columnar_per_s, 2),
+        "dict_per_s": round(dict_per_s, 2),
+        "speedup": round(columnar_per_s / dict_per_s, 2),
     }
 
 
@@ -174,6 +286,11 @@ def run_hotpath_bench(
             ),
         },
         "engine": measure_engine_throughput(engine_nodes, engine_rounds),
+        "meter_cdf": measure_meter_cdf_throughput(
+            nodes=60 if quick else 240,
+            rounds=20 if quick else 60,
+            seconds=seconds,
+        ),
     }
     if out_path is not None:
         with open(out_path, "w", encoding="utf-8") as fh:

@@ -3,13 +3,16 @@
 Usage::
 
     python -m repro run [--nodes N] [--rounds R] [--rate KBPS]
+    python -m repro run --scenario fig9 [--nodes 240] [--policy sharded]
+    python -m repro scenarios
     python -m repro detect [--strategy free-rider] [--nodes N]
     python -m repro fig7 | fig8 | fig9 | fig10 | table1 | table2
     python -m repro verify [--fanout F]
     python -m repro bench [--out BENCH_hotpath.json] [--quick]
 
 Each figure/table subcommand prints the regenerated series next to the
-paper's reference values (the same generators the benchmarks assert on).
+paper's reference values; the workloads themselves are declared once in
+:mod:`repro.scenarios` (``repro scenarios`` lists them).
 """
 
 from __future__ import annotations
@@ -29,6 +32,27 @@ _STRATEGIES = {
 }
 
 
+def _add_policy_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--policy",
+        choices=("serial", "sharded"),
+        default="serial",
+        help="drain-batch execution policy (see repro.sim.execution)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="shard count for --policy sharded",
+    )
+
+
+def _policy_from(args):
+    from repro.sim.execution import make_policy
+
+    return make_policy(args.policy, shards=args.shards)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -39,10 +63,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run = sub.add_parser("run", help="run an honest PAG session")
-    run.add_argument("--nodes", type=int, default=30)
-    run.add_argument("--rounds", type=int, default=15)
-    run.add_argument("--rate", type=float, default=300.0)
+    run = sub.add_parser(
+        "run", help="run an honest PAG session or a named scenario"
+    )
+    run.add_argument(
+        "--scenario",
+        default=None,
+        help="named scenario from the registry (see 'repro scenarios')",
+    )
+    run.add_argument("--nodes", type=int, default=None)
+    run.add_argument("--rounds", type=int, default=None)
+    run.add_argument("--rate", type=float, default=None)
+    _add_policy_flags(run)
+
+    scenarios = sub.add_parser(
+        "scenarios", help="list the registered scenarios"
+    )
+    scenarios.add_argument(
+        "--verbose", action="store_true", help="include paper references"
+    )
 
     detect = sub.add_parser("detect", help="inject a selfish node")
     detect.add_argument(
@@ -63,8 +102,9 @@ def build_parser() -> argparse.ArgumentParser:
     ]:
         p = sub.add_parser(name, help=help_text)
         if name == "fig7":
-            p.add_argument("--nodes", type=int, default=60)
-            p.add_argument("--rounds", type=int, default=12)
+            p.add_argument("--nodes", type=int, default=None)
+            p.add_argument("--rounds", type=int, default=None)
+            _add_policy_flags(p)
 
     verify = sub.add_parser(
         "verify", help="symbolic verification of privacy property P1"
@@ -90,20 +130,31 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args) -> int:
+    if args.scenario is not None:
+        from repro.scenarios.figures import render_scenario_run
+
+        return render_scenario_run(
+            args.scenario,
+            nodes=args.nodes,
+            rounds=args.rounds,
+            rate=args.rate,
+            execution_policy=_policy_from(args),
+        )
+
     from repro.core import PagConfig, PagSession
 
-    config = PagConfig.for_system_size(
-        args.nodes, stream_rate_kbps=args.rate
+    nodes = args.nodes if args.nodes is not None else 30
+    rounds = args.rounds if args.rounds is not None else 15
+    rate = args.rate if args.rate is not None else 300.0
+    config = PagConfig.for_system_size(nodes, stream_rate_kbps=rate)
+    session = PagSession.create(
+        nodes, config=config, execution_policy=_policy_from(args)
     )
-    session = PagSession.create(args.nodes, config=config)
-    session.run(args.rounds)
+    session.run(rounds)
     mean = session.mean_bandwidth_kbps(
-        warmup_rounds=min(4, args.rounds - 1), direction="down"
+        warmup_rounds=min(4, rounds - 1), direction="down"
     )
-    print(
-        f"{args.nodes} nodes, {args.rounds} rounds, {args.rate:.0f} Kbps "
-        "stream"
-    )
+    print(f"{nodes} nodes, {rounds} rounds, {rate:.0f} Kbps stream")
     print(f"mean download      : {mean:.0f} Kbps per node")
     print(f"mean continuity    : {session.mean_continuity():.1%}")
     print(f"verdicts           : {len(session.all_verdicts())}")
@@ -114,6 +165,20 @@ def _cmd_run(args) -> int:
         f"signatures, {ops['homomorphic_hashes'] / node_rounds:.0f} "
         "homomorphic hashes"
     )
+    return 0
+
+
+def _cmd_scenarios(args) -> int:
+    from repro.scenarios import all_scenarios
+
+    print(f"{'name':<16} {'proto':<7} {'nodes':>5} {'rounds':>6}  description")
+    for spec in all_scenarios():
+        print(
+            f"{spec.name:<16} {spec.protocol:<7} {spec.nodes:>5} "
+            f"{spec.rounds:>6}  {spec.description}"
+        )
+        if args.verbose and spec.paper_reference:
+            print(f"{'':<16} paper: {spec.paper_reference}")
     return 0
 
 
@@ -143,107 +208,43 @@ def _cmd_detect(args) -> int:
 
 
 def _cmd_fig7(args) -> int:
-    from repro.baselines.acting import ActingSession
-    from repro.core import PagConfig, PagSession
-    from repro.sim.metrics import cdf_points
+    from repro.scenarios.figures import render_fig7
 
-    n, rounds = args.nodes, args.rounds
-    pag = PagSession.create(
-        n, config=PagConfig.for_system_size(n, stream_rate_kbps=300.0)
+    return render_fig7(
+        nodes=args.nodes,
+        rounds=args.rounds,
+        execution_policy=_policy_from(args),
     )
-    pag.run(rounds)
-    acting = ActingSession.create(n)
-    acting.run(rounds)
-    pag_bw = pag.bandwidth_kbps(4, direction="down")
-    acting_bw = acting.bandwidth_kbps(4, "down")
-    print(f"Fig. 7 — bandwidth CDF ({n} nodes, 300 Kbps)")
-    print(f"{'CDF %':>6} {'AcTinG':>8} {'PAG':>8}")
-    acting_cdf = cdf_points(acting_bw)
-    pag_cdf = cdf_points(pag_bw)
-    for target in range(10, 101, 20):
-        a = next(v for v, p in acting_cdf if p >= target)
-        g = next(v for v, p in pag_cdf if p >= target)
-        print(f"{target:>5}% {a:>8.0f} {g:>8.0f}")
-    print(
-        f"means: AcTinG "
-        f"{sum(acting_bw.values()) / len(acting_bw):.0f}, PAG "
-        f"{sum(pag_bw.values()) / len(pag_bw):.0f} "
-        "(paper: 460 / 1050)"
-    )
-    return 0
 
 
 def _cmd_fig8(args) -> int:
-    from repro.analysis.bandwidth import PagBandwidthModel
-    from repro.core import PagConfig
+    from repro.scenarios.figures import render_fig8
 
-    print("Fig. 8 — bandwidth vs update size (1000 nodes, 300 Kbps)")
-    print(f"{'update kb':>10} {'Kbps':>8}")
-    for kb in (1, 2, 5, 10, 20, 50, 100):
-        config = PagConfig.for_system_size(
-            1000, stream_rate_kbps=300.0, update_bytes=int(kb * 125)
-        )
-        print(
-            f"{kb:>10} "
-            f"{PagBandwidthModel(config=config).total_kbps():>8.0f}"
-        )
-    return 0
+    return render_fig8()
 
 
 def _cmd_fig9(args) -> int:
-    from repro.analysis.bandwidth import (
-        ActingBandwidthModel,
-        PagBandwidthModel,
-    )
+    from repro.scenarios.figures import render_fig9
 
-    print("Fig. 9 — scalability with a 300 Kbps stream")
-    print(f"{'nodes':>9} {'PAG':>8} {'AcTinG':>8}")
-    for n in (10**3, 10**4, 10**5, 10**6):
-        pag = PagBandwidthModel.for_system(n, 300.0).total_kbps()
-        acting = ActingBandwidthModel.for_system(n, 300.0).total_kbps()
-        print(f"{n:>9} {pag:>8.0f} {acting:>8.0f}")
-    print("(paper anchors: PAG 2500 / AcTinG 840 at 10^6)")
-    return 0
+    return render_fig9()
 
 
 def _cmd_fig10(args) -> int:
-    from repro.analysis.privacy import figure10_series
+    from repro.scenarios.figures import render_fig10
 
-    print("Fig. 10 — interactions discovered vs attacker fraction")
-    print(f"{'attackers':>9} {'AcTinG':>8} {'PAG-3':>7} {'PAG-5':>7} {'min':>7}")
-    for p in figure10_series([i / 10 for i in range(11)]):
-        print(
-            f"{p.attacker_fraction:>8.0%} {p.acting:>8.1%} "
-            f"{p.pag_3_monitors:>7.1%} {p.pag_5_monitors:>7.1%} "
-            f"{p.theoretical_minimum:>7.1%}"
-        )
-    return 0
+    return render_fig10()
 
 
 def _cmd_table1(args) -> int:
-    from repro.analysis.costs import table1_rows
+    from repro.scenarios.figures import render_table1
 
-    print("Table I — crypto operations per second per node")
-    print(f"{'quality':>8} {'payload':>8} {'sigs/s':>7} {'hashes/s':>9}")
-    for row in table1_rows():
-        print(
-            f"{row.quality:>8} {row.payload_kbps:>8.0f} "
-            f"{row.rsa_signatures_per_s:>7.0f} "
-            f"{row.homomorphic_hashes_per_s:>9.0f}"
-        )
-    return 0
+    return render_table1()
 
 
 def _cmd_table2(args) -> int:
-    from repro.analysis.quality import table2
+    from repro.scenarios.figures import render_table2
 
-    print("Table II — sustainable quality per link (1000 nodes)")
-    for protocol, cells in table2().items():
-        print(
-            f"  {protocol:<7}: "
-            + " | ".join(cell.render() for cell in cells)
-        )
-    return 0
+    return render_table2()
 
 
 def _cmd_verify(args) -> int:
@@ -283,6 +284,16 @@ def _cmd_bench(args) -> int:
         f"  engine rounds/s  : {engine['rounds_per_s']:>12,.2f} "
         f"({engine['nodes']} nodes)"
     )
+    cache = engine["cache"]
+    print(
+        f"  hash cache hits  : {cache['memo_hit_rate']:>12.1%} memo, "
+        f"{cache['fixed_base_hit_rate']:.1%} fixed-base"
+    )
+    meter = report["meter_cdf"]
+    print(
+        f"  meter CDF aggs/s : {meter['columnar_per_s']:>12,.0f} "
+        f"({meter['speedup']:.1f}x over dict probes)"
+    )
     print(f"  written          : {args.out}")
     return 0
 
@@ -300,6 +311,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
         "run": _cmd_run,
+        "scenarios": _cmd_scenarios,
         "detect": _cmd_detect,
         "fig7": _cmd_fig7,
         "fig8": _cmd_fig8,

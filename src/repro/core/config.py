@@ -55,6 +55,13 @@ class PagConfig:
             ``"python"`` or ``"gmpy2"``.  ``"auto"`` also honours the
             ``REPRO_CRYPTO_BACKEND`` environment variable.  Backends are
             arithmetic-only; operation counts are identical across them.
+        hash_memo_entries: bound on the hasher's wide-exponent
+            ``(value, exponent) -> hash`` memo; the oldest half is
+            evicted when full.  The memory ceiling for long runs — one
+            entry holds two bigints of roughly the modulus width.
+        fixed_base_cache_entries: bound on the number of hot bases
+            holding a fixed-base window table.  Caches are per-hasher;
+            hit rates are reported in ``BENCH_hotpath.json``.
         monitor_cross_checks: enable the section V-B option "to check
             that monitors correctly compute and forward the hashes of
             updates": the monitored node also computes each lifted hash
@@ -79,6 +86,8 @@ class PagConfig:
     sim_prime_bits: int = 32
     seed: int = 20160627
     crypto_backend: str = "auto"
+    hash_memo_entries: int = 1 << 14
+    fixed_base_cache_entries: int = 1024
     detection_enabled: bool = True
     forward_owned_ghosts: bool = False
     monitor_cross_checks: bool = False
@@ -96,6 +105,10 @@ class PagConfig:
             )
         if self.sim_prime_bits < 8:
             raise ValueError("simulation primes below 8 bits collide")
+        if self.hash_memo_entries < 2:
+            raise ValueError("hash memo must hold at least 2 entries")
+        if self.fixed_base_cache_entries < 1:
+            raise ValueError("fixed-base cache must hold at least 1 entry")
 
     @classmethod
     def for_system_size(cls, n: int, **overrides) -> "PagConfig":

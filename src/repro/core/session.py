@@ -21,6 +21,7 @@ from repro.core.signing import Signer
 from repro.gossip.source import StreamSchedule
 from repro.membership.directory import Directory
 from repro.sim.engine import Simulator
+from repro.sim.execution import ExecutionPolicy
 from repro.sim.network import Network
 from repro.streaming.player import PlaybackReport, evaluate_playback
 
@@ -53,6 +54,7 @@ class PagSession:
         config: Optional[PagConfig] = None,
         behaviors: Optional[Mapping[int, Behavior]] = None,
         signer: Optional[Signer] = None,
+        execution_policy: Optional[ExecutionPolicy] = None,
     ) -> "PagSession":
         """Build a session of ``n_nodes`` (one of which is the source).
 
@@ -64,6 +66,8 @@ class PagSession:
             behaviors: per-node behaviour overrides (selfish strategies);
                 nodes not listed are correct.
             signer: signature scheme override (real RSA for small runs).
+            execution_policy: drain-batch delivery strategy (serial FIFO
+                when omitted; see :mod:`repro.sim.execution`).
         """
         if config is None:
             config = PagConfig.for_system_size(n_nodes)
@@ -73,6 +77,8 @@ class PagSession:
         simulator = Simulator(
             network=network, round_seconds=config.round_seconds
         )
+        if execution_policy is not None:
+            simulator.policy = execution_policy
         schedule = StreamSchedule(
             rate_kbps=config.stream_rate_kbps,
             update_bytes=config.update_bytes,
@@ -115,6 +121,8 @@ class PagSession:
         """
         if node_id == self.source.node_id:
             raise ValueError("the source is assumed correct and present")
+        if node_id not in self.nodes:
+            raise ValueError(f"cannot remove unknown node id {node_id}")
         del self.nodes[node_id]
         self.simulator.remove_node(node_id)
 

@@ -49,12 +49,14 @@ __all__ = [
 DEFAULT_MODULUS_BITS = 512
 DEFAULT_PRIME_BITS = 512
 
-#: Bound on the (value, exponent) -> hash memo; when full, the oldest
-#: half is evicted (insertion order), which is cheap and good enough for
-#: the round-local reuse pattern.
+#: Default bound on the (value, exponent) -> hash memo; when full, the
+#: oldest half is evicted (insertion order), which is cheap and good
+#: enough for the round-local reuse pattern.  Override per session via
+#: ``PagConfig.hash_memo_entries``.
 _MEMO_MAX = 1 << 14
 
-#: Bound on the per-base fixed-base ladder cache used by hot bases.
+#: Default bound on the per-base fixed-base ladder cache used by hot
+#: bases; override per session via ``PagConfig.fixed_base_cache_entries``.
 _FIXED_BASE_MAX = 1024
 
 #: The power ladder beats built-in ``pow`` when squarings dominate: for
@@ -99,6 +101,10 @@ class HomomorphicHasher:
             so backend swaps and result caching never change the tally.
         backend: modular-arithmetic provider; None selects the process
             default (gmpy2 when installed, else built-in ``pow``).
+        memo_max: entry bound of the wide-exponent memo (memory ceiling
+            for long runs; the oldest half is evicted when full).
+        fixed_base_max: bound on the number of bases holding a
+            fixed-base window table.
     """
 
     modulus: int
@@ -106,6 +112,13 @@ class HomomorphicHasher:
     backend: Optional[Backend] = field(
         default=None, compare=False, repr=False
     )
+    memo_max: int = field(default=_MEMO_MAX, compare=False)
+    fixed_base_max: int = field(default=_FIXED_BASE_MAX, compare=False)
+    #: cache accounting: protocol-level calls answered by the memo, by a
+    #: fixed-base table, or by a cold exponentiation.
+    memo_hits: int = field(default=0, compare=False)
+    fixed_base_hits: int = field(default=0, compare=False)
+    cold_powmods: int = field(default=0, compare=False)
 
     def __post_init__(self) -> None:
         if self.modulus < 4:
@@ -160,6 +173,7 @@ class HomomorphicHasher:
         ):
             cache = self._fixed_bases.get(update)
             if cache is not None:
+                self.fixed_base_hits += 1
                 return cache.powmod(exponent)
             return self._warm_base(update, exponent)
         # Wide exponents (round-key and cofactor products): each
@@ -170,16 +184,19 @@ class HomomorphicHasher:
         key = (update, exponent)
         result = memo.get(key)
         if result is not None:
+            self.memo_hits += 1
             return result
         if self._use_fixed_base and self._wide_modulus:
             cache = self._fixed_bases.get(update)
             if cache is not None:
+                self.fixed_base_hits += 1
                 result = cache.powmod(exponent)
             else:
                 result = self._warm_base(update, exponent)
         else:
+            self.cold_powmods += 1
             result = self._powmod(update, exponent, self.modulus)
-        if len(memo) >= _MEMO_MAX:
+        if len(memo) >= self.memo_max:
             self._evict(memo)
         memo[key] = result
         return result
@@ -193,17 +210,19 @@ class HomomorphicHasher:
         """
         hot = self._hot_candidates
         if update in hot:
-            if len(self._fixed_bases) >= _FIXED_BASE_MAX:
+            if len(self._fixed_bases) >= self.fixed_base_max:
                 self._evict(self._fixed_bases)
             window = (
                 4 if exponent.bit_length() <= _SMALL_EXPONENT_BITS else 1
             )
             cache = FixedBaseCache(update, self.modulus, window=window)
             self._fixed_bases[update] = cache
+            self.cold_powmods += 1  # table construction costs one pow
             return cache.powmod(exponent)
         hot.add(update)
-        if len(hot) > _FIXED_BASE_MAX * 4:
+        if len(hot) > self.fixed_base_max * 4:
             hot.clear()
+        self.cold_powmods += 1
         return self._powmod(update, exponent, self.modulus)
 
     @staticmethod
@@ -283,6 +302,29 @@ class HomomorphicHasher:
         """
         lifted = (self.rekey(h, cofactor) for h, cofactor in attested)
         return self.combine(lifted) == acknowledged % self.modulus
+
+    def cache_stats(self) -> dict:
+        """Cache accounting for the perf ledger (``BENCH_hotpath.json``).
+
+        Rates are fractions of the protocol-level calls that were
+        answered without a cold exponentiation; ``memo_entries`` and
+        ``fixed_base_entries`` report current occupancy against the
+        configured bounds.
+        """
+        calls = self.memo_hits + self.fixed_base_hits + self.cold_powmods
+        return {
+            "memo_hits": self.memo_hits,
+            "fixed_base_hits": self.fixed_base_hits,
+            "cold_powmods": self.cold_powmods,
+            "memo_hit_rate": self.memo_hits / calls if calls else 0.0,
+            "fixed_base_hit_rate": (
+                self.fixed_base_hits / calls if calls else 0.0
+            ),
+            "memo_entries": len(self._memo),
+            "memo_max": self.memo_max,
+            "fixed_base_entries": len(self._fixed_bases),
+            "fixed_base_max": self.fixed_base_max,
+        }
 
     def reset_counter(self) -> int:
         """Return the operation count and reset it to zero."""

@@ -1,0 +1,40 @@
+"""Declarative scenario subsystem.
+
+The paper's evaluation is a matrix of named workloads; this package
+declares them once (:mod:`repro.scenarios.registry`), describes each as
+pure data (:class:`~repro.scenarios.spec.ScenarioSpec`) and gives the
+CLI, the benchmarks and the tests a single way to build, run, and
+measure them.  Start with::
+
+    from repro.scenarios import run_scenario
+    result = run_scenario("fig7", nodes=240)
+    result.cdf()          # the Fig. 7 series
+"""
+
+from repro.scenarios.registry import (
+    all_scenarios,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+    scenario_names,
+)
+from repro.scenarios.spec import (
+    AdversaryGroup,
+    ChurnEvent,
+    ScenarioResult,
+    ScenarioSpec,
+    SELFISH_STRATEGIES,
+)
+
+__all__ = [
+    "AdversaryGroup",
+    "ChurnEvent",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "SELFISH_STRATEGIES",
+    "all_scenarios",
+    "get_scenario",
+    "register_scenario",
+    "run_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,162 @@
+"""Figure/table renderers built on the scenario registry.
+
+Each ``render_*`` regenerates one figure or table of the paper and
+prints the series next to the paper's reference values.  Simulation
+workloads come from the registry (``fig7``, ``fig9``, ...), closed-form
+sweeps from :mod:`repro.analysis`; the CLI subcommands are thin
+wrappers over these functions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.scenarios.registry import get_scenario
+from repro.sim.execution import ExecutionPolicy
+
+__all__ = [
+    "render_fig7",
+    "render_fig8",
+    "render_fig9",
+    "render_fig10",
+    "render_table1",
+    "render_table2",
+    "render_scenario_run",
+]
+
+
+def render_fig7(
+    nodes: Optional[int] = None,
+    rounds: Optional[int] = None,
+    execution_policy: Optional[ExecutionPolicy] = None,
+) -> int:
+    pag = get_scenario("fig7", nodes=nodes, rounds=rounds).run(
+        execution_policy
+    )
+    acting = get_scenario("fig7-acting", nodes=nodes, rounds=rounds).run(
+        execution_policy
+    )
+    spec = pag.spec
+    print(f"Fig. 7 — bandwidth CDF ({spec.nodes} nodes, 300 Kbps)")
+    print(f"{'CDF %':>6} {'AcTinG':>8} {'PAG':>8}")
+    acting_cdf = acting.cdf()
+    pag_cdf = pag.cdf()
+    for target in range(10, 101, 20):
+        a = next(v for v, p in acting_cdf if p >= target)
+        g = next(v for v, p in pag_cdf if p >= target)
+        print(f"{target:>5}% {a:>8.0f} {g:>8.0f}")
+    print(
+        f"means: AcTinG {acting.mean_kbps:.0f}, PAG {pag.mean_kbps:.0f} "
+        "(paper: 460 / 1050)"
+    )
+    return 0
+
+
+def render_fig8() -> int:
+    from repro.analysis.bandwidth import PagBandwidthModel
+    from repro.core import PagConfig
+
+    print("Fig. 8 — bandwidth vs update size (1000 nodes, 300 Kbps)")
+    print(f"{'update kb':>10} {'Kbps':>8}")
+    for kb in (1, 2, 5, 10, 20, 50, 100):
+        config = PagConfig.for_system_size(
+            1000, stream_rate_kbps=300.0, update_bytes=int(kb * 125)
+        )
+        print(
+            f"{kb:>10} "
+            f"{PagBandwidthModel(config=config).total_kbps():>8.0f}"
+        )
+    return 0
+
+
+def render_fig9() -> int:
+    from repro.analysis.bandwidth import (
+        ActingBandwidthModel,
+        PagBandwidthModel,
+    )
+
+    print("Fig. 9 — scalability with a 300 Kbps stream")
+    print(f"{'nodes':>9} {'PAG':>8} {'AcTinG':>8}")
+    for n in (10**3, 10**4, 10**5, 10**6):
+        pag = PagBandwidthModel.for_system(n, 300.0).total_kbps()
+        acting = ActingBandwidthModel.for_system(n, 300.0).total_kbps()
+        print(f"{n:>9} {pag:>8.0f} {acting:>8.0f}")
+    print("(paper anchors: PAG 2500 / AcTinG 840 at 10^6)")
+    return 0
+
+
+def render_fig10() -> int:
+    from repro.analysis.privacy import figure10_series
+
+    print("Fig. 10 — interactions discovered vs attacker fraction")
+    print(
+        f"{'attackers':>9} {'AcTinG':>8} {'PAG-3':>7} {'PAG-5':>7} "
+        f"{'min':>7}"
+    )
+    for p in figure10_series([i / 10 for i in range(11)]):
+        print(
+            f"{p.attacker_fraction:>8.0%} {p.acting:>8.1%} "
+            f"{p.pag_3_monitors:>7.1%} {p.pag_5_monitors:>7.1%} "
+            f"{p.theoretical_minimum:>7.1%}"
+        )
+    return 0
+
+
+def render_table1() -> int:
+    from repro.analysis.costs import table1_rows
+
+    print("Table I — crypto operations per second per node")
+    print(f"{'quality':>8} {'payload':>8} {'sigs/s':>7} {'hashes/s':>9}")
+    for row in table1_rows():
+        print(
+            f"{row.quality:>8} {row.payload_kbps:>8.0f} "
+            f"{row.rsa_signatures_per_s:>7.0f} "
+            f"{row.homomorphic_hashes_per_s:>9.0f}"
+        )
+    return 0
+
+
+def render_table2() -> int:
+    from repro.analysis.quality import table2
+
+    print("Table II — sustainable quality per link (1000 nodes)")
+    for protocol, cells in table2().items():
+        print(
+            f"  {protocol:<7}: "
+            + " | ".join(cell.render() for cell in cells)
+        )
+    return 0
+
+
+def render_scenario_run(
+    name: str,
+    nodes: Optional[int] = None,
+    rounds: Optional[int] = None,
+    rate: Optional[float] = None,
+    execution_policy: Optional[ExecutionPolicy] = None,
+) -> int:
+    """Run any registered scenario and print its measurement summary."""
+    spec = get_scenario(
+        name, nodes=nodes, rounds=rounds, stream_rate_kbps=rate
+    )
+    result = spec.run(execution_policy)
+    print(
+        f"scenario {spec.name!r} [{spec.protocol}]: {spec.nodes} nodes, "
+        f"{spec.rounds} rounds, {spec.stream_rate_kbps:.0f} Kbps stream"
+    )
+    if spec.paper_reference:
+        print(f"paper: {spec.paper_reference}")
+    summary = result.summary()
+    print(f"mean download      : {summary['mean_down_kbps']:.0f} Kbps per node")
+    if result.continuity is not None:
+        print(f"mean continuity    : {result.continuity:.1%}")
+    print(f"messages           : {result.messages_sent}")
+    print(f"verdicts           : {result.verdicts}")
+    if result.convicted:
+        print(f"convicted          : {list(result.convicted)}")
+    deviants = spec.deviant_nodes()
+    if deviants:
+        print(f"deviants           : {sorted(deviants)}")
+    if result.crypto_hashes is not None:
+        print(f"homomorphic hashes : {result.crypto_hashes}")
+    return 0

@@ -1,0 +1,385 @@
+"""Declarative simulation scenarios.
+
+The paper's evaluation is a matrix of named workloads — membership
+sizes, monitor counts, adversary mixes, churn, stream rates (Figs.
+7-10, Tables I-II).  A :class:`ScenarioSpec` captures one cell of that
+matrix as data: what to build, how long to run it, and which window to
+measure.  Everything that used to be hand-wired per call site (CLI
+subcommands, ``benchmarks/bench_fig*.py``, integration tests) builds
+from a spec instead, so a new workload is one declaration, not another
+copy of the session plumbing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.execution import ExecutionPolicy
+from repro.sim.metrics import cdf_points
+
+__all__ = [
+    "AdversaryGroup",
+    "ChurnEvent",
+    "ScenarioSpec",
+    "ScenarioResult",
+    "SELFISH_STRATEGIES",
+]
+
+#: CLI-friendly name -> class name in :mod:`repro.adversary.selfish`.
+SELFISH_STRATEGIES = {
+    "free-rider": "FreeRider",
+    "partial-forwarder": "PartialForwarder",
+    "silent-receiver": "SilentReceiver",
+    "declaration-skipper": "DeclarationSkipper",
+    "contact-avoider": "ContactAvoider",
+    "lying-monitor": "LyingMonitor",
+    "stealthy-free-rider": "StealthyFreeRider",
+}
+
+
+@dataclass(frozen=True)
+class AdversaryGroup:
+    """A block of deviant nodes sharing one strategy.
+
+    Args:
+        strategy: key of :data:`SELFISH_STRATEGIES`.
+        count: absolute number of deviants; used when non-zero.
+        fraction: deviant share of the consumer population (rounded
+            down), used when ``count`` is zero.
+    """
+
+    strategy: str
+    count: int = 0
+    fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.strategy not in SELFISH_STRATEGIES:
+            raise ValueError(
+                f"unknown adversary strategy {self.strategy!r}; expected "
+                f"one of {sorted(SELFISH_STRATEGIES)}"
+            )
+        if self.count < 0 or not (0.0 <= self.fraction <= 1.0):
+            raise ValueError("adversary count/fraction out of range")
+
+    def size(self, n_consumers: int) -> int:
+        if self.count:
+            return min(self.count, n_consumers)
+        return int(n_consumers * self.fraction)
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One node leaving the system after a given round completes."""
+
+    after_round: int
+    node_id: int
+
+    def __post_init__(self) -> None:
+        if self.after_round < 0:
+            raise ValueError("churn round must be non-negative")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named cell of the paper's evaluation matrix, as data.
+
+    Attributes:
+        name: registry key (``fig7``, ``table2``, ...).
+        description: one line for ``repro scenarios`` listings.
+        paper_reference: the figure/table and reported values reproduced.
+        protocol: ``"pag"`` or ``"acting"`` (the baseline comparator).
+        nodes: membership size including the source.
+        rounds: rounds to simulate.
+        warmup_rounds: rounds excluded from steady-state measurements.
+        stream_rate_kbps / update_bytes: the source workload.
+        fanout: successors per node; None picks the paper's
+            size-dependent default (~log10 N).
+        monitors_per_node: monitor-set size; None mirrors the fanout.
+        adversaries: deviant node blocks, placed deterministically
+            (evenly spaced over the consumer ids).
+        churn: nodes leaving after given rounds.
+        detection_enabled: run the monitoring state machine.
+        seed: root seed for all session randomness.
+    """
+
+    name: str
+    description: str = ""
+    paper_reference: str = ""
+    protocol: str = "pag"
+    nodes: int = 30
+    rounds: int = 15
+    warmup_rounds: int = 4
+    stream_rate_kbps: float = 300.0
+    update_bytes: int = 938
+    fanout: Optional[int] = None
+    monitors_per_node: Optional[int] = None
+    adversaries: Tuple[AdversaryGroup, ...] = ()
+    churn: Tuple[ChurnEvent, ...] = ()
+    detection_enabled: bool = True
+    seed: int = 20160627
+
+    def __post_init__(self) -> None:
+        if self.protocol not in ("pag", "acting"):
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; "
+                "expected 'pag' or 'acting'"
+            )
+        if self.nodes < 2:
+            raise ValueError("a scenario needs a source and a consumer")
+        if self.rounds < 1:
+            raise ValueError("a scenario must run at least one round")
+        if not 0 <= self.warmup_rounds < self.rounds:
+            raise ValueError(
+                f"warmup ({self.warmup_rounds}) must leave measurable "
+                f"rounds (have {self.rounds})"
+            )
+        for event in self.churn:
+            if event.node_id <= 0 or event.node_id >= self.nodes:
+                raise ValueError(
+                    f"churn names node {event.node_id}, outside the "
+                    f"consumer ids 1..{self.nodes - 1}"
+                )
+            if event.after_round >= self.rounds - 1:
+                raise ValueError(
+                    f"churn after round {event.after_round} never takes "
+                    f"effect in a {self.rounds}-round scenario"
+                )
+        n_consumers = self.nodes - 1
+        total_deviants = sum(
+            group.size(n_consumers) for group in self.adversaries
+        )
+        if total_deviants > n_consumers:
+            raise ValueError(
+                f"adversary groups claim {total_deviants} nodes but the "
+                f"scenario has only {n_consumers} consumers"
+            )
+
+    # -- derived construction ----------------------------------------------
+
+    def with_overrides(self, **overrides) -> "ScenarioSpec":
+        """A copy with fields replaced (``nodes=240``, ``rounds=60``...).
+
+        ``None`` values are ignored so CLI flags can be passed through
+        unconditionally.
+        """
+        cleaned = {k: v for k, v in overrides.items() if v is not None}
+        return dataclasses.replace(self, **cleaned) if cleaned else self
+
+    def build_config(self, **config_overrides):
+        """The :class:`~repro.core.config.PagConfig` this spec implies."""
+        from repro.core.config import PagConfig
+
+        overrides = dict(
+            stream_rate_kbps=self.stream_rate_kbps,
+            update_bytes=self.update_bytes,
+            detection_enabled=self.detection_enabled,
+            seed=self.seed,
+        )
+        if self.fanout is not None:
+            overrides["fanout"] = self.fanout
+        if self.monitors_per_node is not None:
+            overrides["monitors_per_node"] = self.monitors_per_node
+        overrides.update(config_overrides)
+        return PagConfig.for_system_size(self.nodes, **overrides)
+
+    def deviant_nodes(self) -> Dict[int, str]:
+        """Node id -> strategy name, placed evenly over the consumers.
+
+        Placement is deterministic (a function of the spec alone):
+        each group's deviants are spread across the consumer id range
+        so coalitions do not cluster around the source, skipping ids
+        already claimed by earlier groups.
+        """
+        n_consumers = self.nodes - 1
+        taken: Dict[int, str] = {}
+        for group in self.adversaries:
+            size = group.size(n_consumers)
+            if size == 0:
+                continue
+            stride = max(1, n_consumers // size)
+            placed = 0
+            candidate = 1 + stride // 2
+            while placed < size:
+                node_id = (candidate - 1) % n_consumers + 1
+                if node_id not in taken:
+                    taken[node_id] = group.strategy
+                    placed += 1
+                    candidate += stride
+                else:
+                    candidate += 1
+        return taken
+
+    def build(self, execution_policy: Optional[ExecutionPolicy] = None):
+        """Instantiate the session (PAG or AcTinG) this spec describes.
+
+        Churn events are wired as round hooks on the simulator, so
+        ``session.run(spec.rounds)`` replays the whole schedule.
+        """
+        if self.protocol == "acting":
+            return self._build_acting(execution_policy)
+        return self._build_pag(execution_policy)
+
+    def build_pag_with(
+        self,
+        execution_policy: Optional[ExecutionPolicy] = None,
+        **config_overrides,
+    ):
+        """PAG session with extra :class:`PagConfig` overrides.
+
+        For ablation sweeps over knobs the spec does not model
+        (``buffermap_depth=2``, ``monitor_cross_checks=True``, ...).
+        """
+        return self._build_pag(execution_policy, **config_overrides)
+
+    def _build_pag(self, execution_policy, **config_overrides):
+        import repro.adversary.selfish as selfish
+        from repro.core import PagSession
+
+        behaviors = {
+            node_id: getattr(selfish, SELFISH_STRATEGIES[strategy])()
+            for node_id, strategy in self.deviant_nodes().items()
+        }
+        session = PagSession.create(
+            self.nodes,
+            config=self.build_config(**config_overrides),
+            behaviors=behaviors or None,
+            execution_policy=execution_policy,
+        )
+        self._wire_churn(session.simulator, session)
+        return session
+
+    def _build_acting(self, execution_policy):
+        import math
+
+        from repro.baselines.acting import ActingConfig, ActingSession
+
+        # Mirror ActingSession.create's size-dependent defaults, then
+        # apply the spec's explicit choices field by field.
+        default = max(3, round(math.log10(self.nodes)))
+        fanout = self.fanout if self.fanout is not None else default
+        monitors = (
+            self.monitors_per_node
+            if self.monitors_per_node is not None
+            else fanout
+        )
+        config = ActingConfig(
+            fanout=fanout,
+            monitors_per_node=monitors,
+            stream_rate_kbps=self.stream_rate_kbps,
+            update_bytes=self.update_bytes,
+            seed=self.seed,
+        )
+        selfish_ids = set(self.deviant_nodes())
+        session = ActingSession.create(
+            self.nodes, config=config, selfish_nodes=selfish_ids or None
+        )
+        if execution_policy is not None:
+            session.simulator.policy = execution_policy
+        self._wire_churn(session.simulator, session)
+        return session
+
+    def _wire_churn(self, simulator, session) -> None:
+        if not self.churn:
+            return
+        by_round: Dict[int, List[int]] = {}
+        for event in self.churn:
+            by_round.setdefault(event.after_round, []).append(event.node_id)
+        remove = getattr(session, "remove_node", None)
+
+        def on_round(round_no: int) -> None:
+            for node_id in sorted(by_round.get(round_no, ())):
+                if remove is not None:
+                    remove(node_id)
+                else:
+                    # Sessions without a churn API (the acting baseline):
+                    # drop the node from the engine and the session's
+                    # own membership so reporting only sees live nodes.
+                    simulator.remove_node(node_id)
+                    session.nodes.pop(node_id, None)
+
+        simulator.add_round_hook(on_round)
+
+    def run(
+        self, execution_policy: Optional[ExecutionPolicy] = None
+    ) -> "ScenarioResult":
+        """Build, run the full schedule, and collect the measurements."""
+        session = self.build(execution_policy)
+        session.run(self.rounds)
+        return ScenarioResult.collect(self, session)
+
+
+@dataclass
+class ScenarioResult:
+    """Measurements of one scenario run, in the paper's units."""
+
+    spec: ScenarioSpec
+    session: object = field(repr=False)
+    #: per-node steady-state download Kbps (the Fig. 7-9 unit).
+    node_kbps: Dict[int, float] = field(default_factory=dict)
+    mean_kbps: float = 0.0
+    messages_sent: int = 0
+    total_bytes: int = 0
+    verdicts: int = 0
+    convicted: Tuple[int, ...] = ()
+    continuity: Optional[float] = None
+    crypto_hashes: Optional[int] = None
+
+    @classmethod
+    def collect(cls, spec: ScenarioSpec, session) -> "ScenarioResult":
+        meter = session.simulator.network.meter
+        node_ids = sorted(session.nodes)
+        node_kbps = meter.all_node_kbps(
+            node_ids,
+            round_seconds=session.simulator.round_seconds,
+            first_round=spec.warmup_rounds,
+            direction="down",
+        )
+        mean = (
+            sum(node_kbps.values()) / len(node_kbps) if node_kbps else 0.0
+        )
+        verdicts = session.all_verdicts()
+        continuity = None
+        hashes = None
+        if spec.protocol == "pag":
+            continuity = session.mean_continuity()
+            hashes = session.context.hasher.operations
+        total = sum(
+            traffic.bytes_up for traffic in meter.totals.values()
+        )
+        return cls(
+            spec=spec,
+            session=session,
+            node_kbps=node_kbps,
+            mean_kbps=mean,
+            messages_sent=session.simulator.network.messages_sent,
+            total_bytes=total,
+            verdicts=len(verdicts),
+            convicted=tuple(sorted({v.node for v in verdicts})),
+            continuity=continuity,
+            crypto_hashes=hashes,
+        )
+
+    def cdf(self) -> List[Tuple[float, float]]:
+        """Fig. 7-style CDF of the per-node steady-state bandwidth."""
+        return cdf_points(self.node_kbps)
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dict for printing/JSON export."""
+        out: Dict[str, object] = {
+            "scenario": self.spec.name,
+            "protocol": self.spec.protocol,
+            "nodes": self.spec.nodes,
+            "rounds": self.spec.rounds,
+            "mean_down_kbps": round(self.mean_kbps, 1),
+            "messages": self.messages_sent,
+            "total_bytes": self.total_bytes,
+            "verdicts": self.verdicts,
+            "convicted": list(self.convicted),
+        }
+        if self.continuity is not None:
+            out["continuity"] = round(self.continuity, 4)
+        if self.crypto_hashes is not None:
+            out["homomorphic_hashes"] = self.crypto_hashes
+        return out

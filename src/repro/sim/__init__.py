@@ -7,16 +7,23 @@ argument).
 """
 
 from repro.sim.engine import Simulator
+from repro.sim.execution import (
+    ExecutionPolicy,
+    SerialPolicy,
+    ShardedPolicy,
+    make_policy,
+)
 from repro.sim.faults import LinkCut, NodeOutage, RandomLoss
 from repro.sim.message import Message, WireSizes
 from repro.sim.metrics import BandwidthMeter, NodeTraffic, cdf_points, kbps
-from repro.sim.network import Network
+from repro.sim.network import Network, SendCapture
 from repro.sim.node import SimNode
 from repro.sim.rng import SeedSequence, derive_seed
 from repro.sim.trace import TraceRecord, TraceRecorder
 
 __all__ = [
     "BandwidthMeter",
+    "ExecutionPolicy",
     "LinkCut",
     "Message",
     "Network",
@@ -24,6 +31,9 @@ __all__ = [
     "NodeTraffic",
     "RandomLoss",
     "SeedSequence",
+    "SendCapture",
+    "SerialPolicy",
+    "ShardedPolicy",
     "SimNode",
     "Simulator",
     "TraceRecord",
@@ -32,4 +42,5 @@ __all__ = [
     "cdf_points",
     "derive_seed",
     "kbps",
+    "make_policy",
 ]

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.sim.execution import ExecutionPolicy, SerialPolicy
 from repro.sim.network import Network
 from repro.sim.node import SimNode
 
@@ -42,6 +43,9 @@ class Simulator:
     round_seconds: float = 1.0
     current_round: int = 0
     round_hooks: List[RoundHook] = field(default_factory=list)
+    #: batch-delivery strategy; the default serial policy reproduces the
+    #: pre-policy engine schedule exactly (see repro.sim.execution).
+    policy: ExecutionPolicy = field(default_factory=SerialPolicy)
     #: id-sorted node list, rebuilt only when membership changes (the
     #: seed engine re-sorted the whole dict twice per round).
     _sorted_nodes: Optional[List[SimNode]] = field(
@@ -57,6 +61,11 @@ class Simulator:
     def remove_node(self, node_id: int) -> None:
         """Drop a node from the engine (churn); undelivered traffic to it
         is silently discarded by the drain loop."""
+        if node_id not in self.nodes:
+            raise ValueError(
+                f"cannot remove unknown node id {node_id}; "
+                f"membership is {sorted(self.nodes)}"
+            )
         del self.nodes[node_id]
         self._sorted_nodes = None
 
@@ -94,13 +103,17 @@ class Simulator:
 
         The network hands over its whole pending queue at once; replies
         sent while a batch is processed accumulate into the next batch.
-        Delivery order is identical to one-at-a-time FIFO popping, but
-        the per-message queue bookkeeping happens once per batch.
+        How a batch is delivered to its recipients is the execution
+        policy's business (serial FIFO by default, sharded by recipient
+        with per-shard meters otherwise); the quiescence loop and the
+        runaway-traffic budget stay here.
         """
         budget = _MAX_DELIVERIES_PER_ROUND_PER_NODE * max(1, len(self.nodes))
         delivered = 0
         nodes_get = self.nodes.get
         take_pending = self.network.take_pending
+        deliver = self.policy.deliver
+        network = self.network
         while True:
             batch = take_pending()
             if not batch:
@@ -111,13 +124,7 @@ class Simulator:
                     f"round {round_no}: delivery budget exceeded "
                     f"({budget} messages); suspected message loop"
                 )
-            for message in batch:
-                recipient = nodes_get(message.recipient)
-                if recipient is None:
-                    # Recipient left the system (churn); gossip tolerates
-                    # this.
-                    continue
-                recipient.on_message(message)
+            deliver(batch, nodes_get, network)
 
     # -- reporting helpers -------------------------------------------------
 

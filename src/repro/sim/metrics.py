@@ -6,6 +6,13 @@ Kbps* (Figs. 7, 8, 9) and *cryptographic operations per second*
 and received per node per round, and operation tallies, with helpers to
 convert to the paper's units given the round duration (1 second in all
 experiments, section VII-A).
+
+Storage is columnar: each node owns one per-round list per direction,
+so a window sum is one slice-add and a steady-state CDF over a large
+membership is a single pass over dense lists — no per-(node, round)
+dict probes.  Byte totals are identical to the seed's dict-of-pairs
+accounting (``tests/sim/test_metrics.py`` proves parity), and per-shard
+meters from a sharded drain merge losslessly via :meth:`merge_from`.
 """
 
 from __future__ import annotations
@@ -13,6 +20,11 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Tuple
+
+try:  # numpy accelerates CDF sorting over large memberships
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is an optional extra
+    _np = None
 
 __all__ = ["BandwidthMeter", "NodeTraffic", "cdf_points", "kbps"]
 
@@ -42,6 +54,13 @@ class NodeTraffic:
         return self.bytes_up + self.bytes_down
 
 
+def _grow(series: List[int], rnd: int) -> None:
+    """Extend a per-round series with zeros so ``series[rnd]`` exists."""
+    missing = rnd + 1 - len(series)
+    if missing > 0:
+        series.extend([0] * missing)
+
+
 @dataclass(slots=True)
 class BandwidthMeter:
     """Accounts every byte that crosses the simulated network.
@@ -55,8 +74,10 @@ class BandwidthMeter:
     totals: Dict[int, NodeTraffic] = field(
         default_factory=lambda: defaultdict(NodeTraffic)
     )
-    per_round_up: Dict[Tuple[int, int], int] = field(default_factory=dict)
-    per_round_down: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    #: node -> bytes uploaded per round (index = round number).
+    up_series: Dict[int, List[int]] = field(default_factory=dict)
+    #: node -> bytes downloaded per round.
+    down_series: Dict[int, List[int]] = field(default_factory=dict)
     rounds_seen: int = 0
 
     def record(self, sender: int, recipient: int, size: int, rnd: int) -> None:
@@ -69,14 +90,37 @@ class BandwidthMeter:
         down = self.totals[recipient]
         down.bytes_down += size
         down.messages_down += 1
-        key_up = (sender, rnd)
-        key_down = (recipient, rnd)
-        self.per_round_up[key_up] = self.per_round_up.get(key_up, 0) + size
-        self.per_round_down[key_down] = (
-            self.per_round_down.get(key_down, 0) + size
-        )
+        series = self.up_series.get(sender)
+        if series is None:
+            series = self.up_series[sender] = []
+        _grow(series, rnd)
+        series[rnd] += size
+        series = self.down_series.get(recipient)
+        if series is None:
+            series = self.down_series[recipient] = []
+        _grow(series, rnd)
+        series[rnd] += size
         if rnd + 1 > self.rounds_seen:
             self.rounds_seen = rnd + 1
+
+    def node_series(
+        self, node: int, direction: str = "both"
+    ) -> List[int]:
+        """Per-round byte series for ``node``, padded to ``rounds_seen``."""
+        self._check_direction(direction)
+        out = [0] * self.rounds_seen
+        if direction in ("both", "up"):
+            for rnd, size in enumerate(self.up_series.get(node, ())):
+                out[rnd] += size
+        if direction in ("both", "down"):
+            for rnd, size in enumerate(self.down_series.get(node, ())):
+                out[rnd] += size
+        return out
+
+    @staticmethod
+    def _check_direction(direction: str) -> None:
+        if direction not in ("both", "down", "up"):
+            raise ValueError(f"unknown direction {direction!r}")
 
     def node_bytes(
         self,
@@ -93,15 +137,17 @@ class BandwidthMeter:
                 (a 300 Kbps stream costs a receiver ~300 Kbps, not 600),
                 so figure reproductions use ``"down"``.
         """
-        if direction not in ("both", "down", "up"):
-            raise ValueError(f"unknown direction {direction!r}")
+        self._check_direction(direction)
         last = self.rounds_seen - 1 if last_round is None else last_round
         total = 0
-        for rnd in range(first_round, last + 1):
-            if direction in ("both", "up"):
-                total += self.per_round_up.get((node, rnd), 0)
-            if direction in ("both", "down"):
-                total += self.per_round_down.get((node, rnd), 0)
+        if direction in ("both", "up"):
+            series = self.up_series.get(node)
+            if series:
+                total += sum(series[first_round : last + 1])
+        if direction in ("both", "down"):
+            series = self.down_series.get(node)
+            if series:
+                total += sum(series[first_round : last + 1])
         return total
 
     def node_kbps(
@@ -114,6 +160,11 @@ class BandwidthMeter:
     ) -> float:
         """Average bandwidth of ``node`` in Kbps over a round window."""
         last = self.rounds_seen - 1 if last_round is None else last_round
+        if last < first_round:
+            raise ValueError(
+                f"inverted round window: last_round {last} precedes "
+                f"first_round {first_round}"
+            )
         duration = (last - first_round + 1) * round_seconds
         return kbps(
             self.node_bytes(node, first_round, last, direction), duration
@@ -127,12 +178,34 @@ class BandwidthMeter:
         last_round: int | None = None,
         direction: str = "both",
     ) -> Dict[int, float]:
-        return {
-            node: self.node_kbps(
-                node, round_seconds, first_round, last_round, direction
+        """Per-node Kbps over a window, in one pass over the columns."""
+        self._check_direction(direction)
+        last = self.rounds_seen - 1 if last_round is None else last_round
+        if last < first_round:
+            raise ValueError(
+                f"inverted round window: last_round {last} precedes "
+                f"first_round {first_round}"
             )
-            for node in nodes
-        }
+        duration = (last - first_round + 1) * round_seconds
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        scale = 8.0 / 1000.0 / duration
+        stop = last + 1
+        up = self.up_series
+        down = self.down_series
+        out: Dict[int, float] = {}
+        for node in nodes:
+            total = 0
+            if direction != "down":
+                series = up.get(node)
+                if series:
+                    total += sum(series[first_round:stop])
+            if direction != "up":
+                series = down.get(node)
+                if series:
+                    total += sum(series[first_round:stop])
+            out[node] = total * scale
+        return out
 
     def mean_kbps(
         self,
@@ -149,6 +222,36 @@ class BandwidthMeter:
             return 0.0
         return sum(values.values()) / len(values)
 
+    def merge_from(self, other: "BandwidthMeter") -> None:
+        """Fold another meter's accounting into this one.
+
+        Used by the sharded execution policy: each shard meters its
+        deliveries into a private meter, and the shards are merged in
+        shard-index order at batch end so the combined accounting is
+        deterministic.  Merging is exact — totals add, per-round series
+        add element-wise.
+        """
+        for node, traffic in other.totals.items():
+            mine = self.totals[node]
+            mine.bytes_up += traffic.bytes_up
+            mine.bytes_down += traffic.bytes_down
+            mine.messages_up += traffic.messages_up
+            mine.messages_down += traffic.messages_down
+        for target, source in (
+            (self.up_series, other.up_series),
+            (self.down_series, other.down_series),
+        ):
+            for node, series in source.items():
+                mine = target.get(node)
+                if mine is None:
+                    target[node] = list(series)
+                    continue
+                _grow(mine, len(series) - 1)
+                for rnd, size in enumerate(series):
+                    mine[rnd] += size
+        if other.rounds_seen > self.rounds_seen:
+            self.rounds_seen = other.rounds_seen
+
 
 def cdf_points(values: Mapping[int, float] | Iterable[float]) -> List[
     Tuple[float, float]
@@ -159,9 +262,13 @@ def cdf_points(values: Mapping[int, float] | Iterable[float]) -> List[
     bandwidth consumption, y axis in percent).
     """
     if isinstance(values, Mapping):
-        data = sorted(values.values())
+        raw = values.values()
     else:
-        data = sorted(values)
+        raw = list(values)
+    if _np is not None:
+        data = _np.sort(_np.fromiter(raw, dtype=float)).tolist()
+    else:
+        data = sorted(raw)
     n = len(data)
     if n == 0:
         return []

@@ -22,7 +22,7 @@ from typing import Callable, Deque, List, Optional, Protocol
 from repro.sim.message import Message, WireSizes
 from repro.sim.metrics import BandwidthMeter
 
-__all__ = ["Network", "TrafficTap", "DropRule"]
+__all__ = ["Network", "SendCapture", "TrafficTap", "DropRule"]
 
 
 class TrafficTap(Protocol):
@@ -35,6 +35,34 @@ class TrafficTap(Protocol):
 #: A predicate deciding whether a message is silently dropped.
 #: Used to inject omission faults and network-level adversaries.
 DropRule = Callable[[Message], bool]
+
+
+@dataclass
+class SendCapture:
+    """Buffered sends of one execution shard.
+
+    Deliveries of one shard meter into a private
+    :class:`~repro.sim.metrics.BandwidthMeter` and buffer their sends
+    as ``(trigger_index, seq, message, size)`` entries, where
+    ``trigger_index`` is the batch position of the delivery that caused
+    the send (set by the policy before each delivery) and ``seq``
+    orders sends within one delivery.  Sorting the entries of all
+    shards by that pair reconstructs exactly the send order a serial
+    batch walk would produce, so a sharded drain merges back into the
+    bit-identical schedule.  Drop rules and taps are *not* consulted at
+    capture time — they may be stateful, so the network evaluates them
+    at merge time, in the reconstructed order.
+    """
+
+    meter: BandwidthMeter = field(default_factory=BandwidthMeter)
+    entries: List[tuple] = field(default_factory=list)
+    trigger_index: int = 0
+    _seq: int = 0
+
+    def record(self, message: Message, size: int, round_no: int) -> None:
+        self.meter.record(message.sender, message.recipient, size, round_no)
+        self.entries.append((self.trigger_index, self._seq, message, size))
+        self._seq += 1
 
 
 @dataclass
@@ -56,6 +84,9 @@ class Network:
     current_round: int = 0
     messages_sent: int = 0
     messages_dropped: int = 0
+    #: when set, sends are diverted into this capture instead of the
+    #: shared meter/queue/taps (see :class:`SendCapture`).
+    _capture: Optional["SendCapture"] = field(default=None, repr=False)
 
     def send(self, message: Message) -> None:
         """Queue a message for delivery within the current round.
@@ -71,6 +102,10 @@ class Network:
                 "to itself"
             )
         size = message.size_bytes(self.sizes)
+        capture = self._capture
+        if capture is not None:
+            capture.record(message, size, self.current_round)
+            return
         self.meter.record(
             message.sender, message.recipient, size, self.current_round
         )
@@ -82,6 +117,60 @@ class Network:
         for tap in self.taps:
             tap.observe(message, size)
         self._queue.append(message)
+
+    # -- shard capture -----------------------------------------------------
+
+    def begin_capture(self) -> "SendCapture":
+        """Divert subsequent sends into an isolated :class:`SendCapture`.
+
+        Used by sharded execution: while one shard's messages are being
+        delivered, any replies its nodes send are buffered (with their
+        own meter and tap log) instead of touching the shared state.
+        Nest-free: captures must be released before starting another.
+        """
+        if self._capture is not None:
+            raise RuntimeError("a send capture is already active")
+        self._capture = SendCapture()
+        return self._capture
+
+    def release_capture(self) -> "SendCapture":
+        """Stop capturing and return the buffer (without merging it)."""
+        capture = self._capture
+        if capture is None:
+            raise RuntimeError("no send capture is active")
+        self._capture = None
+        return capture
+
+    def merge_captures(self, captures: List["SendCapture"]) -> None:
+        """Fold released shard captures back into the shared state.
+
+        Meters merge in shard-index order (addition, exact); the
+        buffered sends of all shards are interleaved by
+        ``(trigger_index, seq)`` — the order a serial walk of the batch
+        would have produced them in — and only then run through the
+        drop rules and taps, so stateful fault injectors and observers
+        see the same message sequence under either policy.
+        """
+        if self._capture is not None:
+            raise RuntimeError("cannot merge while a capture is active")
+        entries: List[tuple] = []
+        for capture in captures:
+            self.meter.merge_from(capture.meter)
+            entries.extend(capture.entries)
+        entries.sort(key=lambda entry: (entry[0], entry[1]))
+        for _, _, message, size in entries:
+            self.messages_sent += 1
+            dropped = False
+            for rule in self.drop_rules:
+                if rule(message):
+                    self.messages_dropped += 1
+                    dropped = True
+                    break
+            if dropped:
+                continue
+            for tap in self.taps:
+                tap.observe(message, size)
+            self._queue.append(message)
 
     def pending(self) -> int:
         return len(self._queue)

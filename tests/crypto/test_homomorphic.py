@@ -236,3 +236,52 @@ def test_memo_does_not_undercount_operations():
     for _ in range(5):
         hasher.hash(999, wide)
     assert hasher.operations - before == 5
+
+
+def test_cache_bounds_are_configurable_and_respected():
+    from repro.crypto.homomorphic import HomomorphicHasher, make_modulus
+
+    rng = random.Random(5)
+    hasher = HomomorphicHasher(
+        modulus=make_modulus(128, rng), memo_max=4, fixed_base_max=2
+    )
+    wide = (1 << 80) + 1
+    # Values stay correct while the memo evicts around its tiny bound.
+    for base in range(2, 40):
+        assert hasher.hash(base, wide) == pow(base, wide, hasher.modulus)
+        assert len(hasher._memo) <= 4
+        assert len(hasher._fixed_bases) <= 2
+
+
+def test_cache_stats_partition_the_calls():
+    hasher = fresh_hasher(bits=128, seed=9)
+    rng = random.Random(31)
+    wide = (1 << 80) + 1
+    for _ in range(10):
+        hasher.hash(rng.getrandbits(100), wide + 2 * rng.getrandbits(8))
+    hasher.hash(12345, wide)
+    hasher.hash(12345, wide)  # memo hit
+    stats = hasher.cache_stats()
+    assert (
+        stats["memo_hits"] + stats["fixed_base_hits"]
+        + stats["cold_powmods"]
+        == hasher.operations
+    )
+    assert stats["memo_hits"] >= 1
+    assert 0.0 <= stats["memo_hit_rate"] <= 1.0
+    assert stats["memo_max"] > 0 and stats["fixed_base_max"] > 0
+
+
+def test_config_cache_bounds_reach_the_session_hasher():
+    from repro.core import PagConfig
+    from repro.core.context import PagContext
+    from repro.membership.directory import Directory
+
+    config = PagConfig(hash_memo_entries=64, fixed_base_cache_entries=8)
+    context = PagContext.build(config, Directory.of_size(6, source_id=0))
+    assert context.hasher.memo_max == 64
+    assert context.hasher.fixed_base_max == 8
+    with pytest.raises(ValueError, match="memo"):
+        PagConfig(hash_memo_entries=1)
+    with pytest.raises(ValueError, match="fixed-base"):
+        PagConfig(fixed_base_cache_entries=0)

@@ -1,0 +1,59 @@
+"""The whole scenario registry, run end to end at reduced scale.
+
+One parametrised sweep replaces the per-experiment hand-wired session
+setups: every registered simulation scenario must build, run, and
+uphold the protocol's global invariants — honest scenarios never
+convict, adversarial scenarios convict exactly their deviants, churn
+scenarios keep streaming — under both execution policies.
+"""
+
+import pytest
+
+from repro.scenarios import get_scenario, scenario_names
+from repro.sim.execution import SerialPolicy, ShardedPolicy
+
+#: Scale every scenario down to smoke size (the benchmarks exercise the
+#: registry at figure scale).
+SMALL = dict(nodes=16, rounds=8, warmup_rounds=2)
+
+#: Scenarios whose declared membership/churn schedule must not be
+#: shrunk (churn names concrete node ids; fig10 is topology-only).
+FIXED_SCALE = {"churn", "coalition-third", "fig10"}
+
+
+def _small(name):
+    spec = get_scenario(name)
+    if name in FIXED_SCALE:
+        return spec
+    return spec.with_overrides(**SMALL)
+
+
+@pytest.mark.parametrize("name", [n for n in scenario_names()
+                                  if n != "fig10"])
+def test_every_scenario_runs_and_measures(name):
+    spec = _small(name)
+    result = spec.run()
+    assert result.mean_kbps > 0
+    assert result.messages_sent > 0
+    departed = {event.node_id for event in spec.churn}
+    assert len(result.node_kbps) == spec.nodes - 1 - len(departed)
+    deviants = set(spec.deviant_nodes())
+    if deviants:
+        # Soundness: only deviants (or churned nodes) are convicted.
+        assert set(result.convicted) <= deviants | departed
+    elif not spec.churn and spec.protocol == "pag":
+        # No false positives on honest scenarios.
+        assert result.verdicts == 0, result.convicted
+
+
+@pytest.mark.parametrize("policy", [SerialPolicy(), ShardedPolicy(shards=4)])
+def test_adversarial_scenarios_convict_under_both_policies(policy):
+    result = _small("selfish").run(policy)
+    deviants = set(_small("selfish").deviant_nodes())
+    assert set(result.convicted) == deviants
+
+
+def test_churn_scenario_streams_through_departures():
+    result = get_scenario("churn").run(ShardedPolicy(shards=3))
+    assert result.continuity > 0.9
+    assert set(result.convicted) == {5, 11}

@@ -1,0 +1,194 @@
+"""Tests for the pluggable execution policies.
+
+The acceptance bar of the sharded-core refactor: a SerialPolicy run is
+bit-identical to the pre-policy engine (golden numbers recorded from
+the seed code on the same fixed-seed scenarios), and a ShardedPolicy
+run reproduces the same per-node byte totals, message counts, and
+operation counts at any shard count.
+"""
+
+import pytest
+
+from repro.core import PagConfig, PagSession
+from repro.sim.engine import Simulator
+from repro.sim.execution import (
+    SerialPolicy,
+    ShardedPolicy,
+    make_policy,
+)
+from repro.sim.faults import RandomLoss
+from repro.sim.network import Network
+from repro.sim.rng import SeedSequence
+from repro.sim.trace import TraceRecorder
+
+# Golden numbers measured on the pre-refactor engine (PR 1) for the
+# fixed-seed fig7-style scenario: PagConfig.for_system_size(n, 300 Kbps),
+# n nodes, r rounds.  The engine is a deterministic function of the
+# seed, so these are exact integers, not tolerances.
+GOLDEN = {
+    (20, 8): {
+        "messages_sent": 6103,
+        "hashes": 45710,
+        "total_bytes": 22239598,
+        "node_bytes": {0: 1066593, 1: 1033468, 19: 1051146},
+    },
+    (30, 10): {
+        "messages_sent": 11514,
+        "hashes": 104836,
+        "total_bytes": 61530104,
+        "node_bytes": {0: 1356657, 1: 2578421, 29: 2390562},
+    },
+}
+
+
+def _run(n, rounds, policy=None, drop_rule=None):
+    config = PagConfig.for_system_size(n, stream_rate_kbps=300.0)
+    session = PagSession.create(
+        n, config=config, execution_policy=policy
+    )
+    if drop_rule is not None:
+        session.simulator.network.add_drop_rule(drop_rule)
+    session.run(rounds)
+    meter = session.simulator.network.meter
+    per_node = {
+        nid: meter.node_bytes(nid)
+        for nid in [0] + sorted(session.nodes)
+    }
+    return session, per_node
+
+
+@pytest.mark.parametrize("n,rounds", sorted(GOLDEN))
+def test_serial_policy_matches_pre_refactor_goldens(n, rounds):
+    session, per_node = _run(n, rounds, SerialPolicy())
+    golden = GOLDEN[(n, rounds)]
+    assert session.simulator.network.messages_sent == golden["messages_sent"]
+    assert session.context.hasher.operations == golden["hashes"]
+    assert sum(per_node.values()) == golden["total_bytes"]
+    for node, expected in golden["node_bytes"].items():
+        assert per_node[node] == expected
+
+
+@pytest.mark.parametrize("shards", [1, 3, 4, 7])
+def test_sharded_policy_matches_serial_bytes(shards):
+    _, serial = _run(20, 8, SerialPolicy())
+    session, sharded = _run(20, 8, ShardedPolicy(shards=shards))
+    assert sharded == serial
+    golden = GOLDEN[(20, 8)]
+    assert session.simulator.network.messages_sent == golden["messages_sent"]
+    assert session.context.hasher.operations == golden["hashes"]
+
+
+def test_sharded_policy_with_stateful_drop_rule_matches_serial():
+    """Drop rules consume their RNG once per send in send order; the
+    sharded merge must replay that exact order."""
+
+    def loss():
+        return RandomLoss(
+            probability=0.15,
+            kinds={"ack", "serve"},
+            rng=SeedSequence(11).stream("loss"),
+        )
+
+    serial_rule = loss()
+    _, serial = _run(20, 8, SerialPolicy(), drop_rule=serial_rule)
+    sharded_rule = loss()
+    session, sharded = _run(
+        20, 8, ShardedPolicy(shards=4), drop_rule=sharded_rule
+    )
+    assert serial_rule.dropped > 0
+    assert sharded_rule.dropped == serial_rule.dropped
+    assert sharded == serial
+    assert session.all_verdicts() == []
+
+
+def test_sharded_policy_taps_see_all_traffic_in_order():
+    config = PagConfig.for_system_size(16, stream_rate_kbps=300.0)
+    runs = {}
+    for name, policy in (
+        ("serial", SerialPolicy()),
+        ("sharded", ShardedPolicy(shards=3)),
+    ):
+        tap = TraceRecorder()
+        s = PagSession.create(16, config=config, execution_policy=policy)
+        s.simulator.network.add_tap(tap)
+        s.run(6)
+        runs[name] = tap
+    assert len(runs["serial"]) == len(runs["sharded"])
+    assert runs["serial"].kinds() == runs["sharded"].kinds()
+    assert runs["serial"].total_bytes() == runs["sharded"].total_bytes()
+
+
+def test_churn_mid_round_with_inflight_traffic_under_sharding():
+    """A node removed by a round hook leaves in-flight traffic behind;
+    the next rounds' sharded drains must drop deliveries to it silently
+    while drop rules keep firing for everyone else."""
+
+    def run(policy):
+        session = PagSession.create(
+            16,
+            config=PagConfig.for_system_size(16, stream_rate_kbps=150.0),
+            execution_policy=policy,
+        )
+        rule = RandomLoss(
+            probability=0.1,
+            kinds={"ack"},
+            rng=SeedSequence(23).stream("loss"),
+        )
+        session.simulator.network.add_drop_rule(rule)
+
+        def churn_hook(round_no):
+            if round_no == 4:
+                session.remove_node(7)
+
+        session.simulator.add_round_hook(churn_hook)
+        session.run(10)
+        return session, rule
+
+    serial_session, serial_rule = run(SerialPolicy())
+    sharded_session, sharded_rule = run(ShardedPolicy(shards=5))
+    assert 7 not in sharded_session.nodes
+    assert serial_rule.dropped > 0
+    assert sharded_rule.dropped == serial_rule.dropped
+    # The departed node is convicted as unresponsive, nobody else is.
+    for session in (serial_session, sharded_session):
+        convicted = session.convicted_nodes()
+        assert convicted <= {7}
+    assert (
+        sharded_session.simulator.network.messages_sent
+        == serial_session.simulator.network.messages_sent
+    )
+
+
+def test_remove_node_unknown_id_raises_value_error():
+    sim = Simulator(network=Network())
+    with pytest.raises(ValueError, match="unknown node id 42"):
+        sim.remove_node(42)
+
+
+def test_session_remove_node_unknown_id_raises_value_error():
+    session = PagSession.create(8)
+    with pytest.raises(ValueError, match="unknown node id 99"):
+        session.remove_node(99)
+
+
+def test_make_policy():
+    assert isinstance(make_policy("serial"), SerialPolicy)
+    sharded = make_policy("sharded", shards=6)
+    assert isinstance(sharded, ShardedPolicy)
+    assert sharded.shards == 6
+    with pytest.raises(ValueError, match="unknown execution policy"):
+        make_policy("quantum")
+    with pytest.raises(ValueError, match="shard count"):
+        ShardedPolicy(shards=0)
+
+
+def test_capture_guards():
+    network = Network()
+    network.begin_capture()
+    with pytest.raises(RuntimeError, match="already active"):
+        network.begin_capture()
+    capture = network.release_capture()
+    with pytest.raises(RuntimeError, match="no send capture"):
+        network.release_capture()
+    network.merge_captures([capture])  # empty capture merges cleanly
+    assert network.pending() == 0

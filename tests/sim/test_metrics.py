@@ -1,7 +1,10 @@
 """Tests for bandwidth metering and CDF helpers."""
 
+import random
+
 import pytest
 
+from repro.analysis.hotpath import DictMeterBaseline
 from repro.sim.metrics import BandwidthMeter, cdf_points, kbps
 
 
@@ -70,3 +73,113 @@ def test_cdf_points_from_mapping():
 
 def test_cdf_points_empty():
     assert cdf_points([]) == []
+
+
+def test_node_kbps_rejects_inverted_window():
+    meter = BandwidthMeter()
+    meter.record(1, 2, 100, rnd=0)
+    meter.record(1, 2, 100, rnd=1)
+    with pytest.raises(ValueError, match="inverted round window"):
+        meter.node_kbps(1, first_round=2, last_round=1)
+    with pytest.raises(ValueError, match="inverted round window"):
+        meter.all_node_kbps([1, 2], first_round=5, last_round=0)
+
+
+def test_node_series_pads_to_rounds_seen():
+    meter = BandwidthMeter()
+    meter.record(1, 2, 100, rnd=0)
+    meter.record(3, 1, 50, rnd=3)
+    assert meter.node_series(1, "up") == [100, 0, 0, 0]
+    assert meter.node_series(1, "down") == [0, 0, 0, 50]
+    assert meter.node_series(1) == [100, 0, 0, 50]
+    assert meter.node_series(99) == [0, 0, 0, 0]
+
+
+# ---------------------------------------------------------------------------
+# Columnar-vs-dict parity: the columnar layout must account every byte
+# exactly like the seed's (node, round)-keyed dicts did.
+# ---------------------------------------------------------------------------
+
+
+def _random_traffic(seed, n_nodes=24, rounds=20, messages=4000):
+    rng = random.Random(seed)
+    for _ in range(messages):
+        sender = rng.randrange(n_nodes)
+        recipient = (sender + rng.randrange(1, n_nodes)) % n_nodes
+        yield sender, recipient, rng.randrange(0, 5000), rng.randrange(rounds)
+
+
+def test_columnar_parity_with_dict_accounting():
+    columnar = BandwidthMeter()
+    reference = DictMeterBaseline()
+    for sender, recipient, size, rnd in _random_traffic(seed=0xC01):
+        columnar.record(sender, recipient, size, rnd)
+        reference.record(sender, recipient, size, rnd)
+    assert columnar.rounds_seen == reference.rounds_seen
+    windows = [(0, None), (0, 5), (4, 19), (7, 7), (19, None)]
+    for node in range(24):
+        for first, last in windows:
+            for direction in ("both", "up", "down"):
+                assert columnar.node_bytes(
+                    node, first, last, direction
+                ) == reference.node_bytes(node, first, last, direction), (
+                    node, first, last, direction,
+                )
+
+
+def test_columnar_parity_on_fixed_seed_session():
+    """End to end: a fixed-seed PAG run accounted both ways, byte for
+    byte (the meter-parity acceptance criterion)."""
+    from repro.core import PagConfig, PagSession
+
+    class FanoutMeter:
+        """Feeds every record call to the columnar meter and the
+        dict-layout reference simultaneously."""
+
+        def __init__(self, columnar, reference):
+            self.columnar = columnar
+            self.reference = reference
+
+        def record(self, sender, recipient, size, rnd):
+            self.columnar.record(sender, recipient, size, rnd)
+            self.reference.record(sender, recipient, size, rnd)
+
+    reference = DictMeterBaseline()
+    session = PagSession.create(
+        12, config=PagConfig.for_system_size(12, stream_rate_kbps=150.0)
+    )
+    network = session.simulator.network
+    meter = network.meter
+    network.meter = FanoutMeter(meter, reference)
+    session.run(8)
+    network.meter = meter
+    for node in [0] + sorted(session.nodes):
+        for direction in ("both", "up", "down"):
+            assert meter.node_bytes(
+                node, direction=direction
+            ) == reference.node_bytes(node, direction=direction)
+            assert meter.node_bytes(
+                node, 4, direction=direction
+            ) == reference.node_bytes(node, 4, direction=direction)
+
+
+def test_merge_from_is_exact():
+    whole = BandwidthMeter()
+    shard_a = BandwidthMeter()
+    shard_b = BandwidthMeter()
+    for i, (sender, recipient, size, rnd) in enumerate(
+        _random_traffic(seed=0xD1FF, messages=500)
+    ):
+        whole.record(sender, recipient, size, rnd)
+        (shard_a if i % 2 else shard_b).record(sender, recipient, size, rnd)
+    merged = BandwidthMeter()
+    merged.merge_from(shard_a)
+    merged.merge_from(shard_b)
+    assert merged.rounds_seen == whole.rounds_seen
+    for node in range(24):
+        assert merged.node_series(node) == whole.node_series(node)
+        assert merged.totals[node].bytes_up == whole.totals[node].bytes_up
+        assert (
+            merged.totals[node].messages_down
+            == whole.totals[node].messages_down
+        )

@@ -12,8 +12,22 @@ class TestParser:
 
     def test_run_defaults(self):
         args = build_parser().parse_args(["run"])
-        assert args.nodes == 30
-        assert args.rate == 300.0
+        # None means "use the command/scenario default".
+        assert args.nodes is None
+        assert args.rate is None
+        assert args.scenario is None
+        assert args.policy == "serial"
+
+    def test_run_scenario_and_policy_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--scenario", "fig9", "--policy", "sharded",
+             "--shards", "8"]
+        )
+        assert args.scenario == "fig9"
+        assert args.policy == "sharded"
+        assert args.shards == 8
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--policy", "psychic"])
 
     def test_detect_strategy_choices(self):
         args = build_parser().parse_args(
@@ -30,6 +44,28 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "mean download" in out
         assert "verdicts           : 0" in out
+
+    def test_run_named_scenario(self, capsys):
+        code = main(
+            ["run", "--scenario", "selfish", "--rounds", "10",
+             "--policy", "sharded", "--shards", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario 'selfish'" in out
+        assert "convicted" in out
+
+    def test_run_unknown_scenario_fails_crisply(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            main(["run", "--scenario", "fig99"])
+
+    def test_scenarios_listing(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig7", "fig9", "table2", "churn"):
+            assert name in out
+        assert main(["scenarios", "--verbose"]) == 0
+        assert "paper:" in capsys.readouterr().out
 
     def test_detect(self, capsys):
         code = main(
@@ -90,8 +126,14 @@ class TestBenchCommand:
         import json
 
         report = json.loads(out_file.read_text())
-        assert report["schema"] == 1
+        assert report["schema"] == 2
         assert set(report["hashes_per_s"]) == {"256", "512"}
         assert report["primes_per_s"]["512"] > 0
         assert report["engine"]["rounds_per_s"] > 0
         assert report["backend"] in ("python", "gmpy2")
+        cache = report["engine"]["cache"]
+        assert 0.0 <= cache["memo_hit_rate"] <= 1.0
+        assert cache["fixed_base_entries"] <= cache["fixed_base_max"]
+        meter = report["meter_cdf"]
+        assert meter["columnar_per_s"] > 0
+        assert meter["dict_per_s"] > 0
