@@ -44,6 +44,19 @@ def test_hotpath_bench(benchmark):
         f"engine rounds/s      : {engine['rounds_per_s']:>12,.2f} "
         f"({engine['nodes']} nodes, {engine['rounds']} rounds)"
     )
+    parallel = report["parallel"]
+    print(
+        f"parallel (fig9)      : serial "
+        f"{parallel['serial_rounds_per_s']:>8.2f} rounds/s on "
+        f"{parallel['cpu_count']} cpu"
+    )
+    for row in parallel["rows"]:
+        print(
+            f"  {row['workers']} workers          : "
+            f"{row['wall_rounds_per_s']:>8.2f} wall rounds/s, "
+            f"{row['projected_multicore_rounds_per_s']:>8.2f} projected "
+            f"multicore ({row['speedup_projected_multicore']:.2f}x)"
+        )
     print(f"written to           : {report['written_to']}")
 
     assert report["schema"] == SCHEMA_VERSION
@@ -51,4 +64,8 @@ def test_hotpath_bench(benchmark):
     assert report["hashes_per_s"]["512"] > 0
     assert report["primes_per_s"]["512"] > 0
     assert engine["rounds_per_s"] > 0
+    assert parallel["rows"], "parallel scaling rows missing"
+    for row in parallel["rows"]:
+        assert row["mode"] == "process"
+        assert row["projected_multicore_rounds_per_s"] > 0
     assert report["written_to"] == "BENCH_hotpath.json"

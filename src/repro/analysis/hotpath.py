@@ -14,9 +14,10 @@ wins.  Run it via ``python -m repro bench`` or through
 from __future__ import annotations
 
 import json
+import os
 import random
 import time
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from repro.crypto.backend import (
     Backend,
@@ -34,13 +35,19 @@ __all__ = [
     "measure_prime_throughput",
     "measure_engine_throughput",
     "measure_meter_cdf_throughput",
+    "measure_parallel_scaling",
     "run_hotpath_bench",
     "SCHEMA_VERSION",
 ]
 
 #: 2: added ``engine.cache`` (hasher hit rates) and ``meter_cdf``
 #: (columnar vs dict-probe steady-state CDF aggregation).
-SCHEMA_VERSION = 2
+#: 3: added ``parallel`` — per-worker scaling rows of the
+#: ParallelShardedPolicy process backend on the fig9 scenario (wall
+#: clock, per-shard CPU critical path, and the projected multi-core
+#: round throughput), plus ``cpu_count`` so single-core wall numbers
+#: read as what they are.
+SCHEMA_VERSION = 3
 
 _BENCH_SEED = 0x9A6
 
@@ -254,6 +261,92 @@ def measure_meter_cdf_throughput(
     }
 
 
+def measure_parallel_scaling(
+    workers_list: Sequence[int] = (1, 2, 4),
+    quick: bool = False,
+    scenario: str = "fig9",
+) -> Dict:
+    """Round-throughput of the parallel backend vs the serial engine.
+
+    Runs the fig9 scalability scenario once serially, then once per
+    worker count under :class:`~repro.sim.execution.ParallelShardedPolicy`
+    (process backend), asserting bit-identical results each time.  Two
+    throughput views are recorded per row:
+
+    * ``wall_*`` — observed wall clock on *this* machine.  On a box with
+      fewer cores than workers the processes timeslice one core, so wall
+      speedup saturates at <= 1; ``cpu_count`` is recorded alongside for
+      exactly that reason.
+    * ``projected_multicore_*`` — measured coordinator CPU (the parent
+      process: partition, metadata merge, blob routing) plus the
+      per-barrier critical path of worker CPU time (the slowest shard's
+      thread-CPU, summed over barriers).  That sum is the round time a
+      machine with one core per worker could not beat, and every term
+      is measured from clocks in this run, not modeled.
+    """
+    import dataclasses as _dc
+
+    from repro.scenarios import get_scenario
+    from repro.sim.execution import ParallelShardedPolicy
+
+    spec = get_scenario(scenario)
+    if quick:
+        spec = spec.with_overrides(nodes=36, rounds=6, warmup_rounds=2)
+    spec = _dc.replace(spec, policy=None)
+    start = time.perf_counter()
+    serial = spec.run()
+    serial_wall = time.perf_counter() - start
+    reference = (serial.messages_sent, serial.total_bytes, serial.node_kbps)
+    rows = []
+    for workers in workers_list:
+        policy = ParallelShardedPolicy(workers=workers, backend="process")
+        start = time.perf_counter()
+        cpu_start = time.process_time()
+        result = spec.run(policy)
+        wall = time.perf_counter() - start
+        parent_cpu = time.process_time() - cpu_start
+        if (
+            result.messages_sent,
+            result.total_bytes,
+            result.node_kbps,
+        ) != reference:
+            raise RuntimeError(
+                f"parallel run with {workers} workers diverged from the "
+                "serial reference; execution-policy equivalence is broken"
+            )
+        stats = policy.stats
+        projected = parent_cpu + stats.critical_cpu_seconds
+        rows.append({
+            "workers": workers,
+            "mode": policy.mode,
+            "wall_seconds": round(wall, 4),
+            "wall_rounds_per_s": round(spec.rounds / wall, 4),
+            "speedup_wall": round(serial_wall / wall, 2),
+            "parent_cpu_seconds": round(parent_cpu, 4),
+            "worker_busy_cpu_seconds": round(stats.busy_cpu_seconds, 4),
+            "critical_path_cpu_seconds": round(
+                stats.critical_cpu_seconds, 4
+            ),
+            "shard_imbalance": round(stats.imbalance(), 4),
+            "projected_multicore_seconds": round(projected, 4),
+            "projected_multicore_rounds_per_s": round(
+                spec.rounds / projected, 4
+            ),
+            "speedup_projected_multicore": round(
+                serial_wall / projected, 2
+            ),
+        })
+    return {
+        "scenario": spec.name,
+        "nodes": spec.nodes,
+        "rounds": spec.rounds,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial_wall, 4),
+        "serial_rounds_per_s": round(spec.rounds / serial_wall, 4),
+        "rows": rows,
+    }
+
+
 def run_hotpath_bench(
     out_path: Optional[str] = "BENCH_hotpath.json",
     quick: bool = False,
@@ -290,6 +383,10 @@ def run_hotpath_bench(
             nodes=60 if quick else 240,
             rounds=20 if quick else 60,
             seconds=seconds,
+        ),
+        "parallel": measure_parallel_scaling(
+            workers_list=(2, 4) if quick else (1, 2, 4),
+            quick=quick,
         ),
     }
     if out_path is not None:

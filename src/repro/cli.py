@@ -4,6 +4,7 @@ Usage::
 
     python -m repro run [--nodes N] [--rounds R] [--rate KBPS]
     python -m repro run --scenario fig9 [--nodes 240] [--policy sharded]
+    python -m repro run --scenario fig9 --policy parallel --workers 4
     python -m repro scenarios
     python -m repro detect [--strategy free-rider] [--nodes N]
     python -m repro fig7 | fig8 | fig9 | fig10 | table1 | table2
@@ -35,9 +36,13 @@ _STRATEGIES = {
 def _add_policy_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--policy",
-        choices=("serial", "sharded"),
-        default="serial",
-        help="drain-batch execution policy (see repro.sim.execution)",
+        choices=("serial", "sharded", "parallel"),
+        default=None,
+        help=(
+            "execution policy (see repro.sim.execution); all three are "
+            "bit-identical, 'parallel' runs shards on a worker pool. "
+            "Default: the scenario's own policy knob, else serial."
+        ),
     )
     parser.add_argument(
         "--shards",
@@ -45,12 +50,24 @@ def _add_policy_flags(parser: argparse.ArgumentParser) -> None:
         default=4,
         help="shard count for --policy sharded",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for --policy parallel (default: --shards)",
+    )
 
 
 def _policy_from(args):
     from repro.sim.execution import make_policy
 
-    return make_policy(args.policy, shards=args.shards)
+    if args.policy is None:
+        return None
+    return make_policy(
+        args.policy,
+        shards=args.shards,
+        workers=getattr(args, "workers", None),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -294,6 +311,20 @@ def _cmd_bench(args) -> int:
         f"  meter CDF aggs/s : {meter['columnar_per_s']:>12,.0f} "
         f"({meter['speedup']:.1f}x over dict probes)"
     )
+    parallel = report["parallel"]
+    print(
+        f"  parallel scaling : {parallel['scenario']} "
+        f"({parallel['nodes']} nodes, {parallel['cpu_count']} cpu) — "
+        f"serial {parallel['serial_rounds_per_s']:.2f} rounds/s"
+    )
+    for row in parallel["rows"]:
+        print(
+            f"    {row['workers']} workers       : "
+            f"{row['wall_rounds_per_s']:>8.2f} rounds/s wall "
+            f"({row['speedup_wall']:.2f}x), "
+            f"{row['projected_multicore_rounds_per_s']:.2f} projected "
+            f"multicore ({row['speedup_projected_multicore']:.2f}x)"
+        )
     print(f"  written          : {args.out}")
     return 0
 

@@ -6,6 +6,12 @@ suite, and the integration tests — resolves its workload here, so the
 paper's evaluation matrix is declared exactly once.  Registering a new
 scenario (``register_scenario(ScenarioSpec(name="my-workload", ...))``)
 immediately makes it runnable from the CLI and the benchmarks.
+
+Specs carry an execution ``policy`` knob (serial / sharded / parallel —
+all bit-identical; see :mod:`repro.sim.execution`), so a scenario can
+declare that it defaults to the worker-pool backend; ``repro run
+--policy`` and an explicit policy passed to ``run_scenario`` both
+override it.
 """
 
 from __future__ import annotations
@@ -121,6 +127,20 @@ register_scenario(ScenarioSpec(
     nodes=120,
     rounds=15,
     warmup_rounds=4,
+))
+
+register_scenario(ScenarioSpec(
+    name="fig9-parallel",
+    description="fig9 on the worker-pool execution backend (2 shards)",
+    paper_reference=(
+        "Fig. 9 anchor run; execution-policy equivalence means the "
+        "numbers match fig9 bit for bit (tests/differential)"
+    ),
+    nodes=120,
+    rounds=15,
+    warmup_rounds=4,
+    policy="parallel",
+    workers=2,
 ))
 
 register_scenario(ScenarioSpec(

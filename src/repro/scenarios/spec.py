@@ -16,7 +16,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.sim.execution import ExecutionPolicy
+from repro.sim.execution import ExecutionPolicy, make_policy
 from repro.sim.metrics import cdf_points
 
 __all__ = [
@@ -102,6 +102,13 @@ class ScenarioSpec:
         churn: nodes leaving after given rounds.
         detection_enabled: run the monitoring state machine.
         seed: root seed for all session randomness.
+        policy: default execution policy name (``"serial"``,
+            ``"sharded"``, ``"parallel"``); None lets the engine default
+            (serial) apply.  An explicit policy passed to :meth:`run`
+            always wins.  All policies are bit-identical — this knob
+            selects an execution backend, never a different schedule.
+        workers: shard/worker count for the sharded and parallel
+            policies (ignored by serial).
     """
 
     name: str
@@ -119,8 +126,17 @@ class ScenarioSpec:
     churn: Tuple[ChurnEvent, ...] = ()
     detection_enabled: bool = True
     seed: int = 20160627
+    policy: Optional[str] = None
+    workers: int = 4
 
     def __post_init__(self) -> None:
+        if self.policy not in (None, "serial", "sharded", "parallel"):
+            raise ValueError(
+                f"unknown execution policy {self.policy!r}; expected "
+                "'serial', 'sharded' or 'parallel'"
+            )
+        if self.workers < 1:
+            raise ValueError("worker count must be at least 1")
         if self.protocol not in ("pag", "acting"):
             raise ValueError(
                 f"unknown protocol {self.protocol!r}; "
@@ -248,6 +264,7 @@ class ScenarioSpec:
             execution_policy=execution_policy,
         )
         self._wire_churn(session.simulator, session)
+        self._bind_policy(execution_policy, session)
         return session
 
     def _build_acting(self, execution_policy):
@@ -278,7 +295,19 @@ class ScenarioSpec:
         if execution_policy is not None:
             session.simulator.policy = execution_policy
         self._wire_churn(session.simulator, session)
+        self._bind_policy(execution_policy, session)
         return session
+
+    def _bind_policy(self, execution_policy, session) -> None:
+        """Hand a replica-capable policy its session bootstrap.
+
+        Worker-backed policies rebuild the session inside each worker
+        from this spec (stripped of its own policy field, so replicas
+        always run the plain serial engine path).
+        """
+        binder = getattr(execution_policy, "bind_scenario", None)
+        if binder is not None:
+            binder(dataclasses.replace(self, policy=None), session)
 
     def _wire_churn(self, simulator, session) -> None:
         if not self.churn:
@@ -301,13 +330,37 @@ class ScenarioSpec:
 
         simulator.add_round_hook(on_round)
 
+    def make_policy(self) -> Optional[ExecutionPolicy]:
+        """The execution policy this spec's ``policy`` knob names."""
+        if self.policy is None:
+            return None
+        return make_policy(
+            self.policy, shards=self.workers, workers=self.workers
+        )
+
     def run(
         self, execution_policy: Optional[ExecutionPolicy] = None
     ) -> "ScenarioResult":
-        """Build, run the full schedule, and collect the measurements."""
-        session = self.build(execution_policy)
-        session.run(self.rounds)
-        return ScenarioResult.collect(self, session)
+        """Build, run the full schedule, and collect the measurements.
+
+        An explicit ``execution_policy`` wins over the spec's own
+        ``policy`` knob.  Worker-backed policies are synced (reporting
+        state pulled from the workers) before collection and closed
+        afterwards, so callers never see half-run sessions or leaked
+        pools.
+        """
+        policy = execution_policy
+        if policy is None:
+            policy = self.make_policy()
+        session = self.build(policy)
+        try:
+            session.run(self.rounds)
+            if policy is not None:
+                policy.sync_session(session)
+            return ScenarioResult.collect(self, session)
+        finally:
+            if policy is not None:
+                policy.close()
 
 
 @dataclass

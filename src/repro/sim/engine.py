@@ -55,6 +55,7 @@ class Simulator:
     def add_node(self, node: SimNode) -> None:
         if node.node_id in self.nodes:
             raise ValueError(f"duplicate node id {node.node_id}")
+        self.policy.notify_add(node)
         self.nodes[node.node_id] = node
         self._sorted_nodes = None
 
@@ -68,6 +69,7 @@ class Simulator:
             )
         del self.nodes[node_id]
         self._sorted_nodes = None
+        self.policy.notify_remove(node_id)
 
     def _ordered_nodes(self) -> List[SimNode]:
         if self._sorted_nodes is None:
@@ -80,15 +82,23 @@ class Simulator:
         self.round_hooks.append(hook)
 
     def run_round(self) -> None:
-        """Execute one full round: begin, drain to quiescence, end."""
+        """Execute one full round: begin, drain to quiescence, end.
+
+        The node fan-outs are offered to the execution policy first
+        (a worker-backed policy runs them on its own shards — see
+        :meth:`ExecutionPolicy.begin_nodes`); policies that decline get
+        the engine's inline loop, byte-for-byte the pre-handoff path.
+        """
         round_no = self.current_round
         self.network.begin_round(round_no)
         ordered = self._ordered_nodes()
-        for node in ordered:
-            node.begin_round(round_no)
+        if not self.policy.begin_nodes(round_no, ordered, self.network):
+            for node in ordered:
+                node.begin_round(round_no)
         self._drain(round_no)
-        for node in ordered:
-            node.end_round(round_no)
+        if not self.policy.end_nodes(round_no, ordered, self.network):
+            for node in ordered:
+                node.end_round(round_no)
         for hook in self.round_hooks:
             hook(round_no)
         self.current_round += 1

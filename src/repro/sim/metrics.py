@@ -222,6 +222,36 @@ class BandwidthMeter:
             return 0.0
         return sum(values.values()) / len(values)
 
+    def snapshot(self) -> Dict[str, object]:
+        """Canonical plain-data view of the whole meter.
+
+        Key-sorted totals and per-round series, independent of dict
+        insertion order — two meters fed the same traffic through any
+        combination of direct records and :meth:`merge_from` produce
+        equal snapshots.  This is the byte-identity primitive of the
+        differential execution-policy suite.
+        """
+        return {
+            "rounds_seen": self.rounds_seen,
+            "totals": {
+                node: (
+                    traffic.bytes_up,
+                    traffic.bytes_down,
+                    traffic.messages_up,
+                    traffic.messages_down,
+                )
+                for node, traffic in sorted(self.totals.items())
+            },
+            "up_series": {
+                node: list(series)
+                for node, series in sorted(self.up_series.items())
+            },
+            "down_series": {
+                node: list(series)
+                for node, series in sorted(self.down_series.items())
+            },
+        }
+
     def merge_from(self, other: "BandwidthMeter") -> None:
         """Fold another meter's accounting into this one.
 

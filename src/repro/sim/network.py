@@ -22,7 +22,7 @@ from typing import Callable, Deque, List, Optional, Protocol
 from repro.sim.message import Message, WireSizes
 from repro.sim.metrics import BandwidthMeter
 
-__all__ = ["Network", "SendCapture", "TrafficTap", "DropRule"]
+__all__ = ["Network", "RemoteSend", "SendCapture", "TrafficTap", "DropRule"]
 
 
 class TrafficTap(Protocol):
@@ -63,6 +63,36 @@ class SendCapture:
         self.meter.record(message.sender, message.recipient, size, round_no)
         self.entries.append((self.trigger_index, self._seq, message, size))
         self._seq += 1
+
+
+class RemoteSend:
+    """Queue entry standing in for a message whose payload lives in an
+    execution worker.
+
+    The parallel policy's metadata fast path (no taps, no drop rules —
+    see :meth:`Network.merge_remote`) meters and orders sends from
+    worker-reported metadata alone; the payload either stays in the
+    worker that produced it or crosses as part of an opaque
+    pre-partitioned blob the parent never unpickles.  ``key`` is the
+    ``(trigger_index, seq)`` identity the owning worker uses to look the
+    payload back up at delivery time.
+    """
+
+    __slots__ = ("key", "sender", "recipient", "size")
+
+    def __init__(
+        self, key: tuple, sender: int, recipient: int, size: int
+    ) -> None:
+        self.key = key
+        self.sender = sender
+        self.recipient = recipient
+        self.size = size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RemoteSend {self.sender}->{self.recipient} "
+            f"size={self.size} key={self.key}>"
+        )
 
 
 @dataclass
@@ -171,6 +201,28 @@ class Network:
             for tap in self.taps:
                 tap.observe(message, size)
             self._queue.append(message)
+
+    def merge_remote(self, sends: List[RemoteSend]) -> None:
+        """Fast-path merge of worker-held sends, from metadata alone.
+
+        The caller passes :class:`RemoteSend` entries already in the
+        reconstructed serial order; each is metered and queued exactly
+        as :meth:`merge_captures` would have done with the full message.
+        Only valid while no taps or drop rules are installed — those
+        must observe real messages, so the parallel policy falls back to
+        full captures whenever either is present.
+        """
+        if self.taps or self.drop_rules:
+            raise RuntimeError(
+                "metadata-only merge is invalid while taps or drop rules "
+                "are installed"
+            )
+        record = self.meter.record
+        rnd = self.current_round
+        for send in sends:
+            record(send.sender, send.recipient, send.size, rnd)
+        self.messages_sent += len(sends)
+        self._queue.extend(sends)
 
     def pending(self) -> int:
         return len(self._queue)

@@ -1,0 +1,208 @@
+"""Unit tests for the worker-backed parallel execution policy.
+
+The differential suite (tests/differential/) proves bit-identity across
+the whole registry; these tests pin the policy's mechanics — mode
+resolution, the inline fallback, membership guards, the metadata merge
+guard, reporting sync idempotence, and the golden numbers under real
+worker pools.
+"""
+
+import pytest
+
+from repro.core import PagConfig, PagSession
+from repro.scenarios.spec import ScenarioSpec
+from repro.sim.execution import (
+    ParallelShardedPolicy,
+    SerialPolicy,
+    ShardedPolicy,
+    make_policy,
+)
+from repro.sim.network import Network, RemoteSend
+
+# Golden numbers measured on the pre-refactor engine (PR 1); the
+# parallel backend must land on them exactly (see tests/sim/
+# test_execution.py for the serial/sharded assertions on the same run).
+GOLDEN_20_8 = {"messages_sent": 6103, "hashes": 45710}
+
+
+def _spec(n=20, rounds=8):
+    return ScenarioSpec(
+        name="parallel-golden",
+        nodes=n,
+        rounds=rounds,
+        warmup_rounds=2,
+        stream_rate_kbps=300.0,
+    )
+
+
+@pytest.mark.parametrize("backend", ["serialized", "thread", "process"])
+def test_parallel_policy_matches_pre_refactor_goldens(backend):
+    policy = ParallelShardedPolicy(workers=3, backend=backend)
+    spec = _spec()
+    session = spec.build(policy)
+    try:
+        session.run(spec.rounds)
+        policy.sync_session(session)
+        assert (
+            session.simulator.network.messages_sent
+            == GOLDEN_20_8["messages_sent"]
+        )
+        assert session.context.hasher.operations == GOLDEN_20_8["hashes"]
+        assert policy.stats.barriers > 0
+        assert policy.stats.busy_cpu_seconds > 0
+        assert policy.stats.critical_cpu_seconds <= (
+            policy.stats.busy_cpu_seconds + 1e-9
+        )
+    finally:
+        policy.close()
+
+
+def test_sync_session_is_idempotent():
+    policy = ParallelShardedPolicy(workers=2, backend="serialized")
+    spec = _spec(n=10, rounds=4)
+    session = spec.build(policy)
+    try:
+        session.run(spec.rounds)
+        policy.sync_session(session)
+        hashes = session.context.hasher.operations
+        verdicts = session.all_verdicts()
+        policy.sync_session(session)
+        assert session.context.hasher.operations == hashes
+        assert session.all_verdicts() == verdicts
+    finally:
+        policy.close()
+
+
+def test_without_bootstrap_degrades_to_inline_sharding():
+    """A hand-assembled session has no spec to rebuild replicas from;
+    the policy must fall back to the in-process sharded loop and still
+    match serial."""
+    config = PagConfig.for_system_size(12, stream_rate_kbps=300.0)
+    serial = PagSession.create(12, config=config)
+    serial.run(5)
+    policy = ParallelShardedPolicy(workers=4)
+    session = PagSession.create(12, config=config, execution_policy=policy)
+    session.run(5)
+    assert policy.mode == "inline"
+    assert "no scenario bootstrap" in policy.fallback_reason
+    assert (
+        session.simulator.network.meter.snapshot()
+        == serial.simulator.network.meter.snapshot()
+    )
+    assert session.context.hasher.operations == serial.context.hasher.operations
+    policy.sync_session(session)  # no-op in inline mode
+    policy.close()
+
+
+def test_adding_nodes_after_start_is_rejected():
+    policy = ParallelShardedPolicy(workers=2, backend="serialized")
+    spec = _spec(n=8, rounds=4)
+    session = spec.build(policy)
+    try:
+        session.run(1)
+        from repro.sim.node import SimNode
+
+        with pytest.raises(RuntimeError, match="adding nodes"):
+            session.simulator.add_node(
+                SimNode(99, session.simulator.network)
+            )
+    finally:
+        policy.close()
+
+
+def test_policy_is_reusable_after_close():
+    policy = ParallelShardedPolicy(workers=2, backend="serialized")
+    results = []
+    for _ in range(2):
+        spec = _spec(n=10, rounds=4)
+        results.append(spec.run(policy).messages_sent)
+    assert results[0] == results[1]
+
+
+def test_make_policy_parallel():
+    policy = make_policy("parallel", workers=6)
+    assert isinstance(policy, ParallelShardedPolicy)
+    assert policy.workers == 6
+    # workers defaults to the shards value when not given.
+    assert make_policy("parallel", shards=3).workers == 3
+    assert isinstance(make_policy("serial"), SerialPolicy)
+    assert isinstance(make_policy("sharded", shards=2), ShardedPolicy)
+    with pytest.raises(ValueError, match="unknown execution policy"):
+        make_policy("quantum")
+    with pytest.raises(ValueError, match="worker count"):
+        ParallelShardedPolicy(workers=0)
+    with pytest.raises(ValueError, match="unknown parallel backend"):
+        ParallelShardedPolicy(backend="gpu")
+
+
+def test_explicit_process_backend_with_unpicklable_bootstrap_raises():
+    policy = ParallelShardedPolicy(workers=2, backend="process")
+
+    class Unpicklable:
+        def __call__(self):  # pragma: no cover - never built
+            raise AssertionError
+
+        def __reduce__(self):
+            raise TypeError("cannot pickle this bootstrap")
+
+    policy._bootstrap = Unpicklable()
+    with pytest.raises(RuntimeError, match="process backend requested"):
+        policy._ensure_started()
+    policy.close()
+
+
+def test_auto_backend_falls_back_to_threads_on_unpicklable_bootstrap():
+    policy = ParallelShardedPolicy(workers=2, backend="auto")
+
+    class UnpicklableSpecLike:
+        def __call__(self):
+            return ScenarioSpec(
+                name="fallback", nodes=6, rounds=3, warmup_rounds=1
+            ).build()
+
+        def __reduce__(self):
+            raise TypeError("cannot pickle this bootstrap")
+
+    policy._bootstrap = UnpicklableSpecLike()
+    assert policy._ensure_started()
+    assert policy.mode == "thread"
+    assert "not picklable" in policy.fallback_reason
+    policy.close()
+
+
+def test_merge_remote_refuses_taps_and_drop_rules():
+    network = Network()
+    network.add_tap(lambda message, size: None)
+    with pytest.raises(RuntimeError, match="metadata-only merge"):
+        network.merge_remote(
+            [RemoteSend((1, 0, 0), sender=1, recipient=2, size=10)]
+        )
+    network = Network()
+    network.add_drop_rule(lambda message: False)
+    with pytest.raises(RuntimeError, match="metadata-only merge"):
+        network.merge_remote([])
+
+
+def test_merge_remote_meters_and_queues_in_order():
+    network = Network()
+    network.current_round = 3
+    sends = [
+        RemoteSend((1, 0, 0), sender=1, recipient=2, size=100),
+        RemoteSend((1, 0, 1), sender=2, recipient=1, size=50),
+    ]
+    network.merge_remote(sends)
+    assert network.messages_sent == 2
+    assert network.pending() == 2
+    assert network.pop() is sends[0]
+    assert network.meter.node_bytes(1) == 150
+    assert network.meter.node_series(1, "up") == [0, 0, 0, 100]
+
+
+def test_stats_expose_shard_balance():
+    policy = ParallelShardedPolicy(workers=2, backend="serialized")
+    spec = _spec(n=10, rounds=4)
+    spec.run(policy)
+    stats = policy.stats
+    assert set(stats.shard_cpu_seconds) == {0, 1}
+    assert stats.imbalance() >= 1.0
+    assert stats.wall_seconds >= stats.critical_cpu_seconds - 1e-9

@@ -30,6 +30,49 @@ def test_streams_are_independent():
     assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
 
 
+def test_derivation_is_locked():
+    """Golden values freezing the seed-derivation function itself.
+
+    Every replica of a parallel run rebuilds its session from the same
+    root seed, so the label-path derivation must never change silently:
+    a different hash recipe would make historical goldens, recorded
+    traces, and cross-process replicas all diverge at once.  These
+    constants were computed from the current (root, labels) ->
+    SHA-256[:8] scheme; a failure here means the derivation changed, not
+    that these numbers need updating.
+    """
+    assert derive_seed(20160627, "primes", 0) == 5672588626772562118
+    assert derive_seed(20160627, "primes", 7) == 15002583343034006384
+    assert derive_seed(20160627, "views") == 9119780314271973216
+    assert derive_seed(42, "node", 17) == 2681064663148865082
+    assert derive_seed(0) == 8025406318521964459
+
+
+def test_per_node_prime_rng_derivation_is_locked():
+    """The per-node prime stream is ``seeds.stream("primes", node_id)``.
+
+    Locks the first draws of the streams the context hands to nodes —
+    the exact values replica workers must reproduce when they rebuild
+    a node from the spec on the other side of a process boundary.
+    """
+    draws = {
+        node_id: SeedSequence(20160627)
+        .stream("primes", node_id)
+        .getrandbits(64)
+        for node_id in (0, 7)
+    }
+    assert draws == {
+        0: 13917562732977715218,
+        7: 1736228482358554618,
+    }
+    stream = SeedSequence(20160627).stream("primes", 3)
+    assert [stream.getrandbits(32) for _ in range(3)] == [
+        404381355,
+        1371526336,
+        886301991,
+    ]
+
+
 def test_child_sequences():
     child_a = SeedSequence(7).child("node", 1)
     child_b = SeedSequence(7).child("node", 1)

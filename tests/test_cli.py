@@ -12,11 +12,13 @@ class TestParser:
 
     def test_run_defaults(self):
         args = build_parser().parse_args(["run"])
-        # None means "use the command/scenario default".
+        # None means "use the command/scenario default" — including the
+        # scenario's own execution-policy knob.
         assert args.nodes is None
         assert args.rate is None
         assert args.scenario is None
-        assert args.policy == "serial"
+        assert args.policy is None
+        assert args.workers is None
 
     def test_run_scenario_and_policy_flags(self):
         args = build_parser().parse_args(
@@ -28,6 +30,14 @@ class TestParser:
         assert args.shards == 8
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--policy", "psychic"])
+
+    def test_run_parallel_policy_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--scenario", "fig9", "--policy", "parallel",
+             "--workers", "4"]
+        )
+        assert args.policy == "parallel"
+        assert args.workers == 4
 
     def test_detect_strategy_choices(self):
         args = build_parser().parse_args(
@@ -126,7 +136,7 @@ class TestBenchCommand:
         import json
 
         report = json.loads(out_file.read_text())
-        assert report["schema"] == 2
+        assert report["schema"] == 3
         assert set(report["hashes_per_s"]) == {"256", "512"}
         assert report["primes_per_s"]["512"] > 0
         assert report["engine"]["rounds_per_s"] > 0
@@ -137,3 +147,12 @@ class TestBenchCommand:
         meter = report["meter_cdf"]
         assert meter["columnar_per_s"] > 0
         assert meter["dict_per_s"] > 0
+        parallel = report["parallel"]
+        assert parallel["scenario"] == "fig9"
+        assert parallel["cpu_count"] >= 1
+        assert [row["workers"] for row in parallel["rows"]] == [2, 4]
+        for row in parallel["rows"]:
+            assert row["mode"] == "process"
+            assert row["wall_rounds_per_s"] > 0
+            assert row["projected_multicore_rounds_per_s"] > 0
+            assert row["shard_imbalance"] >= 1.0
