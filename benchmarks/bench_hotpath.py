@@ -57,6 +57,21 @@ def test_hotpath_bench(benchmark):
             f"{row['projected_multicore_rounds_per_s']:>8.2f} projected "
             f"multicore ({row['speedup_projected_multicore']:.2f}x)"
         )
+    batch = report["batch_verify"]
+    for row in batch["primitive"]:
+        print(
+            f"batched fold k={row['pairs']:<2}     : "
+            f"{row['batched_folds_per_s']:>10,.1f} folds/s vs "
+            f"{row['per_pair_folds_per_s']:>10,.1f} per-pair "
+            f"({row['speedup']:.2f}x)"
+        )
+    ladder = report["shared_ladder"]
+    print(
+        f"shared ladder (fig9) : worker CPU "
+        f"{ladder['with_table']['worker_busy_cpu_seconds']:.2f}s with vs "
+        f"{ladder['without_table']['worker_busy_cpu_seconds']:.2f}s without "
+        f"({ladder['worker_cpu_saved_fraction']:.1%} saved)"
+    )
     print(f"written to           : {report['written_to']}")
 
     assert report["schema"] == SCHEMA_VERSION
@@ -68,4 +83,14 @@ def test_hotpath_bench(benchmark):
     for row in parallel["rows"]:
         assert row["mode"] == "process"
         assert row["projected_multicore_rounds_per_s"] > 0
+    assert batch["primitive"], "batched fold rows missing"
+    for row in batch["primitive"]:
+        assert row["speedup"] > 1.0, "batched fold should beat per-pair pow"
+    assert batch["engine"]["identical"] is True
+    assert batch["engine"]["batched_lifts"] > 0
+    assert ladder["worker_cpu_saved_seconds"] == round(
+        ladder["without_table"]["worker_busy_cpu_seconds"]
+        - ladder["with_table"]["worker_busy_cpu_seconds"],
+        4,
+    )
     assert report["written_to"] == "BENCH_hotpath.json"

@@ -36,6 +36,8 @@ __all__ = [
     "measure_engine_throughput",
     "measure_meter_cdf_throughput",
     "measure_parallel_scaling",
+    "measure_batch_verify",
+    "measure_shared_ladder",
     "run_hotpath_bench",
     "SCHEMA_VERSION",
 ]
@@ -47,7 +49,11 @@ __all__ = [
 #: clock, per-shard CPU critical path, and the projected multi-core
 #: round throughput), plus ``cpu_count`` so single-core wall numbers
 #: read as what they are.
-SCHEMA_VERSION = 3
+#: 4: added ``batch_verify`` (fold-cost of the monitor obligation:
+#: per-pair pow vs one Straus multi-exponentiation, primitive and
+#: engine-level) and ``shared_ladder`` (fig9 worker CPU with and
+#: without the parent-precomputed fixed-base ladder table).
+SCHEMA_VERSION = 4
 
 _BENCH_SEED = 0x9A6
 
@@ -347,6 +353,201 @@ def measure_parallel_scaling(
     }
 
 
+def measure_batch_verify(
+    quick: bool = False,
+    seconds: float = 0.25,
+    backend: Optional[Backend] = None,
+    scenario: str = "fig9",
+) -> Dict:
+    """Fold-cost of the monitor obligation: per-pair vs batched.
+
+    Two levels:
+
+    * ``primitive`` — the exact monitor-path shape at paper sizes: k
+      attested hashes under a 512-bit modulus, each raised to the
+      product of the *other* k-1 512-bit primes.  Per-pair folding pays
+      k full square-and-multiply chains; the Straus fold
+      (:meth:`~repro.crypto.backend.Backend.multi_powmod`) shares one
+      chain for the whole batch.  Both are timed on identical inputs
+      and checked equal before a row is recorded.
+    * ``engine`` — the fig9 scenario reshaped to single-monitor nodes
+      (the deployment shape where lifted pairs never leave an engine,
+      so the batched fold actually replaces per-pair ``pow``), run with
+      ``batch_verify`` off and on.  Messages, bandwidth and operation
+      tallies are asserted identical; only the wall clock and the fold
+      strategy differ.
+    """
+    import dataclasses as _dc
+
+    from repro.crypto.primes import generate_distinct_primes
+    from repro.scenarios import get_scenario
+
+    backend = backend or default_backend()
+    rng = random.Random(_BENCH_SEED + 3)
+    modulus = make_modulus(512, rng)
+    primitive_rows = []
+    for pairs_count in (3, 8):
+        primes = generate_distinct_primes(pairs_count, 512, rng)
+        key = 1
+        for p in primes:
+            key *= p
+        pairs = [
+            (pow(rng.getrandbits(1024) | 1, p, modulus), key // p)
+            for p in primes
+        ]
+        reference = 1
+        for base, exponent in pairs:
+            reference = reference * pow(base, exponent, modulus) % modulus
+        if backend.multi_powmod(pairs, modulus) != reference:
+            raise RuntimeError("batched fold diverged from per-pair fold")
+
+        def per_pair(_i: int) -> None:
+            acc = 1
+            for base, exponent in pairs:
+                acc = acc * backend.powmod(base, exponent, modulus) % modulus
+
+        def batched(_i: int) -> None:
+            backend.multi_powmod(pairs, modulus)
+
+        per_pair_per_s = _timebox(per_pair, seconds, min_iterations=3)
+        batched_per_s = _timebox(batched, seconds, min_iterations=3)
+        primitive_rows.append({
+            "pairs": pairs_count,
+            "modulus_bits": 512,
+            "prime_bits": 512,
+            "per_pair_folds_per_s": round(per_pair_per_s, 2),
+            "batched_folds_per_s": round(batched_per_s, 2),
+            "speedup": round(batched_per_s / per_pair_per_s, 2),
+        })
+
+    from repro.core.verification import _entry_power
+    from repro.gossip.updates import content_integer
+
+    spec = get_scenario(scenario)
+    if quick:
+        spec = spec.with_overrides(nodes=36, rounds=6, warmup_rounds=2)
+    else:
+        spec = spec.with_overrides(nodes=60, rounds=10)
+    spec = _dc.replace(spec, policy=None, monitors_per_node=1)
+    results = {}
+    timings = {}
+    lifts = {}
+    # Alternate arms and keep each arm's minimum wall clock: a fixed
+    # order would hand the second arm the process-global caches
+    # (_entry_power, content_integer) warmed by the first, conflating
+    # the fold strategy with cache warm-up — so those caches are also
+    # cleared before every run.
+    for label, batch_on in (
+        ("on", True), ("off", False), ("on", True), ("off", False)
+    ):
+        _entry_power.cache_clear()
+        content_integer.cache_clear()
+        run_spec = _dc.replace(spec, batch_verify=batch_on)
+        start = time.perf_counter()
+        result = run_spec.run()
+        wall = time.perf_counter() - start
+        observed = (
+            result.messages_sent,
+            result.total_bytes,
+            result.node_kbps,
+            result.crypto_hashes,
+        )
+        if results.setdefault(label, observed) != observed:
+            raise RuntimeError("batch_verify arm diverged between runs")
+        if label not in timings or wall < timings[label]:
+            timings[label] = wall
+        lifts[label] = result.session.context.hasher.batched_lifts
+    if results["on"] != results["off"]:
+        raise RuntimeError(
+            "batch_verify on/off runs diverged; the fold must be invisible"
+        )
+    return {
+        "primitive": primitive_rows,
+        "engine": {
+            "scenario": spec.name,
+            "nodes": spec.nodes,
+            "rounds": spec.rounds,
+            "monitors_per_node": 1,
+            "batch_off_seconds": round(timings["off"], 4),
+            "batch_on_seconds": round(timings["on"], 4),
+            "speedup": round(timings["off"] / timings["on"], 3),
+            "batched_lifts": lifts["on"],
+            "identical": True,
+        },
+    }
+
+
+def measure_shared_ladder(
+    workers: int = 4, quick: bool = False, scenario: str = "fig9"
+) -> Dict:
+    """Worker-CPU cost of rebuilding fixed-base tables per replica.
+
+    Runs the fig9 scenario on the process-backed parallel policy with
+    ``share_ladders`` off and on, recording the summed worker thread-CPU
+    and the per-barrier critical path.  Results are asserted identical
+    between the runs — the table changes where the ladder levels come
+    from, never what they compute.  Each arm runs twice, alternating,
+    and keeps its *minimum* CPU reading: on a shared box single runs
+    jitter by more than the effect under measurement, and the minimum
+    is the standard noise-robust estimate of intrinsic CPU cost.
+    """
+    import dataclasses as _dc
+
+    from repro.scenarios import get_scenario
+    from repro.sim.execution import ParallelShardedPolicy
+
+    spec = get_scenario(scenario)
+    if quick:
+        spec = spec.with_overrides(nodes=36, rounds=6, warmup_rounds=2)
+    spec = _dc.replace(spec, policy=None)
+    rows = {}
+    reference = None
+    for label, share in (
+        ("on", True), ("off", False), ("on", True), ("off", False)
+    ):
+        policy = ParallelShardedPolicy(
+            workers=workers, backend="process", share_ladders=share
+        )
+        start = time.perf_counter()
+        result = spec.run(policy)
+        wall = time.perf_counter() - start
+        observed = (result.messages_sent, result.total_bytes, result.node_kbps)
+        if reference is None:
+            reference = observed
+        elif observed != reference:
+            raise RuntimeError(
+                "shared-ladder run diverged from the unshared reference"
+            )
+        stats = policy.stats
+        row = {
+            "wall_seconds": round(wall, 4),
+            "worker_busy_cpu_seconds": round(stats.busy_cpu_seconds, 4),
+            "critical_path_cpu_seconds": round(
+                stats.critical_cpu_seconds, 4
+            ),
+        }
+        best = rows.get(label)
+        if best is None or (
+            row["worker_busy_cpu_seconds"]
+            < best["worker_busy_cpu_seconds"]
+        ):
+            rows[label] = row
+    off_cpu = rows["off"]["worker_busy_cpu_seconds"]
+    on_cpu = rows["on"]["worker_busy_cpu_seconds"]
+    return {
+        "scenario": spec.name,
+        "nodes": spec.nodes,
+        "rounds": spec.rounds,
+        "workers": workers,
+        "without_table": rows["off"],
+        "with_table": rows["on"],
+        "worker_cpu_saved_seconds": round(off_cpu - on_cpu, 4),
+        "worker_cpu_saved_fraction": round(
+            (off_cpu - on_cpu) / off_cpu if off_cpu else 0.0, 4
+        ),
+    }
+
+
 def run_hotpath_bench(
     out_path: Optional[str] = "BENCH_hotpath.json",
     quick: bool = False,
@@ -388,6 +589,10 @@ def run_hotpath_bench(
             workers_list=(2, 4) if quick else (1, 2, 4),
             quick=quick,
         ),
+        "batch_verify": measure_batch_verify(
+            quick=quick, seconds=seconds, backend=backend
+        ),
+        "shared_ladder": measure_shared_ladder(workers=4, quick=quick),
     }
     if out_path is not None:
         with open(out_path, "w", encoding="utf-8") as fh:

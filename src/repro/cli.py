@@ -33,6 +33,21 @@ _STRATEGIES = {
 }
 
 
+def _positive_int(value: str) -> int:
+    """Argparse type for counts that must be at least 1."""
+    try:
+        number = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {value!r}"
+        ) from None
+    if number < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer (got {number})"
+        )
+    return number
+
+
 def _add_policy_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--policy",
@@ -46,27 +61,43 @@ def _add_policy_flags(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--shards",
-        type=int,
+        type=_positive_int,
         default=4,
         help="shard count for --policy sharded",
     )
     parser.add_argument(
         "--workers",
-        type=int,
+        type=_positive_int,
         default=None,
         help="worker count for --policy parallel (default: --shards)",
     )
 
 
 def _policy_from(args):
+    """Build the execution policy the parsed flags describe.
+
+    ``args`` always comes from a subcommand that went through
+    :func:`_add_policy_flags`, so ``policy``/``shards``/``workers`` are
+    read directly — a subcommand without the flags is a programming
+    error, not a silently ignored option.
+    """
     from repro.sim.execution import make_policy
 
     if args.policy is None:
+        if args.workers is not None:
+            raise SystemExit(
+                "error: --workers only applies to --policy parallel"
+            )
         return None
+    if args.workers is not None and args.policy != "parallel":
+        raise SystemExit(
+            f"error: --workers only applies to --policy parallel "
+            f"(got --policy {args.policy})"
+        )
     return make_policy(
         args.policy,
         shards=args.shards,
-        workers=getattr(args, "workers", None),
+        workers=args.workers,
     )
 
 
@@ -325,6 +356,19 @@ def _cmd_bench(args) -> int:
             f"{row['projected_multicore_rounds_per_s']:.2f} projected "
             f"multicore ({row['speedup_projected_multicore']:.2f}x)"
         )
+    batch = report["batch_verify"]
+    for row in batch["primitive"]:
+        print(
+            f"  batched fold k={row['pairs']:<2} : "
+            f"{row['speedup']:.2f}x over per-pair pow "
+            f"({row['batched_folds_per_s']:,.1f} folds/s)"
+        )
+    ladder = report["shared_ladder"]
+    print(
+        f"  shared ladder    : {ladder['worker_cpu_saved_fraction']:.1%} "
+        f"worker CPU saved on {ladder['scenario']} "
+        f"({ladder['workers']} workers)"
+    )
     print(f"  written          : {args.out}")
     return 0
 

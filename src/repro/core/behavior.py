@@ -67,6 +67,19 @@ class Behavior:
         """Carry out monitor duties for the nodes this node monitors?"""
         return True
 
+    def transforms_lifted(self) -> bool:
+        """Does :meth:`transform_lifted` ever change a pair?
+
+        Derived from whether the subclass overrides the hook, so an
+        adversarial behavior can never forget to advertise itself: if
+        :meth:`transform_lifted` is the base identity, the monitor
+        engine may skip per-pair materialisation entirely (batched
+        verification folds the raw pairs instead).
+        """
+        return (
+            type(self).transform_lifted is not Behavior.transform_lifted
+        )
+
     def transform_lifted(
         self,
         monitored: int,

@@ -62,6 +62,15 @@ class PagConfig:
         fixed_base_cache_entries: bound on the number of hot bases
             holding a fixed-base window table.  Caches are per-hasher;
             hit rates are reported in ``BENCH_hotpath.json``.
+        batch_verify: fold the monitor path's message-8 lifts of a round
+            with one Straus multi-exponentiation pass
+            (:class:`~repro.core.verification.BatchVerifier`) where the
+            individual lifted values are not observable on the wire,
+            instead of one ``pow`` per pair.  Verdicts, traces, byte
+            counts and operation tallies are bit-identical either way
+            (enforced by ``tests/differential/test_batch_verify.py``);
+            the knob exists to measure the fold and to fall back if a
+            deployment ever needs to.
         monitor_cross_checks: enable the section V-B option "to check
             that monitors correctly compute and forward the hashes of
             updates": the monitored node also computes each lifted hash
@@ -90,6 +99,7 @@ class PagConfig:
     fixed_base_cache_entries: int = 1024
     detection_enabled: bool = True
     forward_owned_ghosts: bool = False
+    batch_verify: bool = True
     monitor_cross_checks: bool = False
 
     def __post_init__(self) -> None:

@@ -52,7 +52,12 @@ from repro.core.messages import (
     ServeEntry,
     SignedAck,
 )
-from repro.core.verification import combine_lifted, hash_entries, lift_attested
+from repro.core.verification import (
+    BatchVerifier,
+    combine_lifted,
+    hash_entries,
+    lift_attested,
+)
 from repro.sim.message import Message
 
 __all__ = ["MonitorEngine"]
@@ -112,6 +117,21 @@ class MonitorEngine:
         #: a lying monitor corrupts here (Behavior.transform_lifted).
         self.lift_transform = lift_transform
         self.verdicts = VerdictLog()
+        config = context.config
+        #: batched monitor verification (PagConfig.batch_verify): fold a
+        #: round's message-8 lifts with one multi-exponentiation where
+        #: the individual lifted values never reach the wire.  Lifts
+        #: that *are* broadcast (peer monitors exist), transformed (a
+        #: lying monitor's hook) or cross-checked against signed
+        #: self-checks (section V-B compares them value by value) must
+        #: be materialised per pair, so those paths are unchanged.
+        self._defer_lifts = (
+            getattr(config, "batch_verify", True)
+            and lift_transform is None
+            and not getattr(config, "monitor_cross_checks", False)
+        )
+        #: (monitored, round) -> deferred same-modulus lift folds.
+        self._batch: Dict[Tuple[int, int], BatchVerifier] = {}
         #: (monitored, pred, round) -> paired messages 6/7.
         self._receiver_records: Dict[Tuple[int, int, int], _ReceiverRecord] = {}
         #: (monitored, round) -> pred -> (lifted_fwd, lifted_ack, source).
@@ -216,6 +236,24 @@ class MonitorEngine:
         )
         att = record.attestation
         hasher = self.context.hasher
+        if self._defer_lifts and not any(
+            peer != self.host_id
+            for peer in self.context.monitors_of(monitored)
+        ):
+            # Sole monitor of X: the lifted pair would never leave this
+            # engine, so instead of one wide ``pow`` per pair the raw
+            # (hash, cofactor) pairs accumulate into the round's batch
+            # and fold in a single multi-exponentiation pass on demand.
+            # The ack-only lift is tallied but folded out: monitors
+            # acknowledge the expiring/duplicate list without adding it
+            # to the forwarding obligation (section V-D).
+            verifier = self._batch.setdefault(
+                (monitored, round_no), BatchVerifier(hasher)
+            )
+            verifier.add(att.hash_forward, record.cofactor)
+            verifier.add(att.hash_ack_only, record.cofactor, include=False)
+            self._relay_ack(predecessor, record.ack, round_no)
+            return
         lifted_forward = lift_attested(hasher, att.hash_forward, record.cofactor)
         lifted_ack_only = lift_attested(
             hasher, att.hash_ack_only, record.cofactor
@@ -339,13 +377,20 @@ class MonitorEngine:
         """``H(forward product of round_no)_(K(round_no, monitored))``.
 
         The multiplicative combination of section V-C; 1 when the node
-        received nothing that round.
+        received nothing that round.  Lifts that were materialised (for
+        broadcast, or received from peers) multiply directly; deferred
+        pairs fold through the round's :class:`BatchVerifier` in one
+        multi-exponentiation pass — the same product, bit for bit.
         """
         per_pred = self._lifted.get((monitored, round_no), {})
-        return combine_lifted(
+        combined = combine_lifted(
             self.context.hasher,
             (forward for forward, _ack_only, _src in per_pred.values()),
         )
+        verifier = self._batch.get((monitored, round_no))
+        if verifier is None:
+            return combined
+        return combined * verifier.fold() % self.context.hasher.modulus
 
     def obligation_from_self_checks(
         self, monitored: int, round_no: int
@@ -753,6 +798,8 @@ class MonitorEngine:
                 del store[key]
         for key in [k for k in self._lifted if k[1] < horizon]:
             del self._lifted[key]
+        for key in [k for k in self._batch if k[1] < horizon]:
+            del self._batch[key]
         for key in [k for k in self._self_checks if k[1] < horizon]:
             del self._self_checks[key]
         for key in [k for k in self._relays if k[1] < horizon]:

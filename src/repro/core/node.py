@@ -82,7 +82,14 @@ class PagNode(SimNode):
                 context.config.detection_enabled
                 and self.behavior.performs_monitoring()
             ),
-            lift_transform=self.behavior.transform_lifted,
+            # Honest behaviors never change a lifted pair; handing the
+            # engine no hook at all lets batched verification defer the
+            # per-pair exponentiations (the hook forces materialisation).
+            lift_transform=(
+                self.behavior.transform_lifted
+                if self.behavior.transforms_lifted()
+                else None
+            ),
         )
         self._prime_rng = context.prime_rng(node_id)
         #: sieve-windowed pool amortising the per-round prime draws.

@@ -27,6 +27,10 @@ from repro.streaming.player import PlaybackReport, evaluate_playback
 
 __all__ = ["PagSession"]
 
+#: Ceiling on the bases precomputed into a shared ladder table (memory
+#: guard for very long runs; ~1 KB per base at the simulation modulus).
+_SHARED_LADDER_MAX_BASES = 8192
+
 
 @dataclass
 class PagSession:
@@ -108,6 +112,48 @@ class PagSession:
 
     def run(self, rounds: int) -> None:
         self.simulator.run(rounds)
+
+    def shared_ladder_table(self, rounds: int):
+        """Precomputed fixed-base ladders for the run's update contents.
+
+        The stream schedule is deterministic, so the update-content
+        bases a ``rounds``-long run will hash — the dominant
+        session-lifetime bases of the fixed-base cache — are known
+        before the first round.  This builds their ladder levels once
+        (read-only, plain int tuples) so worker replicas of a parallel
+        run adopt them instead of each rebuilding identical tables; see
+        :meth:`HomomorphicHasher.adopt_shared_ladders
+        <repro.crypto.homomorphic.HomomorphicHasher.adopt_shared_ladders>`.
+
+        Returns None when the active backend does not use the ladder
+        fast path (gmpy2 beats it outright), so callers can skip the
+        build entirely.
+        """
+        from repro.crypto.backend import SharedLadderTable
+        from repro.gossip.updates import content_integer
+
+        hasher = self.context.hasher
+        if not getattr(hasher, "_use_fixed_base", False):
+            return None
+        config = self.context.config
+        # Replay the release schedule to count the uids exactly (the
+        # fractional-rate carry makes a closed form fragile).
+        schedule = StreamSchedule(
+            rate_kbps=config.stream_rate_kbps,
+            update_bytes=config.update_bytes,
+            playout_delay_rounds=config.playout_delay_rounds,
+            round_seconds=config.round_seconds,
+        )
+        for round_no in range(max(0, rounds)):
+            schedule.release(round_no)
+        total = min(schedule.total_released(), _SHARED_LADDER_MAX_BASES)
+        bases = [content_integer(uid, 0) for uid in range(total)]
+        return SharedLadderTable.build(
+            bases,
+            hasher.modulus,
+            window=4,
+            capacity_bits=config.sim_prime_bits,
+        )
 
     def remove_node(self, node_id: int) -> None:
         """Churn: the node leaves (crashes) between rounds.

@@ -22,6 +22,7 @@ __all__ = [
     "ack_hash",
     "lift_attested",
     "combine_lifted",
+    "BatchVerifier",
 ]
 
 
@@ -124,3 +125,92 @@ def combine_lifted(hasher: HomomorphicHasher, lifted: Iterable[int]) -> int:
     node's full round key.
     """
     return hasher.combine(lifted)
+
+
+class BatchVerifier:
+    """Batched monitor verification: one fold for a round's lift pairs.
+
+    A monitor's obligation for a (monitored, round) cell is the product
+    of per-predecessor message-8 lifts, ``prod_j H(S_j)^(c_j) mod M``.
+    Computed pair by pair that costs one wide modular exponentiation per
+    predecessor; because every pair shares the session modulus, the whole
+    fold is a single multi-exponentiation
+    (:meth:`~repro.crypto.backend.Backend.multi_powmod`, Straus's
+    interleaving) — one shared squaring chain for the batch instead of
+    one per pair.  The result is bit-identical to the per-pair fold: the
+    algebra is the same product, evaluated in one pass.
+
+    Accounting follows the hasher's protocol-level convention: each
+    non-neutral pair added counts one :attr:`HomomorphicHasher.operations`
+    at accumulation time (mirroring what a per-pair :func:`lift_attested`
+    would have tallied) and lands in the ``batched_lifts`` cache bucket,
+    so operation counts never depend on the fold strategy.
+
+    The monitor engine drives this through :meth:`add`/:meth:`fold`
+    alone (lifts it had to materialise for broadcast stay in its
+    ``_lifted`` store and multiply in afterwards);
+    :meth:`add_lifted`/:meth:`verify` round out the class as a
+    standalone batched-verification primitive for mixed folds, where
+    some lifted values are already in hand.
+    """
+
+    __slots__ = ("hasher", "_pairs", "_factors", "_result")
+
+    def __init__(self, hasher: HomomorphicHasher) -> None:
+        self.hasher = hasher
+        self._pairs: list = []
+        self._factors: list = []
+        self._result = None
+
+    def add(self, base: int, exponent: int, include: bool = True) -> None:
+        """Accumulate one protocol-level lift ``base ** exponent``.
+
+        Neutral bases (the empty-product hash) lift to themselves and
+        are neither counted nor folded, exactly like
+        :func:`lift_attested`.  With ``include=False`` the lift is
+        tallied but left out of the fold — the acknowledge-only list of
+        a declaration (section V-D) is acknowledged without entering the
+        forwarding obligation.
+        """
+        hasher = self.hasher
+        if base == 1 % hasher.modulus:
+            return  # neutral hash: lifts to itself, exactly lift_attested
+        if exponent <= 0:
+            raise ValueError("hash exponent must be positive")
+        hasher.operations += 1
+        hasher.batched_lifts += 1
+        if include:
+            self._pairs.append((base, exponent))
+            self._result = None
+
+    def add_lifted(self, lifted: int) -> None:
+        """Fold in an already-lifted value (a wire broadcast)."""
+        self._factors.append(lifted)
+        self._result = None
+
+    def __len__(self) -> int:
+        return len(self._pairs) + len(self._factors)
+
+    @property
+    def pending_pairs(self) -> int:
+        """Raw pairs awaiting the next multi-exponentiation fold."""
+        return len(self._pairs)
+
+    def fold(self) -> int:
+        """The accumulated obligation product (1 for an empty batch).
+
+        Memoised until the next accumulation, so repeated server-side
+        checks of one round pay the multi-exponentiation once.
+        """
+        if self._result is None:
+            hasher = self.hasher
+            modulus = hasher.modulus
+            acc = hasher.backend.multi_powmod(self._pairs, modulus)
+            for factor in self._factors:
+                acc = acc * factor % modulus
+            self._result = acc
+        return self._result
+
+    def verify(self, acknowledged: int) -> bool:
+        """Does the folded obligation match an acknowledged hash?"""
+        return self.fold() == acknowledged % self.hasher.modulus

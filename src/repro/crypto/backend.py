@@ -34,10 +34,12 @@ __all__ = [
     "PythonBackend",
     "Gmpy2Backend",
     "FixedBaseCache",
+    "SharedLadderTable",
     "available_backends",
     "resolve_backend",
     "default_backend",
     "gmpy2_available",
+    "multi_powmod",
 ]
 
 _ENV_VAR = "REPRO_CRYPTO_BACKEND"
@@ -48,11 +50,31 @@ except ImportError:  # pragma: no cover - the common case in CI
     _gmpy2 = None
 
 
+def _multi_powmod_window(bits: int) -> int:
+    """Window width for an interleaved multi-exponentiation.
+
+    Standard windowing trade-off: per pair the table costs ``2^w - 2``
+    multiplies while each window of the shared squaring pass costs at
+    most one multiply per pair, so wider exponents amortise wider
+    windows.  The thresholds mirror the usual square-and-multiply
+    break-evens; the result is exact for every width, only the constant
+    factor moves.
+    """
+    if bits <= 8:
+        return 1
+    if bits <= 24:
+        return 2
+    if bits <= 96:
+        return 3
+    return 4
+
+
 class Backend:
     """Modular arithmetic primitive provider.
 
-    Subclasses implement :meth:`powmod`; :meth:`mulmod` has a portable
-    default.  Backends are stateless and shareable across hashers.
+    Subclasses implement :meth:`powmod`; :meth:`mulmod` and
+    :meth:`multi_powmod` have portable defaults.  Backends are stateless
+    and shareable across hashers.
     """
 
     name: str = "abstract"
@@ -63,6 +85,54 @@ class Backend:
 
     def mulmod(self, a: int, b: int, modulus: int) -> int:
         return (a * b) % modulus
+
+    def multi_powmod(self, pairs, modulus: int) -> int:
+        """``prod base_i ** exp_i mod modulus`` in one interleaved pass.
+
+        Straus's algorithm (interleaved windowed multi-exponentiation,
+        the small-batch end of Straus/Pippenger): all exponents share a
+        single squaring chain — ``max_bits`` squarings total instead of
+        ``k * max_bits`` — while per-pair window tables keep the
+        multiply count at ``~bits/w`` each.  The result is bit-identical
+        to folding per-pair ``powmod`` results, for any input.
+
+        Args:
+            pairs: iterable of ``(base, exponent)`` with non-negative
+                exponents; an empty batch folds to the identity.
+            modulus: shared modulus (> 0).
+        """
+        if modulus <= 0:
+            raise ValueError("modulus must be positive")
+        live = []
+        for base, exponent in pairs:
+            if exponent < 0:
+                raise ValueError("exponents must be non-negative")
+            if exponent:
+                live.append((base % modulus, exponent))
+        if not live:
+            return 1 % modulus
+        if len(live) == 1:
+            return self.powmod(live[0][0], live[0][1], modulus)
+        bits = max(exponent.bit_length() for _, exponent in live)
+        w = _multi_powmod_window(bits)
+        mask = (1 << w) - 1
+        tables = []
+        for base, _exponent in live:
+            table = [base]
+            for _ in range(mask - 1):
+                table.append(table[-1] * base % modulus)
+            tables.append(table)
+        acc = 1
+        for i in range((bits + w - 1) // w - 1, -1, -1):
+            if acc != 1:
+                for _ in range(w):
+                    acc = acc * acc % modulus
+            shift = w * i
+            for table, (_base, exponent) in zip(tables, live):
+                digit = (exponent >> shift) & mask
+                if digit:
+                    acc = acc * table[digit - 1] % modulus
+        return acc % modulus
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} name={self.name!r}>"
@@ -101,9 +171,61 @@ class Gmpy2Backend(Backend):
     def mulmod(self, a: int, b: int, modulus: int) -> int:
         return int(self._mpz(a) * b % modulus)
 
+    def multi_powmod(self, pairs, modulus: int) -> int:
+        """Straus interleaving over ``mpz`` limbs (GMP multiplies).
+
+        Same algorithm and window policy as the portable default — the
+        interleaved squaring chain is shared — with every product
+        running in GMP, so the batched fold keeps its edge over per-pair
+        ``powmod`` even on the fast backend.
+        """
+        if modulus <= 0:
+            raise ValueError("modulus must be positive")
+        mpz = self._mpz
+        m = mpz(modulus)
+        live = []
+        for base, exponent in pairs:
+            if exponent < 0:
+                raise ValueError("exponents must be non-negative")
+            if exponent:
+                live.append((mpz(base) % m, exponent))
+        if not live:
+            return 1 % modulus
+        if len(live) == 1:
+            return int(self._powmod(live[0][0], live[0][1], m))
+        bits = max(exponent.bit_length() for _, exponent in live)
+        w = _multi_powmod_window(bits)
+        mask = (1 << w) - 1
+        tables = []
+        for base, _exponent in live:
+            table = [base]
+            for _ in range(mask - 1):
+                table.append(table[-1] * base % m)
+            tables.append(table)
+        acc = mpz(1)
+        for i in range((bits + w - 1) // w - 1, -1, -1):
+            if acc != 1:
+                for _ in range(w):
+                    acc = acc * acc % m
+            shift = w * i
+            for table, (_base, exponent) in zip(tables, live):
+                digit = (exponent >> shift) & mask
+                if digit:
+                    acc = acc * table[digit - 1] % m
+        return int(acc % m)
+
 
 def gmpy2_available() -> bool:
     return _gmpy2 is not None
+
+
+def multi_powmod(pairs, modulus: int, backend: Optional[Backend] = None) -> int:
+    """``prod base_i ** exp_i mod modulus`` via one interleaved pass.
+
+    Convenience wrapper over :meth:`Backend.multi_powmod` using the
+    process-default backend when none is given.
+    """
+    return (backend or default_backend()).multi_powmod(pairs, modulus)
 
 
 def available_backends() -> List[str]:
@@ -191,6 +313,27 @@ class FixedBaseCache:
         #: exponents below this are covered by the current levels.
         self._capacity = 1
 
+    @classmethod
+    def from_shared(
+        cls, base: int, modulus: int, window: int, levels, tops
+    ) -> "FixedBaseCache":
+        """Wrap precomputed (read-only) ladder levels without rebuilding.
+
+        ``levels``/``tops`` come from a :class:`SharedLadderTable`; the
+        outer sequences are copied so lazy growth appends locally, while
+        the level tuples themselves are shared untouched — safe across
+        threads and cheap across forked processes.
+        """
+        cache = cls.__new__(cls)
+        cache.base = base % modulus
+        cache.modulus = modulus
+        cache.window = window
+        cache._mask = (1 << window) - 1
+        cache._levels = list(levels)
+        cache._tops = list(tops)
+        cache._capacity = 1 << (window * len(cache._levels))
+        return cache
+
     def _add_level(self) -> None:
         m = self.modulus
         top = self._tops[len(self._levels)]
@@ -222,3 +365,87 @@ class FixedBaseCache:
             exponent >>= w
             i += 1
         return acc % m
+
+
+class SharedLadderTable:
+    """Precomputed, read-only fixed-base ladder levels for hot bases.
+
+    A :class:`FixedBaseCache` is rebuilt from scratch by every hasher
+    that meets a base — which means every worker replica of a parallel
+    run rebuilds *identical* tables for the session-lifetime bases (the
+    deterministic update contents a stream schedule will release).  This
+    table holds those levels once, built in the parent before the worker
+    pools start: process workers inherit the pages for free on fork, and
+    the structure is plain tuples of ints so it pickles cleanly for
+    spawn/thread modes (it travels with the session bootstrap).
+
+    Entries are keyed by the raw base value exactly as hashers see it
+    (update contents are *not* pre-reduced), and every level is an
+    immutable tuple — adopters copy only the outer list, so concurrent
+    readers can never observe a mutation.
+    """
+
+    __slots__ = ("modulus", "window", "_entries")
+
+    def __init__(self, modulus: int, window: int, entries) -> None:
+        if modulus <= 1:
+            raise ValueError("modulus must exceed 1")
+        if window < 1:
+            raise ValueError("window must be at least 1 bit")
+        self.modulus = modulus
+        self.window = window
+        #: base -> (levels, tops): levels as tuples of tuples, tops as a
+        #: tuple, both directly adoptable by FixedBaseCache.from_shared.
+        self._entries = entries
+
+    @classmethod
+    def build(
+        cls,
+        bases,
+        modulus: int,
+        window: int = 4,
+        capacity_bits: int = 64,
+    ) -> "SharedLadderTable":
+        """Precompute ladder levels covering ``capacity_bits`` exponents.
+
+        Args:
+            bases: base values (deduplicated; stored under the raw,
+                unreduced key the hashers use).
+            modulus: the session modulus.
+            window: radix width (4 matches the hasher's choice for the
+                narrow per-link prime exponents).
+            capacity_bits: widest exponent the shared levels must cover;
+                wider exponents grow locally in the adopting cache.
+        """
+        levels_needed = max(1, -(-capacity_bits // window))
+        entries = {}
+        for base in bases:
+            if base in entries:
+                continue
+            # Reuse FixedBaseCache's own (tested) level construction and
+            # freeze the result, so the shared layout can never drift
+            # from what from_shared adopters expect.
+            cache = FixedBaseCache(base, modulus, window=window)
+            for _ in range(levels_needed):
+                cache._add_level()
+            entries[base] = (
+                tuple(tuple(level) for level in cache._levels),
+                tuple(cache._tops),
+            )
+        return cls(modulus, window, entries)
+
+    def get(self, base: int):
+        """``(levels, tops)`` for ``base``, or None when not tabled."""
+        return self._entries.get(base)
+
+    def __contains__(self, base: int) -> bool:
+        return base in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SharedLadderTable bases={len(self._entries)} "
+            f"window={self.window} modulus_bits={self.modulus.bit_length()}>"
+        )

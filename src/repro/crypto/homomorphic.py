@@ -35,6 +35,7 @@ from repro.crypto.backend import (
     Backend,
     FixedBaseCache,
     PythonBackend,
+    SharedLadderTable,
     default_backend,
 )
 from repro.crypto.primes import generate_prime, is_prime, product
@@ -115,10 +116,16 @@ class HomomorphicHasher:
     memo_max: int = field(default=_MEMO_MAX, compare=False)
     fixed_base_max: int = field(default=_FIXED_BASE_MAX, compare=False)
     #: cache accounting: protocol-level calls answered by the memo, by a
-    #: fixed-base table, or by a cold exponentiation.
+    #: fixed-base table, by a cold exponentiation, or folded into a
+    #: batched multi-exponentiation (every call lands in exactly one
+    #: bucket, so their sum always equals ``operations``).
     memo_hits: int = field(default=0, compare=False)
     fixed_base_hits: int = field(default=0, compare=False)
     cold_powmods: int = field(default=0, compare=False)
+    batched_lifts: int = field(default=0, compare=False)
+    #: fixed-base tables answered from a shared precomputed ladder
+    #: instead of being rebuilt (subset of ``fixed_base_hits``).
+    shared_ladder_seeds: int = field(default=0, compare=False)
 
     def __post_init__(self) -> None:
         if self.modulus < 4:
@@ -144,6 +151,9 @@ class HomomorphicHasher:
         #: cofactors).
         self._fixed_bases: dict = {}
         self._hot_candidates: set = set()
+        #: read-only precomputed ladder levels for session-lifetime
+        #: bases (see :meth:`adopt_shared_ladders`).
+        self._shared_ladders: Optional[SharedLadderTable] = None
         #: the ladder only beats C-level pow when pow itself runs in
         #: the interpreter's bigint code, not when gmpy2 is active.
         self._use_fixed_base = isinstance(self.backend, PythonBackend)
@@ -207,7 +217,24 @@ class HomomorphicHasher:
         Narrow exponents (per-link primes) get a 4-bit window — many
         reuses, quarter the multiplies; wide ones (cofactor and round-key
         products) a 1-bit ladder, which amortises after a single reuse.
+
+        Bases present in an adopted :class:`SharedLadderTable` skip the
+        whole warm-up: the precomputed levels are wrapped in a local
+        cache at the cost of two list copies, no exponentiations.
         """
+        shared = self._shared_ladders
+        if shared is not None:
+            entry = shared.get(update)
+            if entry is not None:
+                if len(self._fixed_bases) >= self.fixed_base_max:
+                    self._evict(self._fixed_bases)
+                cache = FixedBaseCache.from_shared(
+                    update, self.modulus, shared.window, *entry
+                )
+                self._fixed_bases[update] = cache
+                self.fixed_base_hits += 1
+                self.shared_ladder_seeds += 1
+                return cache.powmod(exponent)
         hot = self._hot_candidates
         if update in hot:
             if len(self._fixed_bases) >= self.fixed_base_max:
@@ -224,6 +251,26 @@ class HomomorphicHasher:
             hot.clear()
         self.cold_powmods += 1
         return self._powmod(update, exponent, self.modulus)
+
+    def adopt_shared_ladders(
+        self, table: Optional[SharedLadderTable]
+    ) -> None:
+        """Serve fixed-base misses from a precomputed read-only table.
+
+        Built once (typically in the parent of a parallel run, before
+        the worker pools start) and adopted by every replica's hasher,
+        so per-shard replicas stop rebuilding identical ladder tables
+        for the session-lifetime bases.  A no-op under backends that do
+        not use the ladder fast path (gmpy2 beats it outright).
+        """
+        if table is None:
+            return
+        if table.modulus != self.modulus:
+            raise ValueError(
+                "shared ladder table was built for a different modulus"
+            )
+        if self._use_fixed_base:
+            self._shared_ladders = table
 
     @staticmethod
     def _evict(memo: dict) -> None:
@@ -282,6 +329,7 @@ class HomomorphicHasher:
         self,
         attested: Sequence[tuple[int, int]],
         acknowledged: int,
+        batch: bool = True,
     ) -> bool:
         """Check the forwarding equation of section IV-B.
 
@@ -292,6 +340,11 @@ class HomomorphicHasher:
                 primes for the round.
             acknowledged: ``H(prod of all updates)_(prod_i p_i, M)`` as
                 acknowledged by a successor.
+            batch: fold all pairs in one Straus multi-exponentiation pass
+                (one shared squaring chain) instead of one ``rekey`` per
+                pair.  The verdict and the operation tally are identical
+                either way — ``operations`` counts one protocol-level
+                lift per pair regardless of how the fold is computed.
 
         Returns:
             True when the homomorphically-raised attested hashes multiply
@@ -300,6 +353,15 @@ class HomomorphicHasher:
                 prod_j (H(S_j)_(p_j))^(prod_{i!=j} p_i)  mod M
                     == H(S_1 * ... * S_k)_(prod_i p_i)
         """
+        if batch:
+            pairs = list(attested)
+            for _hash_value, cofactor in pairs:
+                if cofactor <= 0:
+                    raise ValueError("hash exponent must be positive")
+            self.operations += len(pairs)
+            self.batched_lifts += len(pairs)
+            product = self.backend.multi_powmod(pairs, self.modulus)
+            return product == acknowledged % self.modulus
         lifted = (self.rekey(h, cofactor) for h, cofactor in attested)
         return self.combine(lifted) == acknowledged % self.modulus
 
@@ -309,13 +371,29 @@ class HomomorphicHasher:
         Rates are fractions of the protocol-level calls that were
         answered without a cold exponentiation; ``memo_entries`` and
         ``fixed_base_entries`` report current occupancy against the
-        configured bounds.
+        configured bounds.  The denominator is the full protocol-level
+        call count — every call lands in exactly one of the four
+        buckets, so ``calls`` equals :attr:`operations` even after a
+        parallel run grafts summed worker counter deltas back onto the
+        parent hasher.
         """
-        calls = self.memo_hits + self.fixed_base_hits + self.cold_powmods
+        calls = (
+            self.memo_hits
+            + self.fixed_base_hits
+            + self.cold_powmods
+            + self.batched_lifts
+        )
         return {
             "memo_hits": self.memo_hits,
             "fixed_base_hits": self.fixed_base_hits,
             "cold_powmods": self.cold_powmods,
+            "batched_lifts": self.batched_lifts,
+            "shared_ladder_seeds": self.shared_ladder_seeds,
+            "shared_ladder_bases": (
+                len(self._shared_ladders)
+                if self._shared_ladders is not None
+                else 0
+            ),
             "memo_hit_rate": self.memo_hits / calls if calls else 0.0,
             "fixed_base_hit_rate": (
                 self.fixed_base_hits / calls if calls else 0.0

@@ -109,6 +109,11 @@ class ScenarioSpec:
             selects an execution backend, never a different schedule.
         workers: shard/worker count for the sharded and parallel
             policies (ignored by serial).
+        batch_verify: override for ``PagConfig.batch_verify`` (None
+            keeps the config default).  Spec-level so replica workers of
+            a parallel run rebuild with the same fold strategy as the
+            parent; like the policy knob it never changes results, only
+            how the monitor obligation fold is computed.
     """
 
     name: str
@@ -128,6 +133,7 @@ class ScenarioSpec:
     seed: int = 20160627
     policy: Optional[str] = None
     workers: int = 4
+    batch_verify: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.policy not in (None, "serial", "sharded", "parallel"):
@@ -197,6 +203,8 @@ class ScenarioSpec:
             overrides["fanout"] = self.fanout
         if self.monitors_per_node is not None:
             overrides["monitors_per_node"] = self.monitors_per_node
+        if self.batch_verify is not None:
+            overrides["batch_verify"] = self.batch_verify
         overrides.update(config_overrides)
         return PagConfig.for_system_size(self.nodes, **overrides)
 

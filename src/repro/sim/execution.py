@@ -243,12 +243,24 @@ class ShardedPolicy(ExecutionPolicy):
 
 def _ops_snapshot(session) -> Dict[str, int]:
     """Protocol-level operation counters of a session (PAG only; the
-    AcTinG baseline keeps no crypto tallies)."""
+    AcTinG baseline keeps no crypto tallies).
+
+    The hasher's cache buckets travel with the operation count: every
+    protocol-level hash call lands in exactly one bucket, so grafting
+    ``hashes`` without them would leave the parent's
+    ``cache_stats()`` hit-rate denominator missing the workers' calls.
+    """
     context = getattr(session, "context", None)
     if context is None:
         return {}
+    hasher = context.hasher
     return {
-        "hashes": context.hasher.operations,
+        "hashes": hasher.operations,
+        "hash_memo_hits": hasher.memo_hits,
+        "hash_fixed_base_hits": hasher.fixed_base_hits,
+        "hash_cold_powmods": hasher.cold_powmods,
+        "hash_batched_lifts": hasher.batched_lifts,
+        "hash_shared_ladder_seeds": hasher.shared_ladder_seeds,
         "encryptions": context.counters.encryptions,
         "decryptions": context.counters.decryptions,
         "prime_generations": context.counters.prime_generations,
@@ -269,7 +281,16 @@ def _apply_ops(session, baseline: Dict[str, int], run_ops: Dict[str, int]):
     context = getattr(session, "context", None)
     if context is None:
         return
-    context.hasher.operations = baseline["hashes"] + run_ops.get("hashes", 0)
+    hasher = context.hasher
+    hasher.operations = baseline["hashes"] + run_ops.get("hashes", 0)
+    for attr, key in (
+        ("memo_hits", "hash_memo_hits"),
+        ("fixed_base_hits", "hash_fixed_base_hits"),
+        ("cold_powmods", "hash_cold_powmods"),
+        ("batched_lifts", "hash_batched_lifts"),
+        ("shared_ladder_seeds", "hash_shared_ladder_seeds"),
+    ):
+        setattr(hasher, attr, baseline.get(key, 0) + run_ops.get(key, 0))
     counters = context.counters
     counters.encryptions = baseline["encryptions"] + run_ops.get(
         "encryptions", 0
@@ -329,13 +350,26 @@ class _SpecBootstrap:
     is frozen plain data, and ``spec.build()`` is a deterministic
     function of the spec (all randomness is seed-derived), so every
     replica starts from byte-identical state.
+
+    ``shared_ladders`` optionally carries a read-only
+    :class:`~repro.crypto.backend.SharedLadderTable` built once in the
+    parent: fork-mode process workers inherit its pages for free (the
+    bootstrap is created before the pools start), spawn and thread modes
+    ship/share it through this object, and every replica's hasher adopts
+    it instead of rebuilding identical fixed-base tables.
     """
 
-    def __init__(self, spec) -> None:
+    def __init__(self, spec, shared_ladders=None) -> None:
         self.spec = spec
+        self.shared_ladders = shared_ladders
 
     def __call__(self):
-        return self.spec.build()
+        session = self.spec.build()
+        if self.shared_ladders is not None:
+            context = getattr(session, "context", None)
+            if context is not None:
+                context.hasher.adopt_shared_ladders(self.shared_ladders)
+        return session
 
 
 class _ReplicaWorker:
@@ -662,6 +696,11 @@ class ParallelShardedPolicy(ExecutionPolicy):
             replica machinery driven synchronously, for determinism
             tests and timing), or ``"auto"`` (process when the session
             bootstrap pickles, thread otherwise).
+        share_ladders: precompute the session-lifetime fixed-base
+            ladders once in the parent and hand them to every replica
+            (read-only) instead of letting each worker rebuild identical
+            tables.  Purely a CPU saving — results are bit-identical
+            either way; disable to measure the difference.
 
     A scenario bootstrap is required for replica execution and is bound
     by :meth:`ScenarioSpec.build <repro.scenarios.spec.ScenarioSpec.build>`;
@@ -678,7 +717,12 @@ class ParallelShardedPolicy(ExecutionPolicy):
 
     _BACKENDS = ("auto", "process", "thread", "serialized")
 
-    def __init__(self, workers: int = 4, backend: str = "auto") -> None:
+    def __init__(
+        self,
+        workers: int = 4,
+        backend: str = "auto",
+        share_ladders: bool = True,
+    ) -> None:
         if workers < 1:
             raise ValueError("worker count must be at least 1")
         if backend not in self._BACKENDS:
@@ -688,6 +732,7 @@ class ParallelShardedPolicy(ExecutionPolicy):
             )
         self.workers = workers
         self.backend = backend
+        self.share_ladders = share_ladders
         #: resolved execution mode, set on first use: "process",
         #: "thread", "serialized", or "inline" (no bootstrap bound).
         self.mode = "unstarted"
@@ -715,7 +760,12 @@ class ParallelShardedPolicy(ExecutionPolicy):
                 "cannot rebind a running ParallelShardedPolicy; close() it "
                 "first"
             )
-        self._bootstrap = _SpecBootstrap(spec)
+        ladders = None
+        if self.share_ladders:
+            builder = getattr(session, "shared_ladder_table", None)
+            if builder is not None:
+                ladders = builder(spec.rounds)
+        self._bootstrap = _SpecBootstrap(spec, shared_ladders=ladders)
         self._parent_baseline = _ops_snapshot(session)
 
     def _process_capable(self) -> tuple:

@@ -122,6 +122,31 @@ class BandwidthMeter:
         if direction not in ("both", "down", "up"):
             raise ValueError(f"unknown direction {direction!r}")
 
+    def _resolve_window(
+        self, first_round: int, last_round: int | None
+    ) -> int:
+        """Validate a round window and return its inclusive last round.
+
+        Every window-taking reader shares this check: a negative
+        ``first_round`` would silently slice from the *end* of the
+        per-round lists (Python's negative indexing), and an inverted
+        window would silently sum nothing — both are caller bugs, so
+        both raise.  When ``last_round`` is None the window runs to the
+        last recorded round (-1 on an empty meter, which the
+        rate-computing callers then reject as inverted).
+        """
+        if first_round < 0:
+            raise ValueError(
+                f"first_round must be non-negative, got {first_round}"
+            )
+        last = self.rounds_seen - 1 if last_round is None else last_round
+        if last_round is not None and last < first_round:
+            raise ValueError(
+                f"inverted round window: last_round {last} precedes "
+                f"first_round {first_round}"
+            )
+        return last
+
     def node_bytes(
         self,
         node: int,
@@ -136,9 +161,12 @@ class BandwidthMeter:
                 The paper's figures report unidirectional consumption
                 (a 300 Kbps stream costs a receiver ~300 Kbps, not 600),
                 so figure reproductions use ``"down"``.
+
+        An explicitly inverted window or a negative ``first_round``
+        raises; an empty meter with the default window sums to 0.
         """
         self._check_direction(direction)
-        last = self.rounds_seen - 1 if last_round is None else last_round
+        last = self._resolve_window(first_round, last_round)
         total = 0
         if direction in ("both", "up"):
             series = self.up_series.get(node)
@@ -159,7 +187,7 @@ class BandwidthMeter:
         direction: str = "both",
     ) -> float:
         """Average bandwidth of ``node`` in Kbps over a round window."""
-        last = self.rounds_seen - 1 if last_round is None else last_round
+        last = self._resolve_window(first_round, last_round)
         if last < first_round:
             raise ValueError(
                 f"inverted round window: last_round {last} precedes "
@@ -180,7 +208,7 @@ class BandwidthMeter:
     ) -> Dict[int, float]:
         """Per-node Kbps over a window, in one pass over the columns."""
         self._check_direction(direction)
-        last = self.rounds_seen - 1 if last_round is None else last_round
+        last = self._resolve_window(first_round, last_round)
         if last < first_round:
             raise ValueError(
                 f"inverted round window: last_round {last} precedes "

@@ -141,3 +141,94 @@ def test_pipeline_property(update_specs, n_preds, data):
             )
         )
     assert combine_lifted(hasher, lifted) == ack_hash(hasher, entries, key)
+
+
+class TestBatchVerifier:
+    """The batched obligation fold: same product, same tallies."""
+
+    def _lift_workload(self, hasher, rng, k=4):
+        """k (attested hash, cofactor) pairs shaped like one round."""
+        primes = generate_distinct_primes(k, 32, rng)
+        key = product(primes)
+        pairs = []
+        for i, p in enumerate(primes):
+            attested = hasher.hash(rng.getrandbits(200) + 2, p)
+            pairs.append((attested, key // p))
+        return pairs
+
+    def test_fold_matches_per_pair_lifting(self):
+        from repro.core.verification import BatchVerifier
+
+        rng = random.Random(21)
+        batched = fresh_hasher(bits=128, seed=21)
+        unbatched = fresh_hasher(bits=128, seed=21)
+        pairs = self._lift_workload(batched, rng)
+        self._lift_workload(unbatched, random.Random(21))
+        verifier = BatchVerifier(batched)
+        for attested, cofactor in pairs:
+            verifier.add(attested, cofactor)
+        reference = combine_lifted(
+            unbatched,
+            [lift_attested(unbatched, h, c) for h, c in pairs],
+        )
+        assert verifier.fold() == reference
+        assert verifier.verify(reference)
+        assert not verifier.verify(reference + 1)
+        # Identical protocol-level tallies, different buckets.
+        assert batched.operations == unbatched.operations
+        assert batched.batched_lifts == len(pairs)
+
+    def test_neutral_pairs_are_skipped_like_lift_attested(self):
+        from repro.core.verification import BatchVerifier
+
+        hasher = fresh_hasher(bits=128, seed=22)
+        verifier = BatchVerifier(hasher)
+        before = hasher.operations
+        verifier.add(1 % hasher.modulus, 101)  # neutral: no-op, uncounted
+        assert hasher.operations == before
+        assert verifier.fold() == 1 % hasher.modulus
+
+    def test_excluded_pairs_tally_but_do_not_fold(self):
+        from repro.core.verification import BatchVerifier
+
+        hasher = fresh_hasher(bits=128, seed=23)
+        verifier = BatchVerifier(hasher)
+        verifier.add(12345, 101)
+        folded_only = verifier.fold()
+        before = hasher.operations
+        verifier.add(99999, 257, include=False)  # ack-only list
+        assert hasher.operations == before + 1
+        assert verifier.fold() == folded_only
+
+    def test_prelifted_factors_multiply_in(self):
+        from repro.core.verification import BatchVerifier
+
+        hasher = fresh_hasher(bits=128, seed=24)
+        verifier = BatchVerifier(hasher)
+        verifier.add(4242, 101)
+        verifier.add_lifted(7)  # a broadcast value: no tally, one factor
+        expected = pow(4242, 101, hasher.modulus) * 7 % hasher.modulus
+        assert verifier.fold() == expected
+        assert len(verifier) == 2
+        assert verifier.pending_pairs == 1
+
+    def test_fold_memo_invalidated_by_accumulation(self):
+        from repro.core.verification import BatchVerifier
+
+        hasher = fresh_hasher(bits=128, seed=25)
+        verifier = BatchVerifier(hasher)
+        verifier.add(333, 101)
+        first = verifier.fold()
+        assert verifier.fold() == first  # memoised
+        verifier.add(555, 257)
+        assert verifier.fold() == (
+            first * pow(555, 257, hasher.modulus) % hasher.modulus
+        )
+
+    def test_nonpositive_exponent_rejected(self):
+        from repro.core.verification import BatchVerifier
+
+        hasher = fresh_hasher(bits=128, seed=26)
+        verifier = BatchVerifier(hasher)
+        with pytest.raises(ValueError, match="positive"):
+            verifier.add(5, 0)

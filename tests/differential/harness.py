@@ -110,6 +110,7 @@ def record_scenario(
     policy: Optional[ExecutionPolicy],
     trace: bool = True,
     drop_rule=None,
+    config_overrides: Optional[Dict] = None,
 ) -> RunRecord:
     """Run ``spec`` under ``policy`` and capture a full :class:`RunRecord`.
 
@@ -120,8 +121,21 @@ def record_scenario(
             ``trace=None``.
         drop_rule: optional fault-injection predicate added to the
             parent network before the run (also forces full fidelity).
+        config_overrides: extra :class:`~repro.core.config.PagConfig`
+            fields; PAG protocol only.  Refused for replica-backed
+            policies (their workers rebuild from the bare spec, so the
+            overrides would silently not reach them — use a spec field
+            like ``ScenarioSpec.batch_verify`` instead).
     """
-    session = spec.build(policy)
+    if config_overrides:
+        if policy is not None and hasattr(policy, "bind_scenario"):
+            raise ValueError(
+                "config_overrides do not propagate to replica workers; "
+                "encode the knob in the spec instead"
+            )
+        session = spec.build_pag_with(policy, **config_overrides)
+    else:
+        session = spec.build(policy)
     tap = None
     if trace:
         tap = TraceRecorder()

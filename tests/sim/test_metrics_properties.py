@@ -110,6 +110,77 @@ def test_inverted_window_rejection_survives_merging(first, gap):
         meter.all_node_kbps([1, 2], first_round=first + gap, last_round=first)
 
 
+@settings(max_examples=40, deadline=None)
+@given(
+    recorded=events,
+    first=st.integers(min_value=0, max_value=10),
+    gap=st.integers(min_value=1, max_value=5),
+)
+def test_every_window_reader_rejects_inverted_and_negative_windows(
+    recorded, first, gap
+):
+    """Satellite regression: ``node_kbps`` validated windows but the
+    byte reader feeding the CDF aggregation did not — an inverted window
+    silently summed nothing and a negative ``first_round`` sliced from
+    the *end* of the per-round columns.  All window readers now share
+    one validator."""
+    meter = _meter_of(recorded + [(0, 10, 100, first + gap + 1)])
+    node_ids = sorted(
+        {s for s, _, _, _ in recorded} | {r for _, r, _, _ in recorded} | {0}
+    )
+    for call in (
+        lambda: meter.node_bytes(0, first_round=first + gap, last_round=first),
+        lambda: meter.node_kbps(0, first_round=first + gap, last_round=first),
+        lambda: meter.all_node_kbps(
+            node_ids, first_round=first + gap, last_round=first
+        ),
+    ):
+        with pytest.raises(ValueError, match="inverted round window"):
+            call()
+    for call in (
+        lambda: meter.node_bytes(0, first_round=-first - 1),
+        lambda: meter.node_kbps(0, first_round=-first - 1),
+        lambda: meter.all_node_kbps(node_ids, first_round=-first - 1),
+    ):
+        with pytest.raises(ValueError, match="non-negative"):
+            call()
+
+
+@settings(max_examples=30, deadline=None)
+@given(recorded=events, first=st.integers(min_value=0, max_value=14))
+def test_valid_windows_still_agree_across_readers(recorded, first):
+    """The added validation must not change any valid-window sum: bytes
+    scaled by the window duration equal the kbps the aggregation (and
+    the CDF built from it) reports."""
+    meter = _meter_of(recorded)
+    if meter.rounds_seen <= first:
+        return
+    node_ids = sorted(
+        {s for s, _, _, _ in recorded} | {r for _, r, _, _ in recorded}
+    )
+    bulk = meter.all_node_kbps(node_ids, first_round=first)
+    duration = meter.rounds_seen - first
+    for node in node_ids:
+        assert bulk[node] == pytest.approx(
+            meter.node_bytes(node, first_round=first) * 8.0 / 1000.0
+            / duration
+        )
+        assert bulk[node] == pytest.approx(
+            meter.node_kbps(node, first_round=first)
+        )
+    assert cdf_points(bulk) == cdf_points(sorted(bulk.values()))
+
+
+def test_empty_meter_defaults_preserved():
+    """Default windows on an empty meter keep their seed semantics:
+    byte readers return nothing, rate readers reject (no duration)."""
+    meter = BandwidthMeter()
+    assert meter.node_bytes(1) == 0
+    assert meter.node_series(1) == []
+    with pytest.raises(ValueError, match="inverted round window"):
+        meter.node_kbps(1)
+
+
 @settings(max_examples=60, deadline=None)
 @given(
     values=st.lists(

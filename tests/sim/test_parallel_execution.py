@@ -206,3 +206,114 @@ def test_stats_expose_shard_balance():
     assert set(stats.shard_cpu_seconds) == {0, 1}
     assert stats.imbalance() >= 1.0
     assert stats.wall_seconds >= stats.critical_cpu_seconds - 1e-9
+
+
+def test_sync_reconciles_cache_hit_rates():
+    """Satellite regression: PR 3's reporting sync grafts summed worker
+    crypto-counter deltas onto the parent, so the hasher's cache buckets
+    must travel too — otherwise ``cache_stats()`` divides parent-local
+    hits by a denominator missing the grafted calls."""
+    spec = _spec()
+    policy = ParallelShardedPolicy(workers=2, backend="thread")
+    session = spec.build(policy)
+    try:
+        session.run(spec.rounds)
+        policy.sync_session(session)
+        hasher = session.context.hasher
+        stats = hasher.cache_stats()
+        calls = (
+            stats["memo_hits"]
+            + stats["fixed_base_hits"]
+            + stats["cold_powmods"]
+            + stats["batched_lifts"]
+        )
+        assert calls == hasher.operations  # denominator covers the run
+        assert 0.0 <= stats["memo_hit_rate"] <= 1.0
+        assert 0.0 <= stats["fixed_base_hit_rate"] <= 1.0
+        # The run did real hashing through the workers, so the grafted
+        # buckets dominate the parent's setup-time tallies.
+        assert calls == GOLDEN_20_8["hashes"]
+    finally:
+        policy.close()
+
+
+def test_sync_cache_graft_is_idempotent():
+    spec = _spec()
+    policy = ParallelShardedPolicy(workers=2, backend="thread")
+    session = spec.build(policy)
+    try:
+        session.run(spec.rounds)
+        policy.sync_session(session)
+        hasher = session.context.hasher
+        first = (
+            hasher.operations,
+            hasher.memo_hits,
+            hasher.fixed_base_hits,
+            hasher.cold_powmods,
+            hasher.batched_lifts,
+            hasher.shared_ladder_seeds,
+        )
+        policy.sync_session(session)
+        assert (
+            hasher.operations,
+            hasher.memo_hits,
+            hasher.fixed_base_hits,
+            hasher.cold_powmods,
+            hasher.batched_lifts,
+            hasher.shared_ladder_seeds,
+        ) == first
+    finally:
+        policy.close()
+
+
+@pytest.mark.parametrize("share", [True, False])
+def test_shared_ladder_table_preserves_goldens(share):
+    """The fork/ship-shared ladder table is a pure CPU saving: byte and
+    operation accounting land on the pre-refactor goldens either way."""
+    spec = _spec()
+    policy = ParallelShardedPolicy(
+        workers=3, backend="thread", share_ladders=share
+    )
+    session = spec.build(policy)
+    try:
+        table = policy._bootstrap.shared_ladders
+        if share:
+            assert table is not None and len(table) > 0
+        else:
+            assert table is None
+        session.run(spec.rounds)
+        policy.sync_session(session)
+        assert (
+            session.simulator.network.messages_sent
+            == GOLDEN_20_8["messages_sent"]
+        )
+        assert session.context.hasher.operations == GOLDEN_20_8["hashes"]
+        hasher = session.context.hasher
+        if share:
+            # Replicas answered fixed-base misses from the shared table;
+            # the grafted seed counter proves it was actually consulted.
+            assert hasher.shared_ladder_seeds > 0
+        else:
+            assert hasher.shared_ladder_seeds == 0
+    finally:
+        policy.close()
+
+
+def test_shared_ladder_reduces_worker_table_builds():
+    """The point of the table: workers seeded with precomputed ladders
+    perform strictly fewer cold exponentiations (each avoided warm-up
+    is a cold pow the replica no longer pays)."""
+    cold = {}
+    for share in (False, True):
+        spec = _spec()
+        policy = ParallelShardedPolicy(
+            workers=3, backend="thread", share_ladders=share
+        )
+        session = spec.build(policy)
+        try:
+            session.run(spec.rounds)
+            policy.sync_session(session)
+            cold[share] = session.context.hasher.cold_powmods
+        finally:
+            policy.close()
+    assert cold[True] < cold[False]

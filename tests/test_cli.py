@@ -39,6 +39,38 @@ class TestParser:
         assert args.policy == "parallel"
         assert args.workers == 4
 
+    def test_workers_and_shards_reject_non_positive_counts(self):
+        """Satellite regression: ``--workers 0`` and negatives used to
+        parse fine and only fail (or be ignored) much later."""
+        for flag, value in (
+            ("--workers", "0"),
+            ("--workers", "-2"),
+            ("--shards", "0"),
+            ("--shards", "-1"),
+            ("--workers", "three"),
+        ):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(
+                    ["run", "--policy", "parallel", flag, value]
+                )
+
+    def test_workers_requires_parallel_policy(self):
+        """The flag must never be silently ignored: without a policy (or
+        with a non-parallel one) it is an explicit error."""
+        with pytest.raises(SystemExit, match="--workers"):
+            main(["run", "--nodes", "8", "--rounds", "2", "--workers", "2"])
+        with pytest.raises(SystemExit, match="--workers"):
+            main(
+                ["run", "--nodes", "8", "--rounds", "2",
+                 "--policy", "sharded", "--workers", "2"]
+            )
+
+    def test_workers_accepted_with_parallel_policy(self):
+        args = build_parser().parse_args(
+            ["run", "--policy", "parallel", "--workers", "1"]
+        )
+        assert args.workers == 1
+
     def test_detect_strategy_choices(self):
         args = build_parser().parse_args(
             ["detect", "--strategy", "silent-receiver"]
@@ -136,7 +168,7 @@ class TestBenchCommand:
         import json
 
         report = json.loads(out_file.read_text())
-        assert report["schema"] == 3
+        assert report["schema"] == 4
         assert set(report["hashes_per_s"]) == {"256", "512"}
         assert report["primes_per_s"]["512"] > 0
         assert report["engine"]["rounds_per_s"] > 0
@@ -156,3 +188,16 @@ class TestBenchCommand:
             assert row["wall_rounds_per_s"] > 0
             assert row["projected_multicore_rounds_per_s"] > 0
             assert row["shard_imbalance"] >= 1.0
+        batch = report["batch_verify"]
+        assert [row["pairs"] for row in batch["primitive"]] == [3, 8]
+        for row in batch["primitive"]:
+            assert row["batched_folds_per_s"] > 0
+            assert row["per_pair_folds_per_s"] > 0
+        assert batch["engine"]["identical"] is True
+        assert batch["engine"]["batched_lifts"] > 0
+        assert batch["engine"]["monitors_per_node"] == 1
+        ladder = report["shared_ladder"]
+        assert ladder["scenario"] == "fig9"
+        assert ladder["workers"] == 4
+        assert ladder["with_table"]["worker_busy_cpu_seconds"] > 0
+        assert ladder["without_table"]["worker_busy_cpu_seconds"] > 0
