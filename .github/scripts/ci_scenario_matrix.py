@@ -1,0 +1,117 @@
+"""CI scenario-matrix sweep: run every registered scenario via the CLI.
+
+Discovers the registry dynamically — a scenario added with
+``register_scenario`` is exercised on the next push with no workflow
+edit — runs ``repro run --scenario NAME`` (quick parameters where the
+spec allows shrinking) as a real subprocess, and collects each run's
+``--json`` summary into one ``BENCH_ci_scenarios.json`` artifact with
+per-scenario wall-clock and byte rows.
+
+Exit status is non-zero if any scenario fails, so an unrunnable
+registration cannot land.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.scenarios import all_scenarios
+
+#: Quick-parameter caps for shrinkable scenarios.
+MAX_NODES = 24
+MAX_ROUNDS = 8
+
+
+def _quick_args(spec) -> list:
+    """CLI override flags, empty when the spec pins concrete ids/rounds.
+
+    Specs with churn, arrivals, an explicit strategy map or a rate
+    schedule name concrete node ids and rounds; shrinking them would
+    invalidate the declaration, so they run at declared scale (all such
+    registered scenarios are already CI-sized).
+    """
+    if spec.churn or spec.arrivals or spec.node_strategies or (
+        spec.rate_schedule
+    ):
+        return []
+    args = []
+    if spec.nodes > MAX_NODES:
+        args += ["--nodes", str(MAX_NODES)]
+    if spec.rounds > MAX_ROUNDS:
+        args += ["--rounds", str(MAX_ROUNDS)]
+    return args
+
+
+def main() -> int:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_ci_scenarios.json"
+    rows = []
+    failed = []
+    for spec in all_scenarios():
+        with tempfile.NamedTemporaryFile(
+            suffix=".json", delete=False
+        ) as handle:
+            json_path = handle.name
+        command = [
+            sys.executable, "-m", "repro", "run",
+            "--scenario", spec.name, "--json", json_path,
+        ] + _quick_args(spec)
+        start = time.perf_counter()
+        try:
+            proc = subprocess.run(command, capture_output=True, text=True)
+            wall = time.perf_counter() - start
+            if proc.returncode != 0:
+                failed.append(spec.name)
+                print(f"FAIL {spec.name} (exit {proc.returncode})")
+                print(proc.stdout[-2000:])
+                print(proc.stderr[-2000:])
+                continue
+            try:
+                with open(json_path, encoding="utf-8") as fh:
+                    summary = json.load(fh)
+            except (OSError, ValueError) as exc:
+                failed.append(spec.name)
+                print(f"FAIL {spec.name} (unreadable summary: {exc})")
+                continue
+        finally:
+            try:
+                os.unlink(json_path)
+            except OSError:
+                pass
+        rows.append({
+            "scenario": spec.name,
+            "protocol": spec.protocol,
+            "nodes": summary["nodes"],
+            "rounds": summary["rounds"],
+            "policy": spec.policy or "serial",
+            "wall_seconds": summary["wall_seconds"],
+            "subprocess_seconds": round(wall, 4),
+            "total_bytes": summary["total_bytes"],
+            "mean_down_kbps": summary["mean_down_kbps"],
+            "messages": summary["messages"],
+            "verdicts": summary["verdicts"],
+        })
+        print(
+            f"ok   {spec.name:<16} {summary['nodes']:>4} nodes "
+            f"{summary['rounds']:>3} rounds  "
+            f"{summary['wall_seconds']:>8.2f}s  "
+            f"{summary['total_bytes']:>12,} bytes"
+        )
+    report = {
+        "scenarios": rows,
+        "registry_size": len(rows) + len(failed),
+        "failed": failed,
+    }
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out_path} ({len(rows)} scenarios, {len(failed)} failed)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

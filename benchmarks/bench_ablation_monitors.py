@@ -11,7 +11,6 @@ Two claims from the paper, benched together:
   privacy bound — quantified via the closed form.
 """
 
-import pytest
 
 from benchmarks.conftest import print_header
 from repro.analysis.privacy import pag_discovery_probability

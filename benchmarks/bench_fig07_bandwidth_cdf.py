@@ -10,7 +10,6 @@ deciles and means.  Expected shape: PAG mean 2-4x the AcTinG mean, both
 well above the 300 Kbps payload floor, tight distributions.
 """
 
-import pytest
 
 from benchmarks.conftest import print_header
 from repro.scenarios import get_scenario

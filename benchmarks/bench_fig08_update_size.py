@@ -12,7 +12,6 @@ depth 4; the recirculation-vs-hash-cost trade-off is reproduced by the
 simulator).
 """
 
-import pytest
 
 from benchmarks.conftest import print_header
 from repro.analysis.bandwidth import PagBandwidthModel

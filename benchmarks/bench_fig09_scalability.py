@@ -11,7 +11,6 @@ the packet simulator at small N (here and in
 tests/analysis/test_bandwidth_model.py).
 """
 
-import math
 
 import pytest
 

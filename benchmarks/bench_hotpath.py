@@ -72,6 +72,13 @@ def test_hotpath_bench(benchmark):
         f"{ladder['without_table']['worker_busy_cpu_seconds']:.2f}s without "
         f"({ladder['worker_cpu_saved_fraction']:.1%} saved)"
     )
+    matrix = report["meter_matrix"]
+    print(
+        f"meter matrix         : {matrix['vectorized_per_s']:>10,.0f} "
+        f"aggs/s vectorised vs {matrix['columnar_per_s']:>10,.0f} "
+        f"columnar ({matrix['speedup']:.2f}x at "
+        f"{matrix['nodes']}x{matrix['rounds']})"
+    )
     print(f"written to           : {report['written_to']}")
 
     assert report["schema"] == SCHEMA_VERSION
@@ -88,6 +95,10 @@ def test_hotpath_bench(benchmark):
         assert row["speedup"] > 1.0, "batched fold should beat per-pair pow"
     assert batch["engine"]["identical"] is True
     assert batch["engine"]["batched_lifts"] > 0
+    assert matrix["identical"] is True
+    assert matrix["speedup"] > 1.0, (
+        "the matrix aggregation should beat the columnar pass"
+    )
     assert ladder["worker_cpu_saved_seconds"] == round(
         ladder["without_table"]["worker_busy_cpu_seconds"]
         - ladder["with_table"]["worker_busy_cpu_seconds"],

@@ -7,7 +7,6 @@ its playback quality, and whether it was convicted, and compare
 utilities.  The claim holds when no row is profitable.
 """
 
-import pytest
 
 from benchmarks.conftest import print_header
 from repro.adversary.selfish import (

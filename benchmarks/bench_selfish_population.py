@@ -10,7 +10,6 @@ free-rider convicted, i.e. expellable), plus the per-strategy detection
 latency table.
 """
 
-import pytest
 
 from benchmarks.conftest import print_header
 from repro.adversary.selfish import (

@@ -14,7 +14,6 @@ PAG cells sit one rung above the paper's on the slowest links because
 our duplicate handling is lighter (see EXPERIMENTS.md).
 """
 
-import pytest
 
 from benchmarks.conftest import print_header
 from repro.analysis.quality import table2

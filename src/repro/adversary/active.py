@@ -18,7 +18,6 @@ protocol's defences operationally:
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass, field
 from typing import List, Optional
 

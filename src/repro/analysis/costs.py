@@ -72,7 +72,6 @@ def hashes_per_second(
     """
     cfg = config or PagConfig()
     f = cfg.fanout
-    fm = cfg.monitors_per_node
     u = quality.payload_kbps * 1000.0 / (cfg.update_bytes * 8.0)
     dup = pag_duplicate_factor(f, cfg.buffermap_depth)
     buffermap = f * cfg.buffermap_depth * u

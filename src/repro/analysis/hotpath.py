@@ -35,6 +35,7 @@ __all__ = [
     "measure_prime_throughput",
     "measure_engine_throughput",
     "measure_meter_cdf_throughput",
+    "measure_meter_matrix_throughput",
     "measure_parallel_scaling",
     "measure_batch_verify",
     "measure_shared_ladder",
@@ -53,7 +54,11 @@ __all__ = [
 #: per-pair pow vs one Straus multi-exponentiation, primitive and
 #: engine-level) and ``shared_ladder`` (fig9 worker CPU with and
 #: without the parent-precomputed fixed-base ladder table).
-SCHEMA_VERSION = 4
+#: 5: added ``meter_matrix`` — the full Fig-7 aggregation
+#: (``all_node_kbps`` + ``cdf_points``) on the shared numpy
+#: (node × round) matrix vs the columnar fallback, outputs asserted
+#: bit-identical before timing.
+SCHEMA_VERSION = 5
 
 _BENCH_SEED = 0x9A6
 
@@ -264,6 +269,66 @@ def measure_meter_cdf_throughput(
         "columnar_per_s": round(columnar_per_s, 2),
         "dict_per_s": round(dict_per_s, 2),
         "speedup": round(columnar_per_s / dict_per_s, 2),
+    }
+
+
+def measure_meter_matrix_throughput(
+    nodes: int = 240, rounds: int = 60, seconds: float = 0.25
+) -> Dict[str, object]:
+    """Vectorised vs columnar meter aggregation on identical traffic.
+
+    Two :class:`BandwidthMeter` instances record the same synthetic
+    workload; one runs its aggregate reads on the shared numpy
+    (node × round) matrix, the other is pinned to the columnar fallback
+    (``vectorize=False``).  Before anything is timed the two arms'
+    ``all_node_kbps``, ``cdf_points`` and ``snapshot`` outputs are
+    asserted equal — the matrix is an execution strategy, never a
+    different answer.  The timed quantity is the full Fig-7 aggregation
+    (window sums over all nodes plus the CDF), matrix cache warm, the
+    steady-state read pattern of ``ScenarioResult.collect``.
+    """
+    rng = random.Random(_BENCH_SEED + 4)
+    vectorized = BandwidthMeter()
+    columnar = BandwidthMeter(vectorize=False)
+    for rnd in range(rounds):
+        for node in range(nodes):
+            size = rng.randrange(500, 4000)
+            peer = (node + 1 + rnd) % nodes
+            if peer == node:
+                peer = (node + 1) % nodes
+            vectorized.record(node, peer, size, rnd)
+            columnar.record(node, peer, size, rnd)
+    node_ids = list(range(nodes))
+    warmup = max(1, rounds // 5)
+
+    def aggregate(meter: BandwidthMeter, vectorize: bool):
+        values = meter.all_node_kbps(
+            node_ids, first_round=warmup, direction="down"
+        )
+        return values, cdf_points(values, vectorize=vectorize)
+
+    if aggregate(vectorized, True) != aggregate(columnar, False):
+        raise RuntimeError(
+            "vectorised meter aggregation diverged from the columnar pass"
+        )
+    if vectorized.snapshot() != columnar.snapshot():
+        raise RuntimeError(
+            "vectorised meter snapshot diverged from the columnar pass"
+        )
+
+    vectorized_per_s = _timebox(
+        lambda _i: aggregate(vectorized, True), seconds, min_iterations=3
+    )
+    columnar_per_s = _timebox(
+        lambda _i: aggregate(columnar, False), seconds, min_iterations=3
+    )
+    return {
+        "nodes": nodes,
+        "rounds": rounds,
+        "vectorized_per_s": round(vectorized_per_s, 2),
+        "columnar_per_s": round(columnar_per_s, 2),
+        "speedup": round(vectorized_per_s / columnar_per_s, 2),
+        "identical": True,
     }
 
 
@@ -581,6 +646,11 @@ def run_hotpath_bench(
         },
         "engine": measure_engine_throughput(engine_nodes, engine_rounds),
         "meter_cdf": measure_meter_cdf_throughput(
+            nodes=60 if quick else 240,
+            rounds=20 if quick else 60,
+            seconds=seconds,
+        ),
+        "meter_matrix": measure_meter_matrix_throughput(
             nodes=60 if quick else 240,
             rounds=20 if quick else 60,
             seconds=seconds,

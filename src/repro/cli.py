@@ -122,6 +122,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--nodes", type=int, default=None)
     run.add_argument("--rounds", type=int, default=None)
     run.add_argument("--rate", type=float, default=None)
+    run.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help=(
+            "with --scenario: also write the run summary (wall clock, "
+            "bytes, CDF) as JSON to PATH"
+        ),
+    )
     _add_policy_flags(run)
 
     scenarios = sub.add_parser(
@@ -187,7 +196,10 @@ def _cmd_run(args) -> int:
             rounds=args.rounds,
             rate=args.rate,
             execution_policy=_policy_from(args),
+            json_out=args.json,
         )
+    if args.json is not None:
+        raise SystemExit("error: --json requires --scenario")
 
     from repro.core import PagConfig, PagSession
 
@@ -341,6 +353,12 @@ def _cmd_bench(args) -> int:
     print(
         f"  meter CDF aggs/s : {meter['columnar_per_s']:>12,.0f} "
         f"({meter['speedup']:.1f}x over dict probes)"
+    )
+    matrix = report["meter_matrix"]
+    print(
+        f"  meter matrix     : {matrix['vectorized_per_s']:>12,.0f} "
+        f"aggs/s ({matrix['speedup']:.1f}x over columnar at "
+        f"{matrix['nodes']}x{matrix['rounds']})"
     )
     parallel = report["parallel"]
     print(

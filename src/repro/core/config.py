@@ -9,6 +9,7 @@ with 1000 nodes), buffermaps covering the last 4 rounds.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 from repro.membership.views import default_fanout
 
@@ -24,6 +25,11 @@ class PagConfig:
         monitors_per_node: monitor-set size per node (fm); the paper uses
             the same value as the fanout unless stated otherwise.
         stream_rate_kbps: source bit rate (300 Kbps in the base runs).
+        rate_schedule: optional per-round rate ramp, as sorted
+            ``(from_round, rate_kbps)`` steps handed to the source's
+            :class:`~repro.gossip.source.StreamSchedule`;
+            ``stream_rate_kbps`` applies before the first step.  Empty
+            means a constant-bit-rate stream (every paper workload).
         update_bytes: chunk payload size (938 B).
         playout_delay_rounds: release-to-deadline delay (10 rounds).
         buffermap_depth: rounds of owned updates advertised in each
@@ -84,6 +90,7 @@ class PagConfig:
     fanout: int = 3
     monitors_per_node: int = 3
     stream_rate_kbps: float = 300.0
+    rate_schedule: Tuple[Tuple[int, float], ...] = ()
     update_bytes: int = 938
     playout_delay_rounds: int = 10
     buffermap_depth: int = 4
@@ -119,6 +126,11 @@ class PagConfig:
             raise ValueError("hash memo must hold at least 2 entries")
         if self.fixed_base_cache_entries < 1:
             raise ValueError("fixed-base cache must hold at least 1 entry")
+        from repro.gossip.source import validate_rate_steps
+
+        object.__setattr__(
+            self, "rate_schedule", validate_rate_steps(self.rate_schedule)
+        )
 
     @classmethod
     def for_system_size(cls, n: int, **overrides) -> "PagConfig":

@@ -55,14 +55,22 @@ class PagContext:
         config: PagConfig,
         directory: Directory,
         signer: Signer | None = None,
+        active_from: dict | None = None,
     ) -> "PagContext":
-        """Wire up a context from a config and membership."""
+        """Wire up a context from a config and membership.
+
+        Args:
+            active_from: node id -> first participating round, for
+                sessions with mid-stream arrivals (see
+                :class:`~repro.membership.views.ViewProvider`).
+        """
         seeds = SeedSequence(config.seed)
         views = ViewProvider(
             directory=directory,
             seeds=seeds.child("views"),
             fanout=config.fanout,
             monitors_per_node=config.monitors_per_node,
+            active_from=dict(active_from or {}),
         )
         modulus_rng = seeds.stream("modulus")
         backend = None
@@ -99,3 +107,23 @@ class PagContext:
 
     def monitors_of(self, node_id: int) -> List[int]:
         return self.views.monitors(node_id)
+
+    def active_monitors_of(self, node_id: int, round_no: int) -> List[int]:
+        """The monitors of ``node_id`` that have arrived by ``round_no``.
+
+        Monitor sets are session-stable, but with join churn a set may
+        name nodes announced ahead of their arrival.  Duty-targeted
+        traffic (the round-robin declaration designation and its
+        failure-path redeclarations) consults this view so the duty is
+        carried by the monitors actually present — and is picked up by
+        a late-arriving monitor the round it joins.  Falls back to the
+        stable set if none of them has arrived (the sends are then
+        dropped like any traffic to an absent node, and redeclaration
+        retries next round).
+        """
+        active = self.views.active_from
+        monitors = self.views.monitors(node_id)
+        if not active:
+            return monitors
+        present = [m for m in monitors if active.get(m, 0) <= round_no]
+        return present or monitors

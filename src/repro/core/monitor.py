@@ -99,6 +99,12 @@ class MonitorEngine:
         send: callback delivering a message to the network.
         active: monitoring can be disabled (selfish monitors, or pure
             data-path bandwidth runs).
+        first_round: the host's first participating round (join churn).
+            A monitor that arrives mid-session missed the declarations
+            of earlier rounds, so it must not judge exchanges whose
+            obligation accumulates from rounds before it was present —
+            its duties start with the first full declaration round it
+            observed.
     """
 
     def __init__(
@@ -108,11 +114,13 @@ class MonitorEngine:
         send: Callable[[Message], None],
         active: bool = True,
         lift_transform: Optional[Callable] = None,
+        first_round: int = 0,
     ) -> None:
         self.host_id = host_id
         self.context = context
         self.send = send
         self.active = active
+        self.first_round = first_round
         #: hook applied to lifted pairs before broadcasting (message 8);
         #: a lying monitor corrupts here (Behavior.transform_lifted).
         self.lift_transform = lift_transform
@@ -414,6 +422,13 @@ class MonitorEngine:
 
     def _check_servers(self, round_no: int) -> None:
         """End of round R: every monitored server must have valid acks."""
+        if self.first_round > 0 and round_no - 1 < self.first_round:
+            # Join churn: the obligation for round R accumulates from
+            # round R-1 declarations; a monitor that joined after that
+            # round never saw them and cannot judge these exchanges.
+            # Session-start monitors (first_round 0) are untouched —
+            # their round-0 checks run exactly as before.
+            return
         for server in self.context.views.monitored_by(self.host_id):
             if not self.context.is_monitored(server):
                 continue

@@ -82,6 +82,9 @@ class PagNode(SimNode):
                 context.config.detection_enabled
                 and self.behavior.performs_monitoring()
             ),
+            # Join churn: a late-arriving monitor must not judge
+            # exchanges whose declarations predate its arrival.
+            first_round=context.views.active_from.get(node_id, 0),
             # Honest behaviors never change a lifted pair; handing the
             # engine no hook at all lets batched verification defer the
             # per-pair exponentiations (the hook forces materialisation).
@@ -528,8 +531,14 @@ class PagNode(SimNode):
         receiving all the products of the prime numbers" (section V-B):
         two cofactors of the same round reveal individual primes through
         a gcd.
+
+        With join churn the rotation runs over the monitors that have
+        actually arrived (:meth:`PagContext.active_monitors_of
+        <repro.core.context.PagContext.active_monitors_of>`): the duty
+        is reassigned to the present monitors and a late-arriving one
+        enters the rotation the round it joins.
         """
-        monitors = self.context.monitors_of(self.node_id)
+        monitors = self.context.active_monitors_of(self.node_id, round_no)
         counter = self._designations.get(round_no, round_no)
         self._designations[round_no] = counter + 1
         monitor = monitors[counter % len(monitors)]
@@ -585,7 +594,7 @@ class PagNode(SimNode):
         assumption without handing any monitor two cofactors on the
         happy path (the cofactor travels again only on failure).
         """
-        monitors = self.context.monitors_of(self.node_id)
+        monitors = self.context.active_monitors_of(self.node_id, round_no)
         for (decl_round, server), pending in list(
             self._pending_declarations.items()
         ):

@@ -9,7 +9,7 @@ playback quality).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Set
 
 from repro.core.accusations import Verdict
@@ -50,6 +50,9 @@ class PagSession:
     simulator: Simulator
     source: PagSourceNode
     nodes: Dict[int, PagNode]
+    #: nodes announced by the membership service but not yet arrived
+    #: (join churn); :meth:`admit_node` moves them into the engine.
+    pending: Dict[int, PagNode] = field(default_factory=dict)
 
     @classmethod
     def create(
@@ -59,6 +62,7 @@ class PagSession:
         behaviors: Optional[Mapping[int, Behavior]] = None,
         signer: Optional[Signer] = None,
         execution_policy: Optional[ExecutionPolicy] = None,
+        arrivals: Optional[Mapping[int, int]] = None,
     ) -> "PagSession":
         """Build a session of ``n_nodes`` (one of which is the source).
 
@@ -72,11 +76,31 @@ class PagSession:
             signer: signature scheme override (real RSA for small runs).
             execution_policy: drain-batch delivery strategy (serial FIFO
                 when omitted; see :mod:`repro.sim.execution`).
+            arrivals: node id -> first participating round, for nodes
+                that join mid-session.  They are announced in the
+                directory from the start (so their stable monitor set is
+                assigned immediately), excluded from successor draws
+                before their round, and enter the engine only when
+                :meth:`admit_node` is called — which
+                :meth:`ScenarioSpec.build <repro.scenarios.spec.ScenarioSpec.build>`
+                wires as a round hook.
         """
         if config is None:
             config = PagConfig.for_system_size(n_nodes)
+        arrivals = dict(arrivals or {})
         directory = Directory.of_size(n_nodes, source_id=0)
-        context = PagContext.build(config, directory, signer=signer)
+        for node_id, first_round in arrivals.items():
+            if node_id not in directory or node_id == 0:
+                raise ValueError(
+                    f"arrival names node {node_id}, not a consumer id"
+                )
+            if first_round < 1:
+                raise ValueError(
+                    "an arrival round below 1 is just initial membership"
+                )
+        context = PagContext.build(
+            config, directory, signer=signer, active_from=arrivals
+        )
         network = Network()
         simulator = Simulator(
             network=network, round_seconds=config.round_seconds
@@ -88,11 +112,13 @@ class PagSession:
             update_bytes=config.update_bytes,
             playout_delay_rounds=config.playout_delay_rounds,
             round_seconds=config.round_seconds,
+            rate_schedule=config.rate_schedule,
         )
         source = PagSourceNode(0, network, context, schedule)
         simulator.add_node(source)
         behaviors = dict(behaviors or {})
         nodes: Dict[int, PagNode] = {}
+        pending: Dict[int, PagNode] = {}
         for node_id in directory.consumers():
             node = PagNode(
                 node_id,
@@ -100,10 +126,20 @@ class PagSession:
                 context,
                 behavior=behaviors.get(node_id),
             )
-            nodes[node_id] = node
-            simulator.add_node(node)
+            if node_id in arrivals:
+                # Built now — replica workers rebuild byte-identical
+                # state from the spec — but kept out of the engine until
+                # the arrival round.
+                pending[node_id] = node
+            else:
+                nodes[node_id] = node
+                simulator.add_node(node)
         return cls(
-            context=context, simulator=simulator, source=source, nodes=nodes
+            context=context,
+            simulator=simulator,
+            source=source,
+            nodes=nodes,
+            pending=pending,
         )
 
     # ------------------------------------------------------------------
@@ -143,6 +179,7 @@ class PagSession:
             update_bytes=config.update_bytes,
             playout_delay_rounds=config.playout_delay_rounds,
             round_seconds=config.round_seconds,
+            rate_schedule=config.rate_schedule,
         )
         for round_no in range(max(0, rounds)):
             schedule.release(round_no)
@@ -154,6 +191,28 @@ class PagSession:
             window=4,
             capacity_bits=config.sim_prime_bits,
         )
+
+    def admit_node(self, node_id: int) -> None:
+        """Join churn: a pre-announced node arrives between rounds.
+
+        The node was built at session creation (so execution-policy
+        replicas hold byte-identical copies) and held in
+        :attr:`pending`; admission moves it into the engine, whose
+        policy mirrors the add onto the owning worker replica.  From the
+        next round on the successor draws include it (see
+        :class:`~repro.membership.views.ViewProvider.active_from`) and
+        its stable monitor set — assigned at announcement time — starts
+        receiving declarations: monitoring needs no special case for
+        late arrivals.
+        """
+        node = self.pending.pop(node_id, None)
+        if node is None:
+            raise ValueError(
+                f"cannot admit node id {node_id}; pending arrivals are "
+                f"{sorted(self.pending)}"
+            )
+        self.nodes[node_id] = node
+        self.simulator.add_node(node)
 
     def remove_node(self, node_id: int) -> None:
         """Churn: the node leaves (crashes) between rounds.

@@ -13,7 +13,34 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
-__all__ = ["StreamSchedule"]
+__all__ = ["StreamSchedule", "validate_rate_steps"]
+
+
+def validate_rate_steps(steps) -> tuple:
+    """Validate and normalise a rate ramp as ``(from_round, rate)`` pairs.
+
+    The single validator for every layer the schedule flows through
+    (:class:`~repro.scenarios.spec.ScenarioSpec` →
+    :class:`~repro.core.config.PagConfig` → :class:`StreamSchedule`):
+    rounds must be non-negative and strictly increasing, rates strictly
+    positive.  Returns the steps as a normalised tuple of
+    ``(int, float)`` pairs.
+    """
+    normalised = tuple(
+        (int(from_round), float(rate)) for from_round, rate in steps
+    )
+    previous = -1
+    for from_round, rate in normalised:
+        if from_round < 0:
+            raise ValueError("rate steps cannot start before round 0")
+        if from_round <= previous:
+            raise ValueError(
+                "rate schedule steps must have strictly increasing rounds"
+            )
+        if rate <= 0:
+            raise ValueError("scheduled stream rates must be positive")
+        previous = from_round
+    return normalised
 
 
 @dataclass
@@ -29,6 +56,12 @@ class StreamSchedule:
             before being consumed by the nodes' media player").
         window: packets per source window (40 in the deployment); the
             source spreads a window's packets across its fanout.
+        rate_schedule: optional per-round rate ramp as sorted
+            ``(from_round, rate_kbps)`` steps — from each step's round
+            on, the stream runs at that rate (``rate_kbps`` applies
+            before the first step).  Adaptive-bitrate sources do exactly
+            this when the audience or the link budget changes
+            mid-session; the ``rate-ramp`` scenario drives it.
     """
 
     rate_kbps: float
@@ -36,6 +69,7 @@ class StreamSchedule:
     playout_delay_rounds: int = 10
     window: int = 40
     round_seconds: float = 1.0
+    rate_schedule: tuple = ()
     _next_uid: int = field(default=0, repr=False)
     _carry_bits: float = field(default=0.0, repr=False)
 
@@ -46,10 +80,20 @@ class StreamSchedule:
             raise ValueError("update size must be positive")
         if self.playout_delay_rounds < 1:
             raise ValueError("playout delay must be at least one round")
+        self.rate_schedule = validate_rate_steps(self.rate_schedule)
 
-    def updates_per_round(self) -> float:
+    def rate_for(self, round_no: int) -> float:
+        """The stream rate in effect during ``round_no``."""
+        rate = self.rate_kbps
+        for from_round, step_rate in self.rate_schedule:
+            if from_round > round_no:
+                break
+            rate = step_rate
+        return rate
+
+    def updates_per_round(self, round_no: int = 0) -> float:
         """Average number of chunks released per round (may be fractional)."""
-        bits_per_round = self.rate_kbps * 1000.0 * self.round_seconds
+        bits_per_round = self.rate_for(round_no) * 1000.0 * self.round_seconds
         return bits_per_round / (self.update_bytes * 8.0)
 
     def release(self, round_no: int, session: int = 0) -> List["Update"]:
@@ -57,11 +101,16 @@ class StreamSchedule:
 
         A fractional per-round rate is honoured exactly over time by
         carrying the remainder (e.g. 300 Kbps at 938 B -> 39.98 chunks
-        per round: most rounds release 40, occasionally 39).
+        per round: most rounds release 40, occasionally 39).  With a
+        ``rate_schedule`` the rate in effect for this round applies; the
+        carry crosses rate steps so no bit is lost at a ramp boundary.
         """
         from repro.gossip.updates import Update
 
-        bits = self.rate_kbps * 1000.0 * self.round_seconds + self._carry_bits
+        bits = (
+            self.rate_for(round_no) * 1000.0 * self.round_seconds
+            + self._carry_bits
+        )
         count = int(bits // (self.update_bytes * 8))
         self._carry_bits = bits - count * self.update_bytes * 8
         released = []

@@ -58,12 +58,23 @@ class ViewProvider:
         fanout: number of successors per node per round.
         monitors_per_node: size of each node's monitor set (paper uses
             the same value as the fanout by default, section VII-A).
+        active_from: node id -> first round the node participates
+            (absent means round 0).  The membership service announces
+            joining nodes ahead of their arrival — they are in the
+            directory, and their *monitor* set is assigned immediately
+            (monitor sets are session-stable, section V-C) — but nobody
+            is obliged to serve or contact a node before it arrives, so
+            successor draws exclude it until its activation round.  The
+            filter is a pure function of (directory, schedule, round),
+            which keeps views verifiable by monitors and deterministic
+            across execution-policy replicas.
     """
 
     directory: Directory
     seeds: SeedSequence
     fanout: int = 3
     monitors_per_node: int = 3
+    active_from: Dict[int, int] = field(default_factory=dict)
     _successor_cache: Dict[int, Dict[int, List[int]]] = field(
         default_factory=dict, repr=False
     )
@@ -97,11 +108,19 @@ class ViewProvider:
         """
         per_round = self._successor_cache.setdefault(round_no, {})
         if node_id not in per_round:
+            active = self.active_from
+            if active.get(node_id, 0) > round_no:
+                # A node that has not arrived yet serves nobody — and
+                # owes nobody a serve, so its monitors expect nothing.
+                per_round[node_id] = []
+                return []
             rng = self.seeds.stream("succ", node_id, round_no)
             candidates = [
                 m
                 for m in self.directory.members
-                if m != node_id and m != self.directory.source_id
+                if m != node_id
+                and m != self.directory.source_id
+                and active.get(m, 0) <= round_no
             ]
             k = min(self.fanout, len(candidates))
             per_round[node_id] = sorted(rng.sample(candidates, k))

@@ -21,6 +21,8 @@ from repro.scenarios.registry import (
 from repro.scenarios.spec import (
     AdversaryGroup,
     ChurnEvent,
+    JoinEvent,
+    RateStep,
     ScenarioResult,
     ScenarioSpec,
     SELFISH_STRATEGIES,
@@ -29,6 +31,8 @@ from repro.scenarios.spec import (
 __all__ = [
     "AdversaryGroup",
     "ChurnEvent",
+    "JoinEvent",
+    "RateStep",
     "ScenarioResult",
     "ScenarioSpec",
     "SELFISH_STRATEGIES",

@@ -134,12 +134,35 @@ def render_scenario_run(
     rounds: Optional[int] = None,
     rate: Optional[float] = None,
     execution_policy: Optional[ExecutionPolicy] = None,
+    json_out: Optional[str] = None,
 ) -> int:
-    """Run any registered scenario and print its measurement summary."""
+    """Run any registered scenario and print its measurement summary.
+
+    Args:
+        json_out: optional path; writes the machine-readable summary
+            (plus the measured wall clock and the Fig-7-style CDF) as
+            JSON — the CI scenario-matrix job collects these into its
+            ``BENCH_ci_scenarios.json`` artifact.
+    """
+    import json
+    import time
+
     spec = get_scenario(
         name, nodes=nodes, rounds=rounds, stream_rate_kbps=rate
     )
+    start = time.perf_counter()
     result = spec.run(execution_policy)
+    wall = time.perf_counter() - start
+    if json_out is not None:
+        payload = result.summary()
+        payload["wall_seconds"] = round(wall, 4)
+        payload["cdf"] = [
+            (round(value, 6), round(percent, 6))
+            for value, percent in result.cdf()
+        ]
+        with open(json_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
     print(
         f"scenario {spec.name!r} [{spec.protocol}]: {spec.nodes} nodes, "
         f"{spec.rounds} rounds, {spec.stream_rate_kbps:.0f} Kbps stream"

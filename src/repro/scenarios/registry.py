@@ -21,6 +21,8 @@ from typing import Dict, List, Optional
 from repro.scenarios.spec import (
     AdversaryGroup,
     ChurnEvent,
+    JoinEvent,
+    RateStep,
     ScenarioResult,
     ScenarioSpec,
 )
@@ -218,4 +220,56 @@ register_scenario(ScenarioSpec(
     warmup_rounds=4,
     churn=(ChurnEvent(after_round=6, node_id=5),
            ChurnEvent(after_round=9, node_id=11)),
+))
+
+register_scenario(ScenarioSpec(
+    name="join-churn",
+    description="nodes join mid-session; monitor duties are reassigned",
+    paper_reference=(
+        "Section II-A/VII: dynamic memberships — arrivals are announced "
+        "ahead (stable monitor sets, section V-C), excluded from "
+        "successor draws until present, and enter the declaration "
+        "rotation the round they arrive; one original node also crashes"
+    ),
+    nodes=20,
+    rounds=14,
+    warmup_rounds=4,
+    arrivals=(JoinEvent(after_round=2, node_id=7),
+              JoinEvent(after_round=5, node_id=13)),
+    churn=(ChurnEvent(after_round=8, node_id=4),),
+))
+
+register_scenario(ScenarioSpec(
+    name="coalition-mixed",
+    description="a coalition mixing per-node selfish strategies",
+    paper_reference=(
+        "Section VI-B: every deviation maps to one behaviour hook; a "
+        "coalition whose members cheat differently is still convicted "
+        "node by node"
+    ),
+    nodes=21,
+    rounds=14,
+    warmup_rounds=4,
+    node_strategies=(
+        (3, "free-rider"),
+        (8, "partial-forwarder"),
+        (15, "declaration-skipper"),
+    ),
+    adversaries=(AdversaryGroup(strategy="silent-receiver", count=2),),
+))
+
+register_scenario(ScenarioSpec(
+    name="rate-ramp",
+    description="the source ramps its send rate mid-stream (150->300->600)",
+    paper_reference=(
+        "Table I quality ladder: adaptive sources switch rates; "
+        "bandwidth and crypto load must track the ramp, detection "
+        "stays quiet"
+    ),
+    nodes=20,
+    rounds=12,
+    warmup_rounds=4,
+    stream_rate_kbps=150.0,
+    rate_schedule=(RateStep(from_round=4, rate_kbps=300.0),
+                   RateStep(from_round=8, rate_kbps=600.0)),
 ))

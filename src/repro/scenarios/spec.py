@@ -22,6 +22,8 @@ from repro.sim.metrics import cdf_points
 __all__ = [
     "AdversaryGroup",
     "ChurnEvent",
+    "JoinEvent",
+    "RateStep",
     "ScenarioSpec",
     "ScenarioResult",
     "SELFISH_STRATEGIES",
@@ -82,6 +84,39 @@ class ChurnEvent:
 
 
 @dataclass(frozen=True)
+class JoinEvent:
+    """One node arriving after a given round completes.
+
+    The node is announced in the directory from session start (so its
+    stable monitor set exists immediately) but excluded from successor
+    draws and absent from the engine until round ``after_round``
+    finishes; it first participates in round ``after_round + 1``.
+    """
+
+    after_round: int
+    node_id: int
+
+    def __post_init__(self) -> None:
+        if self.after_round < 0:
+            raise ValueError("join round must be non-negative")
+
+
+@dataclass(frozen=True)
+class RateStep:
+    """One step of a per-round send-rate schedule: from ``from_round``
+    on, the source streams at ``rate_kbps``."""
+
+    from_round: int
+    rate_kbps: float
+
+    def __post_init__(self) -> None:
+        if self.from_round < 0:
+            raise ValueError("rate step round must be non-negative")
+        if self.rate_kbps <= 0:
+            raise ValueError("rate step must set a positive rate")
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """One named cell of the paper's evaluation matrix, as data.
 
@@ -99,7 +134,18 @@ class ScenarioSpec:
         monitors_per_node: monitor-set size; None mirrors the fanout.
         adversaries: deviant node blocks, placed deterministically
             (evenly spaced over the consumer ids).
+        node_strategies: explicit per-node strategy map, as
+            ``(node_id, strategy)`` pairs — mixed coalitions pin each
+            member's deviation exactly (the ``coalition-mixed``
+            scenario).  Map entries claim their ids first; adversary
+            *groups* then fill the remaining consumers.
         churn: nodes leaving after given rounds.
+        arrivals: nodes joining after given rounds (PAG protocol only);
+            see :class:`JoinEvent` for the membership semantics.
+        rate_schedule: per-round send-rate ramp for the source, as
+            :class:`RateStep` entries with strictly increasing rounds
+            (PAG protocol only); ``stream_rate_kbps`` applies before
+            the first step.
         detection_enabled: run the monitoring state machine.
         seed: root seed for all session randomness.
         policy: default execution policy name (``"serial"``,
@@ -128,7 +174,10 @@ class ScenarioSpec:
     fanout: Optional[int] = None
     monitors_per_node: Optional[int] = None
     adversaries: Tuple[AdversaryGroup, ...] = ()
+    node_strategies: Tuple[Tuple[int, str], ...] = ()
     churn: Tuple[ChurnEvent, ...] = ()
+    arrivals: Tuple[JoinEvent, ...] = ()
+    rate_schedule: Tuple[RateStep, ...] = ()
     detection_enabled: bool = True
     seed: int = 20160627
     policy: Optional[str] = None
@@ -168,14 +217,79 @@ class ScenarioSpec:
                     f"churn after round {event.after_round} never takes "
                     f"effect in a {self.rounds}-round scenario"
                 )
+        if self.arrivals and self.protocol != "pag":
+            raise ValueError(
+                "join churn (arrivals) is modelled for the PAG protocol "
+                "only"
+            )
+        if self.rate_schedule and self.protocol != "pag":
+            raise ValueError(
+                "rate schedules are modelled for the PAG protocol only"
+            )
+        joins: Dict[int, int] = {}
+        for event in self.arrivals:
+            if event.node_id <= 0 or event.node_id >= self.nodes:
+                raise ValueError(
+                    f"arrival names node {event.node_id}, outside the "
+                    f"consumer ids 1..{self.nodes - 1}"
+                )
+            if event.node_id in joins:
+                raise ValueError(
+                    f"node {event.node_id} has two arrival events"
+                )
+            if event.after_round >= self.rounds - 1:
+                raise ValueError(
+                    f"arrival after round {event.after_round} never takes "
+                    f"effect in a {self.rounds}-round scenario"
+                )
+            joins[event.node_id] = event.after_round
+        for event in self.churn:
+            joined = joins.get(event.node_id)
+            if joined is not None and event.after_round <= joined:
+                raise ValueError(
+                    f"node {event.node_id} leaves after round "
+                    f"{event.after_round} but only joins after round "
+                    f"{joined}"
+                )
+        if self.rate_schedule:
+            from repro.gossip.source import validate_rate_steps
+
+            validate_rate_steps(
+                (step.from_round, step.rate_kbps)
+                for step in self.rate_schedule
+            )
+            for step in self.rate_schedule:
+                if step.from_round >= self.rounds:
+                    raise ValueError(
+                        f"rate step at round {step.from_round} never takes "
+                        f"effect in a {self.rounds}-round scenario"
+                    )
         n_consumers = self.nodes - 1
-        total_deviants = sum(
+        mapped: Dict[int, str] = {}
+        for node_id, strategy in self.node_strategies:
+            if strategy not in SELFISH_STRATEGIES:
+                raise ValueError(
+                    f"unknown strategy {strategy!r} for node {node_id}; "
+                    f"expected one of {sorted(SELFISH_STRATEGIES)}"
+                )
+            if node_id <= 0 or node_id >= self.nodes:
+                raise ValueError(
+                    f"strategy map names node {node_id}, outside the "
+                    f"consumer ids 1..{self.nodes - 1}"
+                )
+            if node_id in mapped:
+                raise ValueError(
+                    f"node {node_id} appears twice in the strategy map"
+                )
+            mapped[node_id] = strategy
+        total_deviants = len(mapped) + sum(
             group.size(n_consumers) for group in self.adversaries
         )
         if total_deviants > n_consumers:
             raise ValueError(
-                f"adversary groups claim {total_deviants} nodes but the "
-                f"scenario has only {n_consumers} consumers"
+                f"adversary groups and the strategy map claim "
+                f"{total_deviants} nodes but the scenario has only "
+                f"{n_consumers} consumers"
             )
 
     # -- derived construction ----------------------------------------------
@@ -199,6 +313,11 @@ class ScenarioSpec:
             detection_enabled=self.detection_enabled,
             seed=self.seed,
         )
+        if self.rate_schedule:
+            overrides["rate_schedule"] = tuple(
+                (step.from_round, step.rate_kbps)
+                for step in self.rate_schedule
+            )
         if self.fanout is not None:
             overrides["fanout"] = self.fanout
         if self.monitors_per_node is not None:
@@ -211,13 +330,14 @@ class ScenarioSpec:
     def deviant_nodes(self) -> Dict[int, str]:
         """Node id -> strategy name, placed evenly over the consumers.
 
-        Placement is deterministic (a function of the spec alone):
+        Placement is deterministic (a function of the spec alone): the
+        explicit ``node_strategies`` map claims its ids first, then
         each group's deviants are spread across the consumer id range
         so coalitions do not cluster around the source, skipping ids
-        already claimed by earlier groups.
+        already claimed by the map or earlier groups.
         """
         n_consumers = self.nodes - 1
-        taken: Dict[int, str] = {}
+        taken: Dict[int, str] = dict(self.node_strategies)
         for group in self.adversaries:
             size = group.size(n_consumers)
             if size == 0:
@@ -265,13 +385,17 @@ class ScenarioSpec:
             node_id: getattr(selfish, SELFISH_STRATEGIES[strategy])()
             for node_id, strategy in self.deviant_nodes().items()
         }
+        arrivals = {
+            event.node_id: event.after_round + 1 for event in self.arrivals
+        }
         session = PagSession.create(
             self.nodes,
             config=self.build_config(**config_overrides),
             behaviors=behaviors or None,
             execution_policy=execution_policy,
+            arrivals=arrivals or None,
         )
-        self._wire_churn(session.simulator, session)
+        self._wire_membership(session.simulator, session)
         self._bind_policy(execution_policy, session)
         return session
 
@@ -302,7 +426,7 @@ class ScenarioSpec:
         )
         if execution_policy is not None:
             session.simulator.policy = execution_policy
-        self._wire_churn(session.simulator, session)
+        self._wire_membership(session.simulator, session)
         self._bind_policy(execution_policy, session)
         return session
 
@@ -317,16 +441,31 @@ class ScenarioSpec:
         if binder is not None:
             binder(dataclasses.replace(self, policy=None), session)
 
-    def _wire_churn(self, simulator, session) -> None:
-        if not self.churn:
+    def _wire_membership(self, simulator, session) -> None:
+        """Round hooks replaying the spec's join/leave schedule.
+
+        Admissions run before removals within one hook, in sorted id
+        order — the same order the execution policy mirrors them onto
+        worker replicas, so membership stays deterministic everywhere.
+        """
+        if not self.churn and not self.arrivals:
             return
-        by_round: Dict[int, List[int]] = {}
+        leaves_by_round: Dict[int, List[int]] = {}
         for event in self.churn:
-            by_round.setdefault(event.after_round, []).append(event.node_id)
+            leaves_by_round.setdefault(
+                event.after_round, []
+            ).append(event.node_id)
+        joins_by_round: Dict[int, List[int]] = {}
+        for event in self.arrivals:
+            joins_by_round.setdefault(
+                event.after_round, []
+            ).append(event.node_id)
         remove = getattr(session, "remove_node", None)
 
         def on_round(round_no: int) -> None:
-            for node_id in sorted(by_round.get(round_no, ())):
+            for node_id in sorted(joins_by_round.get(round_no, ())):
+                session.admit_node(node_id)
+            for node_id in sorted(leaves_by_round.get(round_no, ())):
                 if remove is not None:
                     remove(node_id)
                 else:

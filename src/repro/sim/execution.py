@@ -530,6 +530,21 @@ class _ReplicaWorker:
         if nodes is not None:
             nodes.pop(node_id, None)
 
+    def admit(self, node_id: int) -> None:
+        """Mirror a parent-side join (admission) on the replica.
+
+        The replica was rebuilt from the same spec, so it holds its own
+        byte-identical pending instance of the arriving node; admitting
+        by id keeps node state out of the scatter/gather protocol.
+        """
+        admit = getattr(self.session, "admit_node", None)
+        if admit is None:
+            raise RuntimeError(
+                f"shard {self.shard}: replica session cannot admit "
+                f"node {node_id} (no pending-arrival support)"
+            )
+        admit(node_id)
+
     def collect(self) -> Dict[str, object]:
         """Reporting state of the owned nodes plus run-phase op deltas."""
         current = _ops_snapshot(self.session)
@@ -573,6 +588,10 @@ def _process_phase(
 
 def _process_remove(node_id: int) -> None:
     _PROCESS_REPLICA.remove(node_id)
+
+
+def _process_admit(node_id: int) -> None:
+    _PROCESS_REPLICA.admit(node_id)
 
 
 def _process_collect() -> Dict[str, object]:
@@ -641,6 +660,15 @@ class _ShardHandle:
             return
         self._executor.submit(_process_remove, node_id).result()
 
+    def admit(self, node_id: int) -> None:
+        if self._local is not None:
+            if self._executor is not None:
+                self._executor.submit(self._local.admit, node_id).result()
+            else:
+                self._local.admit(node_id)
+            return
+        self._executor.submit(_process_admit, node_id).result()
+
     def collect(self) -> Dict[str, object]:
         if self._local is not None:
             if self._executor is not None:
@@ -669,6 +697,7 @@ class ParallelStats:
     critical_cpu_seconds: float = 0.0
     shard_cpu_seconds: Dict[int, float] = field(default_factory=dict)
     removed_nodes: int = 0
+    admitted_nodes: int = 0
 
     def imbalance(self) -> float:
         """Max/mean shard CPU ratio (1.0 = perfectly balanced)."""
@@ -978,11 +1007,18 @@ class ParallelShardedPolicy(ExecutionPolicy):
     # -- membership --------------------------------------------------------
 
     def notify_add(self, node) -> None:
-        if self._started and self.mode != "inline":
-            raise RuntimeError(
-                "ParallelShardedPolicy does not support adding nodes after "
-                "the workers have started; build the full membership first"
-            )
+        """Mirror a mid-run admission onto the owning worker replica.
+
+        Only spec-declared arrivals can be mirrored: the replica admits
+        its own pending instance by id (``session.admit_node``), so a
+        hand-assembled session adding an arbitrary node after the
+        workers started fails loudly inside the replica rather than
+        silently diverging.
+        """
+        if not self._started or self.mode == "inline":
+            return
+        self._handles[node.node_id % self.workers].admit(node.node_id)
+        self.stats.admitted_nodes += 1
 
     def notify_remove(self, node_id: int) -> None:
         if not self._started or self.mode == "inline":

@@ -8,7 +8,7 @@ deployment used (section VII-A): 938-byte updates, RSA-2048 signatures
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import ClassVar
 
 __all__ = ["Message", "WireSizes"]

@@ -12,7 +12,6 @@ from repro.analysis.quality import (
     pag_cost_of_quality,
     table2,
 )
-from repro.core import PagConfig
 from repro.streaming.video import QUALITY_LADDER, quality_by_name
 
 

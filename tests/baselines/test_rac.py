@@ -3,7 +3,6 @@
 import pytest
 
 from repro.baselines.rac import (
-    RAC_OVERHEAD_CALIBRATION,
     RacConfig,
     RacSession,
     rac_max_payload_kbps,

@@ -5,7 +5,6 @@ updates, nodes can compute this value and send it to their monitors.
 Monitors are then able to check each other's correctness."
 """
 
-import pytest
 
 from repro.adversary.selfish import LyingMonitor
 from repro.core import FaultReason, PagConfig, PagSession

@@ -38,9 +38,15 @@ __all__ = [
 #: Smoke scale for the registry sweep; big memberships shrink to this.
 SMALL = dict(nodes=14, rounds=6, warmup_rounds=2)
 
-#: Scenarios whose declared membership/churn schedule must not be
-#: shrunk (churn names concrete node ids).
-FIXED_SCALE = {"churn", "coalition-third"}
+#: Scenarios whose declared membership/churn/arrival/ramp schedule must
+#: not be shrunk (they name concrete node ids or concrete rounds).
+FIXED_SCALE = {
+    "churn",
+    "coalition-third",
+    "join-churn",
+    "coalition-mixed",
+    "rate-ramp",
+}
 
 
 def workers_under_test(default: int = 2) -> int:

@@ -14,12 +14,12 @@ hypothesis = pytest.importorskip("hypothesis")
 from hypothesis import HealthCheck, given, settings  # noqa: E402
 from hypothesis import strategies as st  # noqa: E402
 
-from repro.scenarios.spec import AdversaryGroup, ChurnEvent, ScenarioSpec
-from repro.sim.execution import ParallelShardedPolicy
-from repro.sim.faults import RandomLoss
-from repro.sim.rng import SeedSequence
+from repro.scenarios.spec import AdversaryGroup, ChurnEvent, ScenarioSpec  # noqa: E402
+from repro.sim.execution import ParallelShardedPolicy  # noqa: E402
+from repro.sim.faults import RandomLoss  # noqa: E402
+from repro.sim.rng import SeedSequence  # noqa: E402
 
-from tests.differential.harness import record_scenario
+from tests.differential.harness import record_scenario  # noqa: E402
 
 STRATEGIES = st.sampled_from(
     ["free-rider", "partial-forwarder", "silent-receiver",

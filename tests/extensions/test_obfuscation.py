@@ -1,6 +1,5 @@
 """Tests for the interest-obfuscation extension (the paper's future work)."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

@@ -1,6 +1,5 @@
 """Integration tests: plain push gossip actually disseminates content."""
 
-import pytest
 
 from repro.gossip.dissemination import (
     PlainGossipNode,

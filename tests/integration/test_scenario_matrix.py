@@ -16,9 +16,17 @@ from repro.sim.execution import SerialPolicy, ShardedPolicy
 #: registry at figure scale).
 SMALL = dict(nodes=16, rounds=8, warmup_rounds=2)
 
-#: Scenarios whose declared membership/churn schedule must not be
-#: shrunk (churn names concrete node ids; fig10 is topology-only).
-FIXED_SCALE = {"churn", "coalition-third", "fig10"}
+#: Scenarios whose declared membership/churn/arrival/ramp schedule must
+#: not be shrunk (they name concrete node ids or concrete rounds;
+#: fig10 is topology-only).
+FIXED_SCALE = {
+    "churn",
+    "coalition-third",
+    "fig10",
+    "join-churn",
+    "coalition-mixed",
+    "rate-ramp",
+}
 
 
 def _small(name):

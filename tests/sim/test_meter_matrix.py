@@ -1,0 +1,169 @@
+"""Vectorised meter parity: the matrix path against the columnar pass.
+
+The shared numpy (node × round) matrix behind
+:meth:`BandwidthMeter.all_node_kbps`, :meth:`BandwidthMeter.snapshot`
+and :func:`cdf_points` is an execution strategy, not a different meter:
+these Hypothesis properties hold the two paths to bit-identical outputs
+over random traffic, windows, directions and shard merges, and pin the
+fallback behaviours (no numpy, int64 overflow) the matrix must degrade
+through.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.metrics import BandwidthMeter, cdf_points
+
+RECORDS = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=11),   # sender
+        st.integers(min_value=0, max_value=11),   # recipient
+        st.integers(min_value=0, max_value=50_000),  # size
+        st.integers(min_value=0, max_value=14),   # round
+    ),
+    min_size=0,
+    max_size=120,
+)
+
+
+def _pair_of_meters(records):
+    vectorized = BandwidthMeter()
+    columnar = BandwidthMeter(vectorize=False)
+    for sender, recipient, size, rnd in records:
+        vectorized.record(sender, recipient, size, rnd)
+        columnar.record(sender, recipient, size, rnd)
+    return vectorized, columnar
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    records=RECORDS,
+    first=st.integers(min_value=0, max_value=14),
+    span=st.integers(min_value=0, max_value=14),
+    direction=st.sampled_from(["both", "up", "down"]),
+)
+def test_all_node_kbps_matches_columnar(records, first, span, direction):
+    vectorized, columnar = _pair_of_meters(records)
+    nodes = list(range(14))  # includes ids the meter never saw
+    last = first + span
+    expected = columnar.all_node_kbps(
+        nodes, first_round=first, last_round=last, direction=direction
+    )
+    observed = vectorized.all_node_kbps(
+        nodes, first_round=first, last_round=last, direction=direction
+    )
+    assert observed == expected
+    # Bitwise, not just numerically, equal.
+    for node in nodes:
+        assert math.copysign(1.0, observed[node]) == math.copysign(
+            1.0, expected[node]
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(records=RECORDS)
+def test_snapshot_matches_columnar(records):
+    vectorized, columnar = _pair_of_meters(records)
+    assert vectorized.snapshot() == columnar.snapshot()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    records=RECORDS,
+    shards=st.integers(min_value=1, max_value=5),
+)
+def test_sharded_merge_parity(records, shards):
+    """Per-shard meters merged in shard order agree with the reference
+    on both paths, and the merge invalidates the matrix cache."""
+    reference = BandwidthMeter(vectorize=False)
+    merged = BandwidthMeter()
+    parts = [BandwidthMeter() for _ in range(shards)]
+    for sender, recipient, size, rnd in records:
+        reference.record(sender, recipient, size, rnd)
+        parts[recipient % shards].record(sender, recipient, size, rnd)
+    for part in parts:
+        if part.rounds_seen:
+            # Touch the aggregate path so the part builds its matrix
+            # before merging — the merge must still be exact.
+            part.all_node_kbps(list(range(12)), first_round=0)
+        merged.merge_from(part)
+    assert merged.snapshot() == reference.snapshot()
+    if reference.rounds_seen:
+        nodes = list(range(12))
+        assert merged.all_node_kbps(nodes) == reference.all_node_kbps(nodes)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(
+            min_value=0.0, max_value=1e9, allow_nan=False
+        ),
+        max_size=60,
+    )
+)
+def test_cdf_points_vectorized_parity(values):
+    assert cdf_points(values, vectorize=True) == cdf_points(
+        values, vectorize=False
+    )
+
+
+def test_cdf_points_default_matches_both_arms():
+    values = {1: 10.0, 2: 5.0, 3: 20.0}
+    assert cdf_points(values) == cdf_points(values, vectorize=False)
+
+
+def test_record_and_merge_invalidate_the_matrix_cache():
+    meter = BandwidthMeter()
+    meter.record(0, 1, 100, 0)
+    before = meter.all_node_kbps([0, 1], direction="up")
+    assert before[0] == pytest.approx(0.8)
+    meter.record(0, 1, 100, 0)
+    after = meter.all_node_kbps([0, 1], direction="up")
+    assert after[0] == pytest.approx(1.6)
+    other = BandwidthMeter()
+    other.record(0, 2, 100, 1)
+    meter.merge_from(other)
+    plain = BandwidthMeter(vectorize=False)
+    for _ in range(2):
+        plain.record(0, 1, 100, 0)
+    plain.record(0, 2, 100, 1)
+    assert meter.snapshot() == plain.snapshot()
+
+
+def test_int64_overflow_falls_back_to_columnar():
+    huge = BandwidthMeter()
+    plain = BandwidthMeter(vectorize=False)
+    for meter in (huge, plain):
+        meter.record(0, 1, 1 << 70, 0)
+        meter.record(0, 1, 5, 1)
+    assert huge._matrix() is None
+    assert huge.snapshot() == plain.snapshot()
+    assert huge.all_node_kbps([0, 1]) == plain.all_node_kbps([0, 1])
+
+
+def test_sum_that_would_wrap_int64_falls_back_to_columnar():
+    """Each record fits int64 but a window sum would wrap: the guard
+    bounds sums by the cumulative per-node totals, so the matrix is
+    refused and the columnar pass returns the exact value."""
+    huge = BandwidthMeter()
+    plain = BandwidthMeter(vectorize=False)
+    for meter in (huge, plain):
+        for _ in range(4):
+            meter.record(0, 1, 1 << 62, 0)
+    assert huge._matrix() is None
+    observed = huge.all_node_kbps([0, 1], direction="both")
+    assert observed == plain.all_node_kbps([0, 1], direction="both")
+    assert observed[0] > 0  # not a wrapped negative
+
+
+def test_vectorize_flag_pins_the_columnar_path():
+    meter = BandwidthMeter(vectorize=False)
+    meter.record(0, 1, 100, 0)
+    assert meter._matrix() is None
+    assert meter.all_node_kbps([0, 1], direction="up")[0] == pytest.approx(
+        0.8
+    )

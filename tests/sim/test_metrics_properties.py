@@ -17,7 +17,7 @@ hypothesis = pytest.importorskip("hypothesis")
 from hypothesis import given, settings  # noqa: E402
 from hypothesis import strategies as st  # noqa: E402
 
-from repro.sim.metrics import BandwidthMeter, cdf_points
+from repro.sim.metrics import BandwidthMeter, cdf_points  # noqa: E402
 
 #: One traffic event: sender, recipient, size, round.
 events = st.lists(

@@ -94,7 +94,10 @@ def test_without_bootstrap_degrades_to_inline_sharding():
     policy.close()
 
 
-def test_adding_nodes_after_start_is_rejected():
+def test_adding_adhoc_nodes_after_start_is_rejected():
+    """Only spec-declared arrivals can join a running parallel session:
+    an arbitrary add fails inside the replica (no pending instance to
+    admit) instead of silently diverging."""
     policy = ParallelShardedPolicy(workers=2, backend="serialized")
     spec = _spec(n=8, rounds=4)
     session = spec.build(policy)
@@ -102,12 +105,39 @@ def test_adding_nodes_after_start_is_rejected():
         session.run(1)
         from repro.sim.node import SimNode
 
-        with pytest.raises(RuntimeError, match="adding nodes"):
+        with pytest.raises(ValueError, match="cannot admit"):
             session.simulator.add_node(
                 SimNode(99, session.simulator.network)
             )
     finally:
         policy.close()
+
+
+@pytest.mark.parametrize("backend", ["serialized", "thread", "process"])
+def test_spec_declared_arrivals_are_mirrored_onto_replicas(backend):
+    """A JoinEvent admits the same node on the parent and its owning
+    worker replica; the run stays bit-identical to serial."""
+    from repro.scenarios.spec import JoinEvent
+
+    spec = ScenarioSpec(
+        name="parallel-join",
+        nodes=12,
+        rounds=6,
+        warmup_rounds=2,
+        arrivals=(JoinEvent(after_round=2, node_id=7),),
+    )
+    reference = spec.run()
+    policy = ParallelShardedPolicy(workers=3, backend=backend)
+    result = spec.run(policy)
+    assert policy.stats.admitted_nodes == 1
+    assert result.node_kbps == reference.node_kbps
+    assert result.messages_sent == reference.messages_sent
+    assert result.total_bytes == reference.total_bytes
+    assert result.verdicts == reference.verdicts
+    # The arrival is absent before its round and active after it.
+    meter = reference.session.simulator.network.meter
+    assert meter.node_bytes(7, 0, 2, direction="up") == 0
+    assert meter.node_bytes(7, 3, 5, direction="up") > 0
 
 
 def test_policy_is_reusable_after_close():

@@ -168,7 +168,7 @@ class TestBenchCommand:
         import json
 
         report = json.loads(out_file.read_text())
-        assert report["schema"] == 4
+        assert report["schema"] == 5
         assert set(report["hashes_per_s"]) == {"256", "512"}
         assert report["primes_per_s"]["512"] > 0
         assert report["engine"]["rounds_per_s"] > 0
@@ -179,6 +179,10 @@ class TestBenchCommand:
         meter = report["meter_cdf"]
         assert meter["columnar_per_s"] > 0
         assert meter["dict_per_s"] > 0
+        matrix = report["meter_matrix"]
+        assert matrix["identical"] is True
+        assert matrix["vectorized_per_s"] > 0
+        assert matrix["columnar_per_s"] > 0
         parallel = report["parallel"]
         assert parallel["scenario"] == "fig9"
         assert parallel["cpu_count"] >= 1

@@ -8,7 +8,6 @@ from repro.verifier.terms import (
     Pair,
     PrivKey,
     Prod,
-    PubKey,
     Sig,
 )
 

@@ -70,7 +70,6 @@ class TestCase2Coalitions:
         predecessors except at most two and at least one of the
         monitors'), which is why Fig. 10's PAG curve sits above the
         theoretical minimum."""
-        scenario = PagScenario(fanout=3)
         broken = 0
         for coalition, verdicts in case2_coalitions(fanout=3):
             preds = [r for r in coalition if r.startswith("A")]
