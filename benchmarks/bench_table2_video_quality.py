@@ -35,7 +35,9 @@ def test_table2_quality_matrix(benchmark):
         "PAG 144p@1.5M ... 1080p@100M+; AcTinG higher; RAC empty",
     )
     links = list(LINK_CAPACITIES_KBPS)
-    header = f"{'protocol':<8}" + "".join(f"{l.split(' (')[0]:>18}" for l in links)
+    header = f"{'protocol':<8}" + "".join(
+        f"{l.split(' (')[0]:>18}" for l in links
+    )
     print(header)
     for protocol, cells in table.items():
         row = f"{protocol:<8}" + "".join(

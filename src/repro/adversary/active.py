@@ -98,7 +98,9 @@ class ActiveInjector:
 
     # -- attacks -----------------------------------------------------------
 
-    def replay_recent(self, kinds: Optional[set[str]] = None, limit: int = 50) -> int:
+    def replay_recent(
+        self, kinds: Optional[set[str]] = None, limit: int = 50
+    ) -> int:
         """Queue verbatim replays of recently recorded messages."""
         picked = 0
         for message in reversed(self.recorder.messages):

@@ -256,7 +256,9 @@ class ActingBandwidthModel:
         return sum(self.components().values())
 
     @classmethod
-    def for_system(cls, n_nodes: int, rate_kbps: float) -> "ActingBandwidthModel":
+    def for_system(
+        cls, n_nodes: int, rate_kbps: float
+    ) -> "ActingBandwidthModel":
         f = default_fanout(n_nodes)
         return cls(rate_kbps=rate_kbps, fanout=f, monitors_per_node=f)
 

@@ -20,7 +20,12 @@ from repro.streaming.video import (
     max_quality_under,
 )
 
-__all__ = ["Table2Cell", "table2", "pag_cost_of_quality", "acting_cost_of_quality"]
+__all__ = [
+    "Table2Cell",
+    "table2",
+    "pag_cost_of_quality",
+    "acting_cost_of_quality",
+]
 
 
 def pag_cost_of_quality(

@@ -141,7 +141,9 @@ class MonitorEngine:
         #: (monitored, round) -> deferred same-modulus lift folds.
         self._batch: Dict[Tuple[int, int], BatchVerifier] = {}
         #: (monitored, pred, round) -> paired messages 6/7.
-        self._receiver_records: Dict[Tuple[int, int, int], _ReceiverRecord] = {}
+        self._receiver_records: Dict[
+            Tuple[int, int, int], _ReceiverRecord
+        ] = {}
         #: (monitored, round) -> pred -> (lifted_fwd, lifted_ack, source).
         self._lifted: Dict[
             Tuple[int, int], Dict[int, Tuple[int, int, int]]
@@ -225,7 +227,11 @@ class MonitorEngine:
     ) -> None:
         """Once both messages 6 and 7 arrived: lift, broadcast, relay."""
         record = self._record_for(monitored, predecessor, round_no)
-        if record.processed or record.ack is None or record.attestation is None:
+        if (
+            record.processed
+            or record.ack is None
+            or record.attestation is None
+        ):
             return
         record.processed = True
         # Confirm receipt so the declarer knows this monitor is alive
@@ -262,7 +268,9 @@ class MonitorEngine:
             verifier.add(att.hash_ack_only, record.cofactor, include=False)
             self._relay_ack(predecessor, record.ack, round_no)
             return
-        lifted_forward = lift_attested(hasher, att.hash_forward, record.cofactor)
+        lifted_forward = lift_attested(
+            hasher, att.hash_forward, record.cofactor
+        )
         lifted_ack_only = lift_attested(
             hasher, att.hash_ack_only, record.cofactor
         )

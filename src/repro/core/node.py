@@ -547,7 +547,9 @@ class PagNode(SimNode):
             "ack": ack,
             "tried": [monitor],
         }
-        self._send_declaration_pair(round_no, server, attestation, ack, monitor)
+        self._send_declaration_pair(
+            round_no, server, attestation, ack, monitor
+        )
 
     def _send_declaration_pair(
         self,

@@ -58,7 +58,8 @@ class ForwardSet:
 
     def items(self) -> List[Tuple[Update, int]]:
         return [
-            (self.updates[uid], self.counts[uid]) for uid in sorted(self.counts)
+            (self.updates[uid], self.counts[uid])
+            for uid in sorted(self.counts)
         ]
 
     def __len__(self) -> int:
@@ -137,7 +138,11 @@ class PagNodeState:
 
     def prune_before(self, round_no: int) -> None:
         """Drop state older than ``round_no`` (bounded memory)."""
-        for store in (self.primes_issued, self.forward_sets, self._key_products):
+        for store in (
+            self.primes_issued,
+            self.forward_sets,
+            self._key_products,
+        ):
             for rnd in [r for r in store if r < round_no]:
                 del store[rnd]
         for keyed in (self.outgoing, self.pending_serves, self.acks_sent):

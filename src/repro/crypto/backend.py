@@ -219,7 +219,9 @@ def gmpy2_available() -> bool:
     return _gmpy2 is not None
 
 
-def multi_powmod(pairs, modulus: int, backend: Optional[Backend] = None) -> int:
+def multi_powmod(
+    pairs, modulus: int, backend: Optional[Backend] = None
+) -> int:
     """``prod base_i ** exp_i mod modulus`` via one interleaved pass.
 
     Convenience wrapper over :meth:`Backend.multi_powmod` using the

@@ -120,7 +120,9 @@ class RsaPrivateKey:
 
     def sign(self, message: bytes) -> int:
         """Full-domain-hash style signature over ``message``."""
-        return self._crt_power(_signature_representative(message, self.modulus))
+        return self._crt_power(
+            _signature_representative(message, self.modulus)
+        )
 
 
 @dataclass(frozen=True)

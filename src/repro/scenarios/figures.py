@@ -170,7 +170,10 @@ def render_scenario_run(
     if spec.paper_reference:
         print(f"paper: {spec.paper_reference}")
     summary = result.summary()
-    print(f"mean download      : {summary['mean_down_kbps']:.0f} Kbps per node")
+    print(
+        f"mean download      : {summary['mean_down_kbps']:.0f} "
+        "Kbps per node"
+    )
     if result.continuity is not None:
         print(f"mean continuity    : {result.continuity:.1%}")
     print(f"messages           : {result.messages_sent}")

@@ -39,7 +39,9 @@ __all__ = [
 _REGISTRY: Dict[str, ScenarioSpec] = {}
 
 
-def register_scenario(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
+def register_scenario(
+    spec: ScenarioSpec, replace: bool = False
+) -> ScenarioSpec:
     """Add a spec under its name; refuses silent redefinition."""
     if spec.name in _REGISTRY and not replace:
         raise ValueError(f"scenario {spec.name!r} is already registered")

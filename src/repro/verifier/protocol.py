@@ -109,7 +109,9 @@ class PagScenario:
             p = self.prime_name(i)
             serve_key = Atom(f"Kprev_{a}")  # A's previous-round key
             # 1. KeyRequest (signed, clear).
-            messages.append(Sig(tuple_term(Atom("keyreq"), Atom(a), Atom(b)), a))
+            messages.append(
+                Sig(tuple_term(Atom("keyreq"), Atom(a), Atom(b)), a)
+            )
             # 2. KeyResponse: {<p_i, buffermap hashes>_B}pk(A).
             buffermap = HHash.of([f"owned_{b}"], [p])
             messages.append(

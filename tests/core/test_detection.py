@@ -22,7 +22,10 @@ DEVIANT = 7
 
 STRATEGIES = [
     (FreeRider(), {FaultReason.WRONG_FORWARD_SET}),
-    (PartialForwarder(keep_fraction=0.5, seed=3), {FaultReason.WRONG_FORWARD_SET}),
+    (
+        PartialForwarder(keep_fraction=0.5, seed=3),
+        {FaultReason.WRONG_FORWARD_SET},
+    ),
     (SilentReceiver(), {FaultReason.REFUSED_RECEPTION}),
     (DeclarationSkipper(), {FaultReason.OMITTED_DECLARATION}),
     (ContactAvoider(), {FaultReason.OMISSION_TO_SERVE}),

@@ -14,7 +14,11 @@ hypothesis = pytest.importorskip("hypothesis")
 from hypothesis import HealthCheck, given, settings  # noqa: E402
 from hypothesis import strategies as st  # noqa: E402
 
-from repro.scenarios.spec import AdversaryGroup, ChurnEvent, ScenarioSpec  # noqa: E402
+from repro.scenarios.spec import (  # noqa: E402
+    AdversaryGroup,
+    ChurnEvent,
+    ScenarioSpec,
+)
 from repro.sim.execution import ParallelShardedPolicy  # noqa: E402
 from repro.sim.faults import RandomLoss  # noqa: E402
 from repro.sim.rng import SeedSequence  # noqa: E402

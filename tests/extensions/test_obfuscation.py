@@ -15,7 +15,9 @@ SESSIONS = [100, 200, 300, 400, 500]
 
 
 def make_plan(cover=3, n_nodes=12, seed=1):
-    interests = {node: SESSIONS[node % len(SESSIONS)] for node in range(n_nodes)}
+    interests = {
+        node: SESSIONS[node % len(SESSIONS)] for node in range(n_nodes)
+    }
     return ObfuscationPlan(
         sessions=SESSIONS,
         true_interest=interests,

@@ -89,7 +89,10 @@ def test_without_bootstrap_degrades_to_inline_sharding():
         session.simulator.network.meter.snapshot()
         == serial.simulator.network.meter.snapshot()
     )
-    assert session.context.hasher.operations == serial.context.hasher.operations
+    assert (
+        session.context.hasher.operations
+        == serial.context.hasher.operations
+    )
     policy.sync_session(session)  # no-op in inline mode
     policy.close()
 
