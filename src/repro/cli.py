@@ -183,6 +183,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--nodes", type=int, default=40)
     bench.add_argument("--rounds", type=int, default=8)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help=(
+            "fault/adversary fuzzing: random fault schedules x deviant "
+            "mixes x churn, checked for false convictions, missed "
+            "deviants and cross-policy divergence"
+        ),
+    )
+    fuzz.add_argument(
+        "--iterations", type=_positive_int, default=50,
+        help="random scenarios to draw (default 50)",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=20160627,
+        help="campaign seed; same seed, same draws",
+    )
+    fuzz.add_argument(
+        "--policies",
+        default="serial,sharded,parallel",
+        help=(
+            "comma-separated execution policies to cross-check "
+            "(default: all three)"
+        ),
+    )
+    fuzz.add_argument(
+        "--workers", type=_positive_int, default=2,
+        help="shard/worker count for the sharded and parallel policies",
+    )
+    fuzz.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the full campaign report (violations, shrunken "
+        "repro specs) as JSON to PATH",
+    )
+    fuzz.add_argument(
+        "--replay", default=None, metavar="PATH",
+        help="re-check the shrunken spec of the first violation in a "
+        "previous report (or a bare spec JSON) instead of fuzzing",
+    )
+    fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="report violating specs as drawn, without shrinking",
+    )
     return parser
 
 
@@ -391,6 +434,68 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    import json
+
+    from repro.scenarios.fuzz import (
+        FuzzConfig,
+        run_fuzz,
+        spec_from_json,
+    )
+
+    policies = tuple(
+        name.strip() for name in args.policies.split(",") if name.strip()
+    )
+    config = FuzzConfig(
+        iterations=args.iterations,
+        seed=args.seed,
+        policies=policies,
+        workers=args.workers,
+        shrink=not args.no_shrink,
+    )
+    replay_spec = None
+    if args.replay is not None:
+        with open(args.replay) as handle:
+            payload = json.load(handle)
+        # Accept either a full campaign report or a bare spec dict.
+        if "violations" in payload:
+            if not payload["violations"]:
+                print(f"{args.replay}: no violations to replay")
+                return 0
+            payload = payload["violations"][0]["spec"]
+        replay_spec = spec_from_json(payload)
+        print(
+            f"replaying {replay_spec.name}: {replay_spec.nodes} nodes, "
+            f"{replay_spec.rounds} rounds, "
+            f"{len(replay_spec.fault_schedule)} faults, seed "
+            f"{replay_spec.seed}"
+        )
+    report = run_fuzz(config, progress=print, replay_spec=replay_spec)
+    if args.json is not None:
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"report written to {args.json}")
+    totals = report["totals"]
+    print(
+        f"{report['iterations']} iterations, {totals['faults']} faults, "
+        f"{totals['deviants']} deviants, "
+        f"{totals['convictions']} convictions, "
+        f"{totals['messages_dropped']} drops, "
+        f"{totals['messages_delayed']} delays"
+    )
+    if report["ok"]:
+        print("all invariants held")
+        return 0
+    for entry in report["violations"]:
+        for line in entry["violations"]:
+            print(f"VIOLATION (iteration {entry['iteration']}): {line}")
+    print(
+        "shrunken repro spec(s) embedded in the report; replay with "
+        "'repro fuzz --replay <report.json>'"
+    )
+    return 1
+
+
 def _cmd_export(args) -> int:
     from repro.analysis.export import export_all
 
@@ -415,6 +520,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "verify": _cmd_verify,
         "export": _cmd_export,
         "bench": _cmd_bench,
+        "fuzz": _cmd_fuzz,
     }[args.command]
     return handler(args)
 

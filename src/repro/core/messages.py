@@ -49,6 +49,24 @@ __all__ = [
 _COUNT_BYTES = 2
 
 
+def wire_kinds() -> frozenset:
+    """All message ``kind`` strings a PAG session can put on the wire.
+
+    Fault schedules validate their kind filters against this catalogue,
+    so a typo in a scenario declaration fails fast instead of silently
+    matching nothing.
+    """
+    import sys
+
+    module = sys.modules[__name__]
+    kinds = set()
+    for name in __all__:
+        kind = getattr(getattr(module, name), "kind", None)
+        if isinstance(kind, str):
+            kinds.add(kind)
+    return frozenset(kinds)
+
+
 @dataclass(frozen=True, slots=True)
 class ServeEntry:
     """One update inside a Serve message.

@@ -162,6 +162,23 @@ class MonitorEngine:
         self._pending_probes: Dict[Tuple[int, int, int], _PendingProbe] = {}
         #: messages to emit at the start of the next round.
         self._outbox_next_round: List[Callable[[int], Message]] = []
+        #: accusation-path and declaration-seam tallies, surfaced via
+        #: ``PagSession.accusation_report`` and the run summaries.  Keys
+        #: are fixed at construction so parallel shard merges and JSON
+        #: reports see a stable schema.
+        self.counters: Dict[str, int] = {
+            "declarations_processed": 0,
+            "declarations_rejected": 0,
+            "accusations_received": 0,
+            "accusation_claims": 0,
+            "probes_sent": 0,
+            "probe_acks_accepted": 0,
+            "confirms_sent": 0,
+            "nacks_sent": 0,
+            "cases_opened": 0,
+            "cases_resolved": 0,
+            "deadline_convictions": 0,
+        }
 
     # ------------------------------------------------------------------
     # Round lifecycle
@@ -195,6 +212,7 @@ class MonitorEngine:
             return
         ack = message.ack
         if not self._ack_signature_valid(ack):
+            self.counters["declarations_rejected"] += 1
             return  # a forged copy must not enter the relay chain
         record = self._record_for(message.sender, ack.server, ack.round_no)
         record.ack = ack
@@ -209,7 +227,23 @@ class MonitorEngine:
             attestation.payload_bytes_desc(),
             attestation.signature,
         ):
+            self.counters["declarations_rejected"] += 1
             return  # forged attestation: ignore (cannot be lifted safely)
+        if not self.context.signer.verify(
+            message.sender,
+            (
+                f"attrelay|{attestation.round_no}|{attestation.server}|"
+                f"{message.cofactor}"
+            ).encode(),
+            message.signature,
+        ):
+            # The declarer's outer signature covers the cofactor: a
+            # tampered cofactor would lift the attested hash to a bogus
+            # obligation and falsely convict the server downstream, so
+            # the relay is discarded here and the declarer's missing
+            # DeclarationAck rotates it to its next monitor.
+            self.counters["declarations_rejected"] += 1
+            return
         key = (message.sender, attestation.server, attestation.round_no)
         record = self._record_for(*key)
         record.attestation = attestation
@@ -234,6 +268,7 @@ class MonitorEngine:
         ):
             return
         record.processed = True
+        self.counters["declarations_processed"] += 1
         # Confirm receipt so the declarer knows this monitor is alive
         # (otherwise it re-sends the pair to its next monitor).
         self.send(
@@ -417,8 +452,15 @@ class MonitorEngine:
         if not per_pred:
             return None
         lifted = self._lifted.get((monitored, round_no), {})
-        if set(per_pred) != set(lifted):
-            return None  # incomplete: cannot arbitrate yet
+        if not set(per_pred) >= set(lifted):
+            # The node's checks omit a declared receipt: a partial
+            # forwarder shrinking its own evidence cannot arbitrate.
+            # The superset direction is allowed — a predecessor's
+            # declaration can be legitimately missing (the declarer
+            # crashed or left before redeclaring), and claiming a
+            # phantom receipt never pays: the successors' acks only
+            # match if the node really forwarded that content.
+            return None
         return combine_lifted(
             self.context.hasher,
             (forward for forward, _ack_only in per_pred.values()),
@@ -515,6 +557,7 @@ class MonitorEngine:
         """A relay/confirm arrived for an open case: settle it."""
         expected = self.obligation(case.server, case.exchange_round - 1)
         case.resolved = True
+        self.counters["cases_resolved"] += 1
         if ack.hash_total != expected:
             self.verdicts.record(
                 Verdict(
@@ -533,6 +576,7 @@ class MonitorEngine:
         key = (server, successor, round_no)
         if key in self._cases:
             return
+        self.counters["cases_opened"] += 1
         case = CaseFile(
             server=server,
             successor=successor,
@@ -568,12 +612,15 @@ class MonitorEngine:
         if self.host_id in self.context.monitors_of(accuser):
             # CC copy: the accuser proves it tried; note the claim so an
             # open case does not convict it at the deadline.
+            self.counters["accusation_claims"] += 1
             self._accusation_claims.add(claim)
             case = self._cases.get(claim)
             if case is not None:
                 case.server_claims_accusation = True
         if self.host_id in self.context.monitors_of(accused):
             # Forward the serve to the accused and demand an ack.
+            self.counters["accusations_received"] += 1
+            self.counters["probes_sent"] += 1
             self._pending_probes[claim] = _PendingProbe(
                 accused=accused,
                 accuser=accuser,
@@ -616,11 +663,13 @@ class MonitorEngine:
         ):
             return  # a bogus probe answer counts as no answer
         probe.answered = True
+        self.counters["probe_acks_accepted"] += 1
         # Confirm to the accuser's monitors (and the accuser's own check).
         for monitor in self.context.monitors_of(probe.accuser):
             if monitor == self.host_id:
                 self._store_relay(probe.accuser, ack)
                 continue
+            self.counters["confirms_sent"] += 1
             self.send(
                 Confirm(
                     sender=self.host_id,
@@ -671,8 +720,9 @@ class MonitorEngine:
         case = self._cases.get(
             (message.accuser, message.accused, message.exchange_round)
         )
-        if case is not None:
+        if case is not None and not case.resolved:
             case.resolved = True
+            self.counters["cases_resolved"] += 1
 
     def _close_unanswered_probes(self, round_no: int) -> None:
         for key, probe in list(self._pending_probes.items()):
@@ -695,6 +745,7 @@ class MonitorEngine:
         The prober may itself monitor the accuser, in which case the
         nack is recorded locally instead of travelling the network.
         """
+        self.counters["nacks_sent"] += 1
         nack = Nack(
             sender=self.host_id,
             recipient=target,
@@ -763,6 +814,8 @@ class MonitorEngine:
             if case.resolved or round_no < case.deadline_round:
                 continue
             case.resolved = True
+            self.counters["cases_resolved"] += 1
+            self.counters["deadline_convictions"] += 1
             if case.exhibited:
                 # The server proved the successor acknowledged; by the
                 # deadline no declaration reached the monitor chain:

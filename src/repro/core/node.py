@@ -590,11 +590,18 @@ class PagNode(SimNode):
 
     def _redeclare_unacknowledged(self, round_no: int) -> None:
         """A silent designated monitor is presumed dead: re-send the
-        declaration pair to the next monitor in the set.
+        declaration pair to every monitor not yet tried.
 
-        This realises the paper's at-least-one-correct-monitor
-        assumption without handing any monitor two cofactors on the
-        happy path (the cofactor travels again only on failure).
+        The obligation check runs at the end of round ``decl_round + 1``,
+        so there is exactly one round to recover a failed declaration —
+        retrying a single monitor per round cannot meet that deadline
+        when the retry target is itself gone (a designated monitor in
+        outage plus a freshly departed peer monitor convicts the honest
+        declarer's own predecessor chain).  Fanning the retry out
+        realises the paper's at-least-one-correct-monitor assumption
+        within the deadline; the happy path still hands each monitor at
+        most one cofactor (the cofactor travels again only on failure,
+        as before — just to the whole remainder of the set at once).
         """
         monitors = self.context.active_monitors_of(self.node_id, round_no)
         for (decl_round, server), pending in list(
@@ -606,15 +613,15 @@ class PagNode(SimNode):
             if not untried:
                 del self._pending_declarations[(decl_round, server)]
                 continue
-            target = untried[0]
-            pending["tried"].append(target)
-            self._send_declaration_pair(
-                decl_round,
-                server,
-                pending["attestation"],
-                pending["ack"],
-                target,
-            )
+            for target in untried:
+                pending["tried"].append(target)
+                self._send_declaration_pair(
+                    decl_round,
+                    server,
+                    pending["attestation"],
+                    pending["ack"],
+                    target,
+                )
 
     def _send_self_checks(self, round_no: int, server: int, serve) -> None:
         """Section V-B: compute the lifted pair ourselves and send it,

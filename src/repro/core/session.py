@@ -335,3 +335,21 @@ class PagSession:
         report["verifications"] += self.context.signer.counters.verifications
         report["homomorphic_hashes"] = self.context.hasher.operations
         return report
+
+    def accusation_report(self) -> Dict[str, int]:
+        """Summed accusation-path counters across every monitor engine.
+
+        Fault-injection runs read this to see how the accountability
+        plane absorbed the damage: how many declarations were rejected
+        (corruption), how many cases opened, probes fired, and disputes
+        resolved at the deadline.
+        """
+        totals: Dict[str, int] = {}
+        for node in self.nodes.values():
+            monitor = getattr(node, "monitor", None)
+            counters = getattr(monitor, "counters", None)
+            if not counters:
+                continue
+            for key, value in counters.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals

@@ -27,6 +27,12 @@ from repro.scenarios.spec import (
     ScenarioSpec,
 )
 from repro.sim.execution import ExecutionPolicy
+from repro.sim.faults import (
+    CorruptionFault,
+    DelayFault,
+    LossFault,
+    OutageFault,
+)
 
 __all__ = [
     "register_scenario",
@@ -274,4 +280,35 @@ register_scenario(ScenarioSpec(
     stream_rate_kbps=150.0,
     rate_schedule=(RateStep(from_round=4, rate_kbps=300.0),
                    RateStep(from_round=8, rate_kbps=600.0)),
+))
+
+register_scenario(ScenarioSpec(
+    name="fault-fuzz",
+    description="mixed fault schedule (loss, delay, corruption, outage)",
+    paper_reference=(
+        "Section VI-B robustness: lossy links, one-round message "
+        "delays, in-flight corruption and a crashed node leave every "
+        "correct node unconvicted, while the seeded free-rider is "
+        "still caught through the accusation path"
+    ),
+    nodes=18,
+    rounds=10,
+    warmup_rounds=3,
+    node_strategies=((5, "free-rider"),),
+    fault_schedule=(
+        LossFault(
+            probability=0.05,
+            kinds=("key_request", "key_response", "serve",
+                   "attestation", "ack"),
+        ),
+        DelayFault(
+            probability=0.05, triggers=6,
+            kinds=("serve", "attestation", "ack", "declaration_ack"),
+        ),
+        CorruptionFault(
+            probability=1.0, max_corruptions=2,
+            kinds=("serve", "ack"),
+        ),
+        OutageFault(node_id=11, first_round=2, last_round=3),
+    ),
 ))

@@ -146,6 +146,14 @@ class ScenarioSpec:
             :class:`RateStep` entries with strictly increasing rounds
             (PAG protocol only); ``stream_rate_kbps`` applies before
             the first step.
+        fault_schedule: declarative fault injectors
+            (:class:`~repro.sim.faults.FaultSpec` entries: ``LossFault``,
+            ``DelayFault``, ``PartitionFault``, ``OutageFault``,
+            ``LinkCutFault``, ``CorruptionFault``, ``BudgetFault``),
+            built at session construction with rng streams derived from
+            ``seed`` and installed on the parent network only — replica
+            workers run in capture mode, so every execution policy sees
+            the identical fault schedule (PAG protocol only).
         detection_enabled: run the monitoring state machine.
         seed: root seed for all session randomness.
         policy: default execution policy name (``"serial"``,
@@ -178,6 +186,7 @@ class ScenarioSpec:
     churn: Tuple[ChurnEvent, ...] = ()
     arrivals: Tuple[JoinEvent, ...] = ()
     rate_schedule: Tuple[RateStep, ...] = ()
+    fault_schedule: Tuple[object, ...] = ()
     detection_enabled: bool = True
     seed: int = 20160627
     policy: Optional[str] = None
@@ -263,6 +272,29 @@ class ScenarioSpec:
                     raise ValueError(
                         f"rate step at round {step.from_round} never takes "
                         f"effect in a {self.rounds}-round scenario"
+                    )
+        if self.fault_schedule:
+            if self.protocol != "pag":
+                raise ValueError(
+                    "fault schedules are modelled for the PAG protocol "
+                    "only"
+                )
+            from repro.core.messages import wire_kinds
+            from repro.sim.faults import FaultSpec
+
+            known_kinds = wire_kinds()
+            for index, fault in enumerate(self.fault_schedule):
+                if not isinstance(fault, FaultSpec):
+                    raise ValueError(
+                        f"fault_schedule[{index}] must be a FaultSpec "
+                        f"declaration, got {fault!r}"
+                    )
+                fault.validate_for(self.nodes, self.rounds)
+                unknown = set(getattr(fault, "kinds", ())) - known_kinds
+                if unknown:
+                    raise ValueError(
+                        f"fault_schedule[{index}] names unknown message "
+                        f"kinds {sorted(unknown)}"
                     )
         n_consumers = self.nodes - 1
         mapped: Dict[int, str] = {}
@@ -396,6 +428,7 @@ class ScenarioSpec:
             arrivals=arrivals or None,
         )
         self._wire_membership(session.simulator, session)
+        self._wire_faults(session)
         self._bind_policy(execution_policy, session)
         return session
 
@@ -440,6 +473,33 @@ class ScenarioSpec:
         binder = getattr(execution_policy, "bind_scenario", None)
         if binder is not None:
             binder(dataclasses.replace(self, policy=None), session)
+
+    def _wire_faults(self, session) -> None:
+        """Build the fault schedule onto the session's network.
+
+        Each declaration gets its own rng stream, derived from the spec
+        seed and the entry's position — the same spec always produces
+        the same fault schedule.  Rules are installed on the parent
+        network; replica workers rebuilt from this spec install their
+        own copies but never evaluate them (captures bypass drop rules),
+        so the parent's merge-time evaluation is the single authority
+        under every execution policy.
+        """
+        if not self.fault_schedule:
+            return
+        from repro.sim.rng import SeedSequence
+
+        simulator = session.simulator
+        network = simulator.network
+        streams = SeedSequence(self.seed)
+        for index, fault in enumerate(self.fault_schedule):
+            rule = fault.build(
+                rng=streams.stream("fault", index, fault.kind),
+                network=network,
+                round_seconds=simulator.round_seconds,
+                label=f"{fault.kind}[{index}]",
+            )
+            network.add_drop_rule(rule)
 
     def _wire_membership(self, simulator, session) -> None:
         """Round hooks replaying the spec's join/leave schedule.
@@ -525,6 +585,12 @@ class ScenarioResult:
     convicted: Tuple[int, ...] = ()
     continuity: Optional[float] = None
     crypto_hashes: Optional[int] = None
+    messages_dropped: int = 0
+    messages_delayed: int = 0
+    #: per-injector counters (``{"loss[0]": {"dropped": 12}, ...}``).
+    fault_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: summed accusation-path counters across all monitor engines.
+    accusations: Dict[str, int] = field(default_factory=dict)
 
     @classmethod
     def collect(cls, spec: ScenarioSpec, session) -> "ScenarioResult":
@@ -548,17 +614,27 @@ class ScenarioResult:
         total = sum(
             traffic.bytes_up for traffic in meter.totals.values()
         )
+        network = session.simulator.network
+        accusation_report = getattr(session, "accusation_report", None)
         return cls(
             spec=spec,
             session=session,
             node_kbps=node_kbps,
             mean_kbps=mean,
-            messages_sent=session.simulator.network.messages_sent,
+            messages_sent=network.messages_sent,
             total_bytes=total,
             verdicts=len(verdicts),
             convicted=tuple(sorted({v.node for v in verdicts})),
             continuity=continuity,
             crypto_hashes=hashes,
+            messages_dropped=network.messages_dropped,
+            messages_delayed=network.messages_delayed,
+            fault_stats=(
+                network.fault_report() if network.drop_rules else {}
+            ),
+            accusations=(
+                accusation_report() if accusation_report else {}
+            ),
         )
 
     def cdf(self) -> List[Tuple[float, float]]:
@@ -582,4 +658,12 @@ class ScenarioResult:
             out["continuity"] = round(self.continuity, 4)
         if self.crypto_hashes is not None:
             out["homomorphic_hashes"] = self.crypto_hashes
+        if self.spec.fault_schedule:
+            out["messages_dropped"] = self.messages_dropped
+            out["messages_delayed"] = self.messages_delayed
+            out["faults"] = {
+                label: dict(stats)
+                for label, stats in self.fault_stats.items()
+            }
+            out["accusations"] = dict(self.accusations)
         return out

@@ -141,6 +141,15 @@ class Simulator:
     def node_ids(self) -> List[int]:
         return [node.node_id for node in self._ordered_nodes()]
 
+    def fault_report(self) -> Dict[str, Dict[str, int]]:
+        """Per-injector fault counters of the run's network.
+
+        Injectors only ever evaluate on the parent network (replica
+        workers run in capture mode), so under every execution policy
+        this reads the authoritative tallies without any merge step.
+        """
+        return self.network.fault_report()
+
     def bandwidth_kbps(
         self, first_round: int = 0, last_round: Optional[int] = None
     ) -> Dict[int, float]:

@@ -320,6 +320,11 @@ def _export_node_state(node) -> Dict[str, object]:
     monitor = getattr(node, "monitor", None)
     if monitor is not None and hasattr(monitor, "verdicts"):
         state["monitor_verdicts"] = monitor.verdicts
+    if monitor is not None and getattr(monitor, "counters", None):
+        # Accusation-path tallies travel wholesale per node, like the
+        # verdict log: the parent's engines never ran the rounds, so
+        # the replica's counters are authoritative, not deltas.
+        state["monitor_counters"] = monitor.counters
     verdicts = getattr(node, "verdicts", None)
     if verdicts is not None and not callable(verdicts):
         state["verdict_log"] = verdicts
@@ -335,6 +340,8 @@ def _export_node_state(node) -> Dict[str, object]:
 def _apply_node_state(node, state: Dict[str, object]) -> None:
     if "monitor_verdicts" in state:
         node.monitor.verdicts = state["monitor_verdicts"]
+    if "monitor_counters" in state:
+        node.monitor.counters = state["monitor_counters"]
     if "verdict_log" in state:
         node.verdicts = state["verdict_log"]
     if "store" in state:

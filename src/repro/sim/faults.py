@@ -1,4 +1,4 @@
-"""Fault injection: message loss, link cuts, and node outages.
+"""Fault injection: loss, delay, partitions, corruption, throttles.
 
 The paper's system model notes that "using classical techniques we
 handle omission failures" (section IV-A): a lost serve or ack triggers
@@ -6,17 +6,114 @@ the accusation path of Fig. 3, which re-delivers the content through
 the accused node's monitors and exonerates honest parties via Confirm.
 These fault injectors — all implemented as network drop rules — let the
 tests exercise exactly those paths.
+
+Two layers live here:
+
+* **Injectors** (``RandomLoss``, ``LinkCut``, ``NodeOutage``,
+  ``DelayRule``, ``Partition``, ``Corruption``, ``LinkBudget``) are
+  stateful drop rules installed on a :class:`~repro.sim.network.Network`
+  via ``add_drop_rule``.  Each one counts what it did and reports it
+  through :meth:`stats`, so runs can surface fault tallies in their
+  summaries.
+* **Fault specs** (``LossFault``, ``DelayFault``, ``PartitionFault``,
+  ``OutageFault``, ``LinkCutFault``, ``CorruptionFault``,
+  ``BudgetFault``) are frozen declarations carried by
+  ``ScenarioSpec.fault_schedule``.  They validate against the scenario's
+  size, and :meth:`build` turns them into injectors with rng streams
+  derived from the scenario seed — the same spec always produces the
+  same fault schedule, byte for byte, under every execution policy.
+
+Determinism: drop rules are only ever evaluated on the parent network
+(replica workers run in capture mode, which bypasses rules), and the
+parent evaluates them in the reconstructed serial send order.  Every
+injector draws randomness from an explicit, seed-derived generator.
+
+Invariant envelope: the accountability plane (monitor broadcasts, ack
+relays, accusations, probes, confirms) is assumed reliable by the paper
+— faults injected there can convict honest nodes.  The *data plane*
+(key exchange, serves, attestations, acks) and the declaration seam
+(ack copies, attestation relays, declaration acks) recover through
+accusations and monitor rotation, so loss/delay/corruption restricted
+to ``DATA_PLANE_KINDS`` preserves the zero-false-conviction invariant.
+The fuzz harness (``repro.scenarios.fuzz``) draws only from that
+envelope; unrestricted injectors remain available for targeted tests.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Optional, Set, Tuple
+from dataclasses import dataclass, field, replace
+from typing import (
+    ClassVar,
+    Dict,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.sim.message import Message
+from repro.sim.rng import derive_seed
 
-__all__ = ["RandomLoss", "LinkCut", "NodeOutage"]
+__all__ = [
+    "DATA_PLANE_KINDS",
+    "SAFE_CORRUPTION_KINDS",
+    "RandomLoss",
+    "LinkCut",
+    "NodeOutage",
+    "DelayRule",
+    "Partition",
+    "Corruption",
+    "LinkBudget",
+    "FaultSpec",
+    "LossFault",
+    "DelayFault",
+    "PartitionFault",
+    "OutageFault",
+    "LinkCutFault",
+    "CorruptionFault",
+    "BudgetFault",
+    "FAULT_SPEC_TYPES",
+    "fault_report",
+]
+
+#: Default seed for injectors constructed outside a scenario; matches
+#: ScenarioSpec's default (the paper's submission date).
+_DEFAULT_SEED = 20160627
+
+#: Message kinds whose loss/delay the protocol recovers from without
+#: convicting anyone: the Fig. 5 exchange plus the declaration seam
+#: (redeclaration rotates to the next monitor when no DeclarationAck
+#: arrives).  The monitoring/accusation plane is NOT in this set — the
+#: paper assumes reliable channels there.
+DATA_PLANE_KINDS: frozenset = frozenset(
+    {
+        "key_request",
+        "key_response",
+        "serve",
+        "attestation",
+        "ack",
+        "ack_copy",
+        "attestation_relay",
+        "declaration_ack",
+    }
+)
+
+#: Kinds Corruption knows how to mutate; every mutation is caught by a
+#: signature or hash check at the receiver and degrades to an omission.
+SAFE_CORRUPTION_KINDS: frozenset = frozenset(
+    {"serve", "attestation", "ack", "ack_copy", "attestation_relay"}
+)
+
+#: XOR mask applied to an update id when corrupting a Serve: far above
+#: any real sequence number, so the tampered chunk can never collide
+#: with a legitimate update.
+_UID_FLIP = 1 << 48
+
+
+def _derived_rng(seed: int, *labels) -> random.Random:
+    """A reproducible generator in the style of ``sim/rng.py`` streams."""
+    return random.Random(derive_seed(seed, "fault", *labels))
 
 
 @dataclass
@@ -26,17 +123,24 @@ class RandomLoss:
     Attributes:
         probability: per-message drop probability.
         kinds: restrict losses to these message kinds (None = all).
-        rng: seeded randomness (reproducible fault schedules).
+        seed: root for the default rng when none is supplied.
+        rng: seeded randomness (reproducible fault schedules).  Defaults
+            to a generator derived from ``seed`` via ``sim/rng.py`` —
+            never an unseeded ``random.Random``.
     """
 
     probability: float
     kinds: Optional[Set[str]] = None
-    rng: random.Random = field(default_factory=random.Random)
+    seed: int = _DEFAULT_SEED
+    rng: Optional[random.Random] = None
     dropped: int = 0
+    label: str = "loss"
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.probability <= 1.0:
             raise ValueError("probability must be within [0, 1]")
+        if self.rng is None:
+            self.rng = _derived_rng(self.seed, "random-loss")
 
     def __call__(self, message: Message) -> bool:
         if self.kinds is not None and message.kind not in self.kinds:
@@ -46,24 +150,56 @@ class RandomLoss:
             return True
         return False
 
+    def stats(self) -> Dict[str, int]:
+        return {"dropped": self.dropped}
+
 
 @dataclass
 class LinkCut:
-    """Silently discard all traffic on specific directed links."""
+    """Silently discard traffic on specific directed links.
+
+    ``kinds`` restricts the cut to a message-kind subset (None cuts
+    everything).  An unrestricted cut severs the accountability plane
+    too — e.g. ``monitor_broadcast`` between two monitors of the same
+    node, which no redeclaration can route around (the declaration was
+    acknowledged, so the declarer never retries) — and can therefore
+    falsely convict honest nodes; confine cuts to
+    :data:`DATA_PLANE_KINDS` when invariant 1 must hold.
+    """
 
     links: Set[Tuple[int, int]]
+    kinds: Optional[Set[str]] = None
     dropped: int = 0
+    label: str = "link-cut"
+
+    def __post_init__(self) -> None:
+        for link in self.links:
+            if len(link) != 2:
+                raise ValueError(f"link {link!r} is not a (sender, "
+                                 "recipient) pair")
+            a, b = link
+            if a == b:
+                raise ValueError(f"link {link!r} is a self-link")
+            if a < 0 or b < 0:
+                raise ValueError(f"link {link!r} has a negative node id")
 
     def __call__(self, message: Message) -> bool:
-        if (message.sender, message.recipient) in self.links:
+        if (message.sender, message.recipient) in self.links and (
+            self.kinds is None or message.kind in self.kinds
+        ):
             self.dropped += 1
             return True
         return False
 
     @classmethod
-    def between(cls, a: int, b: int) -> "LinkCut":
+    def between(
+        cls, a: int, b: int, kinds: Optional[Set[str]] = None
+    ) -> "LinkCut":
         """Cut both directions between two nodes."""
-        return cls(links={(a, b), (b, a)})
+        return cls(links={(a, b), (b, a)}, kinds=kinds)
+
+    def stats(self) -> Dict[str, int]:
+        return {"dropped": self.dropped}
 
 
 @dataclass
@@ -82,6 +218,18 @@ class NodeOutage:
     first_round: int
     last_round: int
     dropped: int = 0
+    label: str = "outage"
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ValueError("node_id must be non-negative")
+        if self.first_round < 0:
+            raise ValueError("first_round must be non-negative")
+        if self.last_round < self.first_round:
+            raise ValueError(
+                f"empty outage window [{self.first_round}, "
+                f"{self.last_round}]"
+            )
 
     def __call__(self, message: Message) -> bool:
         if not self.first_round <= message.round_no <= self.last_round:
@@ -90,3 +238,548 @@ class NodeOutage:
             self.dropped += 1
             return True
         return False
+
+    def stats(self) -> Dict[str, int]:
+        return {"dropped": self.dropped}
+
+
+@dataclass
+class DelayRule:
+    """Withhold matching messages and re-enqueue them a few sends later.
+
+    A held message is released back onto the queue after ``triggers``
+    further rule evaluations — or at the next round boundary, whichever
+    comes first.  Both release points are fixed functions of the global
+    send order, so delayed schedules stay bit-identical across execution
+    policies.  The one-round cap keeps delays inside the protocol's
+    tolerance: an ack held past the end-of-round obligation check would
+    manufacture an accusation the sender cannot distinguish from a real
+    omission (which is precisely what the accusation path then absorbs).
+
+    Attributes:
+        probability: chance of withholding each matching message.
+        triggers: how many further evaluated sends pass before release.
+        kinds: restrict delays to these message kinds (None = all).
+    """
+
+    probability: float
+    triggers: int = 8
+    kinds: Optional[Set[str]] = None
+    seed: int = _DEFAULT_SEED
+    rng: Optional[random.Random] = None
+    delayed: int = 0
+    released: int = 0
+    label: str = "delay"
+    _held: List[Tuple[int, Message]] = field(
+        default_factory=list, repr=False
+    )
+    _trigger: int = field(default=0, repr=False)
+
+    #: Marks this rule as a delayer: the network counts its withheld
+    #: messages as delayed (not dropped) and polls it for releases.
+    withholds_for_delay: ClassVar[bool] = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+        if self.triggers < 1:
+            raise ValueError("triggers must be at least 1")
+        if self.rng is None:
+            self.rng = _derived_rng(self.seed, "delay")
+
+    def __call__(self, message: Message) -> bool:
+        self._trigger += 1
+        if self.kinds is not None and message.kind not in self.kinds:
+            return False
+        if self.rng.random() < self.probability:
+            self._held.append((self._trigger + self.triggers, message))
+            self.delayed += 1
+            return True
+        return False
+
+    def take_released(self) -> List[Message]:
+        """Messages whose delay elapsed; called after each evaluation."""
+        if not self._held:
+            return []
+        due = [m for when, m in self._held if when <= self._trigger]
+        if due:
+            self._held = [
+                (when, m)
+                for when, m in self._held
+                if when > self._trigger
+            ]
+            self.released += len(due)
+        return due
+
+    def flush_delayed(self) -> List[Message]:
+        """Round boundary: everything still held is released at once."""
+        due = [m for _, m in self._held]
+        self._held = []
+        self.released += len(due)
+        return due
+
+    def stats(self) -> Dict[str, int]:
+        return {"delayed": self.delayed, "released": self.released}
+
+
+@dataclass
+class Partition:
+    """Bidirectional cut between a node group and the rest, with heal.
+
+    During rounds ``first_round..last_round`` every message crossing
+    the group boundary (in either direction) is dropped; traffic within
+    either side flows normally, and the cut heals afterwards.  An
+    optional ``kinds`` filter confines the partition to specific message
+    kinds — a full partition also severs the accusation plane, which
+    the paper's model assumes reliable, so fuzzing uses data-plane-only
+    partitions and full ones are exercised by targeted tests.
+    """
+
+    group: Set[int]
+    first_round: int
+    last_round: int
+    kinds: Optional[Set[str]] = None
+    dropped: int = 0
+    label: str = "partition"
+
+    def __post_init__(self) -> None:
+        if not self.group:
+            raise ValueError("partition group must not be empty")
+        if any(node < 0 for node in self.group):
+            raise ValueError("partition group has a negative node id")
+        if self.first_round < 0:
+            raise ValueError("first_round must be non-negative")
+        if self.last_round < self.first_round:
+            raise ValueError(
+                f"empty partition window [{self.first_round}, "
+                f"{self.last_round}]"
+            )
+
+    def __call__(self, message: Message) -> bool:
+        if not self.first_round <= message.round_no <= self.last_round:
+            return False
+        if self.kinds is not None and message.kind not in self.kinds:
+            return False
+        if (message.sender in self.group) != (
+            message.recipient in self.group
+        ):
+            self.dropped += 1
+            return True
+        return False
+
+    def stats(self) -> Dict[str, int]:
+        return {"dropped": self.dropped}
+
+
+@dataclass
+class Corruption:
+    """Byzantine in-flight mutation of message contents.
+
+    Matching messages are tampered with (and *delivered*): a Serve gets
+    a bit-flipped update id, an Attestation/Ack/AckCopy a flipped hash,
+    an AttestationRelay a wrong cofactor.  Every mutation is
+    size-preserving and breaks a signature or hash check at the
+    receiver, so the protocol degrades it to an omission: unacked
+    serves enter the accusation path, rejected declarations rotate to
+    the next monitor.  ``max_corruptions`` bounds the blast radius —
+    corrupting every redeclaration retry would exhaust the victim's
+    monitor set, which no Byzantine *network* (as opposed to a
+    Byzantine monitor coalition) can do in the paper's model.
+    """
+
+    kinds: Optional[Set[str]] = None
+    probability: float = 1.0
+    max_corruptions: Optional[int] = 1
+    seed: int = _DEFAULT_SEED
+    rng: Optional[random.Random] = None
+    corrupted: int = 0
+    label: str = "corruption"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError("probability must be within (0, 1]")
+        if self.max_corruptions is not None and self.max_corruptions < 1:
+            raise ValueError("max_corruptions must be at least 1")
+        if self.kinds is None:
+            self.kinds = set(SAFE_CORRUPTION_KINDS)
+        unknown = set(self.kinds) - SAFE_CORRUPTION_KINDS
+        if unknown:
+            raise ValueError(
+                f"no corruption defined for kinds {sorted(unknown)}; "
+                f"supported: {sorted(SAFE_CORRUPTION_KINDS)}"
+            )
+        if self.rng is None:
+            self.rng = _derived_rng(self.seed, "corruption")
+
+    def __call__(self, message: Message) -> bool:
+        if (
+            self.max_corruptions is not None
+            and self.corrupted >= self.max_corruptions
+        ):
+            return False
+        if message.kind not in self.kinds:
+            return False
+        if self.rng.random() >= self.probability:
+            return False
+        if self._mutate(message):
+            self.corrupted += 1
+        return False  # the corrupted message is delivered, not dropped
+
+    def _mutate(self, message: Message) -> bool:
+        kind = message.kind
+        if kind == "serve":
+            if not message.entries:
+                return False
+            entry = message.entries[0]
+            tampered = replace(
+                entry,
+                update=replace(
+                    entry.update, uid=entry.update.uid ^ _UID_FLIP
+                ),
+            )
+            message.entries = (tampered,) + message.entries[1:]
+            return True
+        if kind == "attestation":
+            att = message.attestation
+            message.attestation = replace(
+                att, hash_forward=att.hash_forward ^ 1
+            )
+            return True
+        if kind in ("ack", "ack_copy"):
+            ack = message.ack
+            message.ack = replace(ack, hash_total=ack.hash_total ^ 1)
+            return True
+        if kind == "attestation_relay":
+            message.cofactor ^= 1
+            return True
+        return False  # pragma: no cover - kinds validated in __post_init__
+
+    def stats(self) -> Dict[str, int]:
+        return {"corrupted": self.corrupted}
+
+
+@dataclass
+class LinkBudget:
+    """Per-node download throttle (the Fig. 7 heterogeneity spread).
+
+    Each throttled node has a per-round byte budget derived from its
+    link capacity; matching messages beyond the budget are tail-dropped.
+    By default only serves are throttled — the big payload carrier, and
+    a kind whose loss the accusation path recovers — so a constrained
+    node degrades to late (re-delivered) chunks instead of convictions.
+
+    Attributes:
+        node_kbps: download capacity per throttled node (others free).
+        round_seconds: wall-clock length of one round (budget scaling).
+        sizes: the network's WireSizes (pass ``network.sizes``).
+        kinds: which message kinds consume budget (None = all).
+    """
+
+    node_kbps: Dict[int, float]
+    round_seconds: float = 1.0
+    sizes: Optional[object] = None
+    kinds: Optional[Set[str]] = field(
+        default_factory=lambda: {"serve"}
+    )
+    dropped: int = 0
+    label: str = "budget"
+    _used: Dict[Tuple[int, int], int] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        for node, kbps in self.node_kbps.items():
+            if node < 0:
+                raise ValueError("node_kbps has a negative node id")
+            if kbps <= 0:
+                raise ValueError(
+                    f"node {node}: budget must be positive, got {kbps}"
+                )
+        if self.round_seconds <= 0:
+            raise ValueError("round_seconds must be positive")
+
+    def _capacity_bytes(self, kbps: float) -> float:
+        return kbps * 1000.0 / 8.0 * self.round_seconds
+
+    def __call__(self, message: Message) -> bool:
+        kbps = self.node_kbps.get(message.recipient)
+        if kbps is None:
+            return False
+        if self.kinds is not None and message.kind not in self.kinds:
+            return False
+        if self.sizes is None:
+            raise RuntimeError(
+                "LinkBudget needs wire sizes; pass sizes=network.sizes"
+            )
+        key = (message.recipient, message.round_no)
+        used = self._used.get(key, 0)
+        size = message.size_bytes(self.sizes)
+        if used + size > self._capacity_bytes(kbps):
+            self.dropped += 1
+            return True
+        self._used[key] = used + size
+        return False
+
+    def stats(self) -> Dict[str, int]:
+        return {"dropped": self.dropped}
+
+
+# ---------------------------------------------------------------------------
+# Frozen fault declarations for ScenarioSpec.fault_schedule.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Base class for declarative fault-schedule entries.
+
+    Subclasses are frozen, repr-replayable dataclasses; ``build`` turns
+    them into stateful injectors wired to a seed-derived rng stream.
+    """
+
+    kind: ClassVar[str] = "fault"
+
+    def message_kinds(self) -> Optional[Set[str]]:
+        kinds = getattr(self, "kinds", ())
+        return set(kinds) if kinds else None
+
+    def validate_for(self, nodes: int, rounds: int) -> None:
+        """Range-check ids/windows against a scenario's dimensions."""
+
+    def build(
+        self,
+        rng: random.Random,
+        network,
+        round_seconds: float = 1.0,
+        label: str = "",
+    ):
+        raise NotImplementedError
+
+
+def _check_node_ids(ids, nodes: int, what: str) -> None:
+    for node in ids:
+        if not 0 <= node < nodes:
+            raise ValueError(
+                f"{what}: node {node} outside the membership "
+                f"[0, {nodes})"
+            )
+
+
+@dataclass(frozen=True)
+class LossFault(FaultSpec):
+    probability: float = 0.05
+    kinds: Tuple[str, ...] = ()
+    kind: ClassVar[str] = "loss"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+
+    def build(self, rng, network, round_seconds=1.0, label=""):
+        return RandomLoss(
+            probability=self.probability,
+            kinds=self.message_kinds(),
+            rng=rng,
+            label=label or self.kind,
+        )
+
+
+@dataclass(frozen=True)
+class DelayFault(FaultSpec):
+    probability: float = 0.05
+    triggers: int = 8
+    kinds: Tuple[str, ...] = ()
+    kind: ClassVar[str] = "delay"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+        if self.triggers < 1:
+            raise ValueError("triggers must be at least 1")
+
+    def build(self, rng, network, round_seconds=1.0, label=""):
+        return DelayRule(
+            probability=self.probability,
+            triggers=self.triggers,
+            kinds=self.message_kinds(),
+            rng=rng,
+            label=label or self.kind,
+        )
+
+
+@dataclass(frozen=True)
+class PartitionFault(FaultSpec):
+    group: Tuple[int, ...] = ()
+    first_round: int = 0
+    last_round: int = 0
+    kinds: Tuple[str, ...] = ()
+    kind: ClassVar[str] = "partition"
+
+    def __post_init__(self) -> None:
+        if not self.group:
+            raise ValueError("partition group must not be empty")
+        if any(node < 0 for node in self.group):
+            raise ValueError("partition group has a negative node id")
+        if self.first_round < 0:
+            raise ValueError("first_round must be non-negative")
+        if self.last_round < self.first_round:
+            raise ValueError(
+                f"empty partition window [{self.first_round}, "
+                f"{self.last_round}]"
+            )
+
+    def validate_for(self, nodes: int, rounds: int) -> None:
+        _check_node_ids(self.group, nodes, "PartitionFault")
+        if self.first_round >= rounds:
+            raise ValueError(
+                f"PartitionFault window starting at round "
+                f"{self.first_round} never takes effect in a "
+                f"{rounds}-round scenario"
+            )
+
+    def build(self, rng, network, round_seconds=1.0, label=""):
+        return Partition(
+            group=set(self.group),
+            first_round=self.first_round,
+            last_round=self.last_round,
+            kinds=self.message_kinds(),
+            label=label or self.kind,
+        )
+
+
+@dataclass(frozen=True)
+class OutageFault(FaultSpec):
+    node_id: int = 0
+    first_round: int = 0
+    last_round: int = 0
+    kind: ClassVar[str] = "outage"
+
+    def __post_init__(self) -> None:
+        # Reuse the injector's window/ids hardening at declaration time.
+        NodeOutage(self.node_id, self.first_round, self.last_round)
+
+    def validate_for(self, nodes: int, rounds: int) -> None:
+        _check_node_ids((self.node_id,), nodes, "OutageFault")
+        if self.first_round >= rounds:
+            raise ValueError(
+                f"OutageFault window starting at round "
+                f"{self.first_round} never takes effect in a "
+                f"{rounds}-round scenario"
+            )
+
+    def build(self, rng, network, round_seconds=1.0, label=""):
+        return NodeOutage(
+            node_id=self.node_id,
+            first_round=self.first_round,
+            last_round=self.last_round,
+            label=label or self.kind,
+        )
+
+
+@dataclass(frozen=True)
+class LinkCutFault(FaultSpec):
+    links: Tuple[Tuple[int, int], ...] = ()
+    kinds: Tuple[str, ...] = ()
+    kind: ClassVar[str] = "link-cut"
+
+    def __post_init__(self) -> None:
+        if not self.links:
+            raise ValueError("links must not be empty")
+        LinkCut(links=set(self.links))
+
+    def validate_for(self, nodes: int, rounds: int) -> None:
+        for a, b in self.links:
+            _check_node_ids((a, b), nodes, "LinkCutFault")
+
+    def build(self, rng, network, round_seconds=1.0, label=""):
+        return LinkCut(
+            links=set(self.links),
+            kinds=self.message_kinds(),
+            label=label or self.kind,
+        )
+
+
+@dataclass(frozen=True)
+class CorruptionFault(FaultSpec):
+    probability: float = 1.0
+    max_corruptions: int = 1
+    kinds: Tuple[str, ...] = ()
+    kind: ClassVar[str] = "corruption"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError("probability must be within (0, 1]")
+        if self.max_corruptions < 1:
+            raise ValueError("max_corruptions must be at least 1")
+        if self.kinds:
+            unknown = set(self.kinds) - SAFE_CORRUPTION_KINDS
+            if unknown:
+                raise ValueError(
+                    f"no corruption defined for kinds "
+                    f"{sorted(unknown)}; supported: "
+                    f"{sorted(SAFE_CORRUPTION_KINDS)}"
+                )
+
+    def build(self, rng, network, round_seconds=1.0, label=""):
+        return Corruption(
+            kinds=self.message_kinds(),
+            probability=self.probability,
+            max_corruptions=self.max_corruptions,
+            rng=rng,
+            label=label or self.kind,
+        )
+
+
+@dataclass(frozen=True)
+class BudgetFault(FaultSpec):
+    node_kbps: Tuple[Tuple[int, float], ...] = ()
+    kinds: Tuple[str, ...] = ("serve",)
+    kind: ClassVar[str] = "budget"
+
+    def __post_init__(self) -> None:
+        if not self.node_kbps:
+            raise ValueError("node_kbps must not be empty")
+        LinkBudget(node_kbps=dict(self.node_kbps))
+
+    def validate_for(self, nodes: int, rounds: int) -> None:
+        _check_node_ids(
+            (node for node, _ in self.node_kbps), nodes, "BudgetFault"
+        )
+
+    def build(self, rng, network, round_seconds=1.0, label=""):
+        return LinkBudget(
+            node_kbps=dict(self.node_kbps),
+            round_seconds=round_seconds,
+            sizes=network.sizes,
+            kinds=self.message_kinds(),
+            label=label or self.kind,
+        )
+
+
+#: kind string -> declaration class; the fuzz harness uses this for the
+#: JSON round trip of shrunken repro specs.
+FAULT_SPEC_TYPES: Dict[str, type] = {
+    cls.kind: cls
+    for cls in (
+        LossFault,
+        DelayFault,
+        PartitionFault,
+        OutageFault,
+        LinkCutFault,
+        CorruptionFault,
+        BudgetFault,
+    )
+}
+
+
+def fault_report(rules) -> Dict[str, Dict[str, int]]:
+    """Collect per-injector counters from a network's drop rules."""
+    report: Dict[str, Dict[str, int]] = {}
+    for index, rule in enumerate(rules):
+        stats = getattr(rule, "stats", None)
+        if stats is None:
+            continue
+        label = getattr(rule, "label", "") or type(rule).__name__
+        key = label if label not in report else f"{label}#{index}"
+        report[key] = stats()
+    return report

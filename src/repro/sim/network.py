@@ -114,6 +114,9 @@ class Network:
     current_round: int = 0
     messages_sent: int = 0
     messages_dropped: int = 0
+    #: messages withheld by a delaying rule (released later; counted
+    #: once at withhold time, never re-counted as sent).
+    messages_delayed: int = 0
     #: when set, sends are diverted into this capture instead of the
     #: shared meter/queue/taps (see :class:`SendCapture`).
     _capture: Optional["SendCapture"] = field(default=None, repr=False)
@@ -140,10 +143,49 @@ class Network:
             message.sender, message.recipient, size, self.current_round
         )
         self.messages_sent += 1
+        if not self._apply_rules(message):
+            for tap in self.taps:
+                tap.observe(message, size)
+            self._queue.append(message)
+        self._release_delayed()
+
+    def _apply_rules(self, message: Message) -> bool:
+        """Run drop rules; True when the message was withheld.
+
+        A rule marked ``withholds_for_delay`` absorbs the message for
+        later release instead of dropping it; the counters distinguish
+        the two fates.
+        """
         for rule in self.drop_rules:
             if rule(message):
-                self.messages_dropped += 1
-                return
+                if getattr(rule, "withholds_for_delay", False):
+                    self.messages_delayed += 1
+                else:
+                    self.messages_dropped += 1
+                return True
+        return False
+
+    def _release_delayed(self) -> None:
+        """Re-enqueue messages whose delay elapsed.
+
+        Called after every rule evaluation (and at round boundaries via
+        :meth:`begin_round`), so release points are a deterministic
+        function of the global send order.  Released messages were
+        already metered and counted at original send time; they re-enter
+        the queue tap-observed but bypass the drop rules — one fault per
+        message keeps schedules replayable.
+        """
+        if not self.drop_rules:
+            return
+        for rule in self.drop_rules:
+            take = getattr(rule, "take_released", None)
+            if take is None:
+                continue
+            for message in take():
+                self._enqueue_released(message)
+
+    def _enqueue_released(self, message: Message) -> None:
+        size = message.size_bytes(self.sizes)
         for tap in self.taps:
             tap.observe(message, size)
         self._queue.append(message)
@@ -190,17 +232,11 @@ class Network:
         entries.sort(key=lambda entry: (entry[0], entry[1]))
         for _, _, message, size in entries:
             self.messages_sent += 1
-            dropped = False
-            for rule in self.drop_rules:
-                if rule(message):
-                    self.messages_dropped += 1
-                    dropped = True
-                    break
-            if dropped:
-                continue
-            for tap in self.taps:
-                tap.observe(message, size)
-            self._queue.append(message)
+            if not self._apply_rules(message):
+                for tap in self.taps:
+                    tap.observe(message, size)
+                self._queue.append(message)
+            self._release_delayed()
 
     def merge_remote(self, sends: List[RemoteSend]) -> None:
         """Fast-path merge of worker-held sends, from metadata alone.
@@ -251,6 +287,30 @@ class Network:
                 "undelivered messages"
             )
         self.current_round = round_no
+        self._flush_delayed()
+
+    def _flush_delayed(self) -> None:
+        """Round boundary: release everything delaying rules still hold.
+
+        Caps any delay at one round boundary, which keeps delayed acks
+        and declarations inside the protocol's recovery window (the
+        accusation path and monitor rotation absorb a one-round skew;
+        longer withholding would be indistinguishable from loss anyway).
+        Flushed messages are delivered first in the new round, before
+        any node's fan-out — the same position under every policy.
+        """
+        for rule in self.drop_rules:
+            flush = getattr(rule, "flush_delayed", None)
+            if flush is None:
+                continue
+            for message in flush():
+                self._enqueue_released(message)
+
+    def fault_report(self) -> dict:
+        """Per-injector fault counters (see ``sim/faults.fault_report``)."""
+        from repro.sim.faults import fault_report
+
+        return fault_report(self.drop_rules)
 
     def add_tap(self, tap: TrafficTap) -> None:
         self.taps.append(tap)

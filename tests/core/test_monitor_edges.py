@@ -63,6 +63,25 @@ def signed_ack(context, receiver, server, round_no=1, hash_total=5):
     )
 
 
+def signed_relay(context, attestation, declarer, monitor, cofactor=7):
+    """An AttestationRelay whose outer signature the monitor accepts."""
+    return AttestationRelay(
+        sender=declarer,
+        recipient=monitor,
+        round_no=attestation.round_no,
+        attestation=attestation,
+        cofactor=cofactor,
+        cofactor_prime_count=1,
+        signature=context.signer.sign(
+            declarer,
+            (
+                f"attrelay|{attestation.round_no}|{attestation.server}|"
+                f"{cofactor}"
+            ).encode(),
+        ),
+    )
+
+
 def signed_attestation(context, server, receiver, round_no=1, fwd=3, ao=1):
     unsigned = SignedAttestation(
         round_no=round_no,
@@ -103,10 +122,7 @@ class TestMonitorEngineEdges:
         engine = nodes[5].monitor
         att = signed_attestation(context, server=2, receiver=3)
         engine.on_attestation_relay(
-            AttestationRelay(
-                sender=3, recipient=5, round_no=1,
-                attestation=att, cofactor=7, cofactor_prime_count=1,
-            )
+            signed_relay(context, att, declarer=3, monitor=5, cofactor=7)
         )
         # Attestation alone: nothing accumulated yet.
         assert engine.obligation(3, 1) == 1 % context.hasher.modulus
@@ -117,6 +133,31 @@ class TestMonitorEngineEdges:
             )
         )
         assert engine.obligation(3, 1) != 1 % context.hasher.modulus
+
+    def test_tampered_cofactor_relay_is_rejected(self, rig):
+        """The declarer's outer signature covers the cofactor: a relay
+        whose cofactor was altered in flight must be discarded — lifting
+        the attested hash with a wrong cofactor would produce a bogus
+        obligation and falsely convict the server downstream."""
+        config, context, network, sim, nodes = rig
+        engine = nodes[5].monitor
+        att = signed_attestation(context, server=2, receiver=3)
+        relay = signed_relay(
+            context, att, declarer=3, monitor=5, cofactor=7
+        )
+        relay.cofactor ^= 1  # in-flight mutation, signature unchanged
+        engine.on_attestation_relay(relay)
+        engine.on_ack_copy(
+            AckCopy(
+                sender=3, recipient=5, round_no=1,
+                ack=signed_ack(context, receiver=3, server=2),
+            )
+        )
+        # The tampered relay never paired up: no obligation, no
+        # DeclarationAck, and the rejection is tallied.
+        assert engine.obligation(3, 1) == 1 % context.hasher.modulus
+        assert engine.counters["declarations_rejected"] == 1
+        assert engine.counters["declarations_processed"] == 0
 
     def test_duplicate_broadcasts_do_not_double_count(self, rig):
         config, context, network, sim, nodes = rig

@@ -11,6 +11,7 @@ import pytest
 
 from repro.scenarios import get_scenario, scenario_names
 from repro.sim.execution import SerialPolicy, ShardedPolicy
+from repro.sim.faults import OutageFault
 
 #: Scale every scenario down to smoke size (the benchmarks exercise the
 #: registry at figure scale).
@@ -46,9 +47,22 @@ def test_every_scenario_runs_and_measures(name):
     departed = {event.node_id for event in spec.churn}
     assert len(result.node_kbps) == spec.nodes - 1 - len(departed)
     deviants = set(spec.deviant_nodes())
+    # Fault-schedule excusal, same rules as the fuzz harness: a node in
+    # outage is observationally a refusal (legitimately convicted), and
+    # its own verdicts cover rounds it never witnessed (discounted).
+    outaged = {
+        fault.node_id
+        for fault in spec.fault_schedule
+        if isinstance(fault, OutageFault)
+    }
+    trusted_convicted = {
+        v.node
+        for v in result.session.all_verdicts()
+        if v.detected_by not in outaged
+    }
     if deviants:
-        # Soundness: only deviants (or churned nodes) are convicted.
-        assert set(result.convicted) <= deviants | departed
+        # Soundness: only deviants (or churned/outaged nodes) convicted.
+        assert trusted_convicted <= deviants | departed | outaged
     elif not spec.churn and spec.protocol == "pag":
         # No false positives on honest scenarios.
         assert result.verdicts == 0, result.convicted

@@ -205,3 +205,63 @@ class TestBenchCommand:
         assert ladder["workers"] == 4
         assert ladder["with_table"]["worker_busy_cpu_seconds"] > 0
         assert ladder["without_table"]["worker_busy_cpu_seconds"] > 0
+
+
+class TestFuzzCommand:
+    def test_fuzz_clean_campaign_writes_report(self, capsys, tmp_path):
+        out = tmp_path / "fuzz.json"
+        code = main([
+            "fuzz", "--iterations", "2", "--seed", "42",
+            "--policies", "serial,sharded", "--json", str(out),
+        ])
+        assert code == 0
+        assert "all invariants held" in capsys.readouterr().out
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["ok"] is True
+        assert report["iterations"] == 2
+        assert report["violations"] == []
+        assert report["config"]["policies"] == ["serial", "sharded"]
+        assert report["totals"]["faults"] >= 2
+
+    def test_fuzz_replay_from_bare_spec(self, capsys, tmp_path):
+        import json
+
+        from repro.scenarios.fuzz import spec_to_json
+        from repro.scenarios.spec import ScenarioSpec
+        from repro.sim.faults import LossFault
+
+        spec = ScenarioSpec(
+            name="replay-me",
+            nodes=10,
+            rounds=7,
+            warmup_rounds=2,
+            fault_schedule=(
+                # Confined to the exchange plane: unrestricted loss
+                # also eats accountability traffic and (correctly)
+                # produces convictions, which replay would report.
+                LossFault(probability=0.05, kinds=("serve", "ack")),
+            ),
+            seed=9,
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec_to_json(spec)))
+        code = main([
+            "fuzz", "--replay", str(path), "--policies", "serial,sharded",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "replaying replay-me" in out
+
+    def test_fuzz_replay_report_without_violations(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps({"violations": []}))
+        assert main(["fuzz", "--replay", str(path)]) == 0
+        assert "no violations" in capsys.readouterr().out
+
+    def test_fuzz_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown execution policy"):
+            main(["fuzz", "--policies", "serial,warp"])
