@@ -25,6 +25,7 @@ from repro.scenarios import all_scenarios
 #: Quick-parameter caps for shrinkable scenarios.
 MAX_NODES = 24
 MAX_ROUNDS = 8
+MAX_POPULATION = 2000
 
 
 def _quick_args(spec) -> list:
@@ -44,6 +45,8 @@ def _quick_args(spec) -> list:
         args += ["--nodes", str(MAX_NODES)]
     if spec.rounds > MAX_ROUNDS:
         args += ["--rounds", str(MAX_ROUNDS)]
+    if spec.population > MAX_POPULATION:
+        args += ["--population", str(MAX_POPULATION)]
     return args
 
 

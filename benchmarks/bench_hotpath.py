@@ -79,6 +79,13 @@ def test_hotpath_bench(benchmark):
         f"columnar ({matrix['speedup']:.2f}x at "
         f"{matrix['nodes']}x{matrix['rounds']})"
     )
+    population = report["population"]
+    print(
+        f"population tier      : {population['nodes_per_sec']:>10,.0f} "
+        f"nodes/s ({population['population']:,} nodes, "
+        f"{population['rounds']} rounds, "
+        f"{population['peak_rss_mb']:.0f} MiB peak RSS)"
+    )
     print(f"written to           : {report['written_to']}")
 
     assert report["schema"] == SCHEMA_VERSION
@@ -99,6 +106,8 @@ def test_hotpath_bench(benchmark):
     assert matrix["speedup"] > 1.0, (
         "the matrix aggregation should beat the columnar pass"
     )
+    assert population["nodes_per_sec"] > 0
+    assert population["peak_rss_mb"] > 0
     assert ladder["worker_cpu_saved_seconds"] == round(
         ladder["without_table"]["worker_busy_cpu_seconds"]
         - ladder["with_table"]["worker_busy_cpu_seconds"],

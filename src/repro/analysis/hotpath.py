@@ -39,6 +39,7 @@ __all__ = [
     "measure_parallel_scaling",
     "measure_batch_verify",
     "measure_shared_ladder",
+    "measure_population_throughput",
     "run_hotpath_bench",
     "SCHEMA_VERSION",
 ]
@@ -58,7 +59,12 @@ __all__ = [
 #: (``all_node_kbps`` + ``cdf_points``) on the shared numpy
 #: (node × round) matrix vs the columnar fallback, outputs asserted
 #: bit-identical before timing.
-SCHEMA_VERSION = 5
+#: 6: added ``population`` — the million-node population tier
+#: (vectorised honest plane over a full-fidelity cohort, columnar
+#: spill, memoised class crypto) with nodes/sec and peak RSS; and the
+#: section selector (``repro bench --section NAME``) that re-times one
+#: section and merges it into the existing report file.
+SCHEMA_VERSION = 6
 
 _BENCH_SEED = 0x9A6
 
@@ -613,57 +619,132 @@ def measure_shared_ladder(
     }
 
 
+def measure_population_throughput(
+    quick: bool = False, scenario: str = "fig9-1m"
+) -> Dict:
+    """Nodes/sec of the population tier on the fig9-shaped 1M scenario.
+
+    Runs the registered million-node scenario (or a 100k-node smoke
+    shape with ``quick``) and reports simulated node-rounds per wall
+    second as ``nodes_per_sec`` — each round touches every node of the
+    population once, so this is the population engine's throughput
+    unit — plus the population-wide mean bandwidth and the process
+    peak RSS that bound the run.
+    """
+    from repro.scenarios import get_scenario
+
+    spec = get_scenario(scenario)
+    if quick:
+        spec = spec.with_overrides(
+            rounds=4, warmup_rounds=1, population=100_000
+        )
+    start = time.perf_counter()
+    result = spec.run()
+    wall = time.perf_counter() - start
+    node_rounds = spec.population * spec.rounds
+    return {
+        "scenario": spec.name,
+        "population": spec.population,
+        "cohort_nodes": spec.nodes,
+        "rounds": spec.rounds,
+        "wall_seconds": round(wall, 4),
+        "nodes_per_sec": round(node_rounds / wall, 2),
+        "population_mean_down_kbps": round(
+            result.population_mean_kbps, 2
+        ),
+        "cohort_mean_down_kbps": round(result.mean_kbps, 2),
+        "peak_rss_mb": round(result.peak_rss_mb, 1),
+        "plane": dict(result.plane_stats),
+    }
+
+
 def run_hotpath_bench(
     out_path: Optional[str] = "BENCH_hotpath.json",
     quick: bool = False,
     engine_nodes: int = 40,
     engine_rounds: int = 8,
+    sections: Optional[Sequence[str]] = None,
 ) -> Dict:
-    """Run every hot-path measurement and optionally write the JSON.
+    """Run the hot-path measurements and optionally write the JSON.
 
     Args:
         out_path: where to write ``BENCH_hotpath.json`` (None: don't).
         quick: shrink the time boxes for smoke-test use.
         engine_nodes / engine_rounds: scale of the end-to-end session.
+        sections: section names to (re-)measure; None measures all.
+            With a selection, sections already present in ``out_path``
+            are carried over unchanged and only the selected ones are
+            re-timed — ``repro bench --section population`` updates one
+            number without re-running the whole suite.
     """
     seconds = 0.05 if quick else 0.25
     backend = default_backend()
-    report = {
-        "schema": SCHEMA_VERSION,
-        "backend": backend.name,
-        "gmpy2_available": gmpy2_available(),
-        "hashes_per_s": {
+    builders = {
+        "hashes_per_s": lambda: {
             "256": round(measure_hash_throughput(256, seconds), 2),
             "512": round(measure_hash_throughput(512, seconds), 2),
         },
-        "rekey_fixed_base_per_s": {
+        "rekey_fixed_base_per_s": lambda: {
             "512": round(measure_rekey_throughput(512, seconds), 2),
         },
-        "primes_per_s": {
+        "primes_per_s": lambda: {
             "512": round(
                 measure_prime_throughput(512, count=3 if quick else 8), 2
             ),
         },
-        "engine": measure_engine_throughput(engine_nodes, engine_rounds),
-        "meter_cdf": measure_meter_cdf_throughput(
+        "engine": lambda: measure_engine_throughput(
+            engine_nodes, engine_rounds
+        ),
+        "meter_cdf": lambda: measure_meter_cdf_throughput(
             nodes=60 if quick else 240,
             rounds=20 if quick else 60,
             seconds=seconds,
         ),
-        "meter_matrix": measure_meter_matrix_throughput(
+        "meter_matrix": lambda: measure_meter_matrix_throughput(
             nodes=60 if quick else 240,
             rounds=20 if quick else 60,
             seconds=seconds,
         ),
-        "parallel": measure_parallel_scaling(
+        "parallel": lambda: measure_parallel_scaling(
             workers_list=(2, 4) if quick else (1, 2, 4),
             quick=quick,
         ),
-        "batch_verify": measure_batch_verify(
+        "batch_verify": lambda: measure_batch_verify(
             quick=quick, seconds=seconds, backend=backend
         ),
-        "shared_ladder": measure_shared_ladder(workers=4, quick=quick),
+        "shared_ladder": lambda: measure_shared_ladder(
+            workers=4, quick=quick
+        ),
+        "population": lambda: measure_population_throughput(quick=quick),
     }
+    if sections is None:
+        selected = list(builders)
+    else:
+        unknown = sorted(set(sections) - set(builders))
+        if unknown:
+            raise ValueError(
+                f"unknown bench section(s) {unknown}; known: "
+                f"{sorted(builders)}"
+            )
+        selected = [name for name in builders if name in set(sections)]
+    report = {
+        "schema": SCHEMA_VERSION,
+        "backend": backend.name,
+        "gmpy2_available": gmpy2_available(),
+    }
+    if (
+        sections is not None
+        and out_path is not None
+        and os.path.exists(out_path)
+    ):
+        with open(out_path, encoding="utf-8") as fh:
+            previous = json.load(fh)
+        previous.pop("written_to", None)
+        for key, value in previous.items():
+            if key not in report:
+                report[key] = value
+    for name in selected:
+        report[name] = builders[name]()
     if out_path is not None:
         with open(out_path, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)

@@ -123,6 +123,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--rounds", type=int, default=None)
     run.add_argument("--rate", type=float, default=None)
     run.add_argument(
+        "--population",
+        type=_positive_int,
+        default=None,
+        help=(
+            "with --scenario: population-tier size override (caps a "
+            "million-node scenario to smoke scale, or scales one up)"
+        ),
+    )
+    run.add_argument(
         "--json",
         default=None,
         metavar="PATH",
@@ -183,6 +192,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--nodes", type=int, default=40)
     bench.add_argument("--rounds", type=int, default=8)
+    bench.add_argument(
+        "--section",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help=(
+            "re-time only this report section (repeatable; e.g. "
+            "--section population); other sections are kept from the "
+            "existing --out file instead of being re-measured"
+        ),
+    )
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -240,9 +260,12 @@ def _cmd_run(args) -> int:
             rate=args.rate,
             execution_policy=_policy_from(args),
             json_out=args.json,
+            population=args.population,
         )
     if args.json is not None:
         raise SystemExit("error: --json requires --scenario")
+    if args.population is not None:
+        raise SystemExit("error: --population requires --scenario")
 
     from repro.core import PagConfig, PagSession
 
@@ -373,63 +396,86 @@ def _cmd_bench(args) -> int:
         quick=args.quick,
         engine_nodes=args.nodes,
         engine_rounds=args.rounds,
+        sections=args.section,
     )
+    # With --section only the selected sections are re-measured; keys
+    # absent from the merged report are simply not printed.
     print(f"Hot-path throughput [{report['backend']} backend]")
-    print(f"  hashes/s 256-bit : {report['hashes_per_s']['256']:>12,.0f}")
-    print(f"  hashes/s 512-bit : {report['hashes_per_s']['512']:>12,.0f}")
-    print(
-        "  rekeys/s 512-bit : "
-        f"{report['rekey_fixed_base_per_s']['512']:>12,.0f}"
-    )
-    print(f"  primes/s 512-bit : {report['primes_per_s']['512']:>12,.1f}")
-    engine = report["engine"]
-    print(
-        f"  engine rounds/s  : {engine['rounds_per_s']:>12,.2f} "
-        f"({engine['nodes']} nodes)"
-    )
-    cache = engine["cache"]
-    print(
-        f"  hash cache hits  : {cache['memo_hit_rate']:>12.1%} memo, "
-        f"{cache['fixed_base_hit_rate']:.1%} fixed-base"
-    )
-    meter = report["meter_cdf"]
-    print(
-        f"  meter CDF aggs/s : {meter['columnar_per_s']:>12,.0f} "
-        f"({meter['speedup']:.1f}x over dict probes)"
-    )
-    matrix = report["meter_matrix"]
-    print(
-        f"  meter matrix     : {matrix['vectorized_per_s']:>12,.0f} "
-        f"aggs/s ({matrix['speedup']:.1f}x over columnar at "
-        f"{matrix['nodes']}x{matrix['rounds']})"
-    )
-    parallel = report["parallel"]
-    print(
-        f"  parallel scaling : {parallel['scenario']} "
-        f"({parallel['nodes']} nodes, {parallel['cpu_count']} cpu) — "
-        f"serial {parallel['serial_rounds_per_s']:.2f} rounds/s"
-    )
-    for row in parallel["rows"]:
+    if "hashes_per_s" in report:
+        hashes = report["hashes_per_s"]
+        print(f"  hashes/s 256-bit : {hashes['256']:>12,.0f}")
+        print(f"  hashes/s 512-bit : {hashes['512']:>12,.0f}")
+    if "rekey_fixed_base_per_s" in report:
         print(
-            f"    {row['workers']} workers       : "
-            f"{row['wall_rounds_per_s']:>8.2f} rounds/s wall "
-            f"({row['speedup_wall']:.2f}x), "
-            f"{row['projected_multicore_rounds_per_s']:.2f} projected "
-            f"multicore ({row['speedup_projected_multicore']:.2f}x)"
+            "  rekeys/s 512-bit : "
+            f"{report['rekey_fixed_base_per_s']['512']:>12,.0f}"
         )
-    batch = report["batch_verify"]
-    for row in batch["primitive"]:
+    if "primes_per_s" in report:
         print(
-            f"  batched fold k={row['pairs']:<2} : "
-            f"{row['speedup']:.2f}x over per-pair pow "
-            f"({row['batched_folds_per_s']:,.1f} folds/s)"
+            f"  primes/s 512-bit : {report['primes_per_s']['512']:>12,.1f}"
         )
-    ladder = report["shared_ladder"]
-    print(
-        f"  shared ladder    : {ladder['worker_cpu_saved_fraction']:.1%} "
-        f"worker CPU saved on {ladder['scenario']} "
-        f"({ladder['workers']} workers)"
-    )
+    if "engine" in report:
+        engine = report["engine"]
+        print(
+            f"  engine rounds/s  : {engine['rounds_per_s']:>12,.2f} "
+            f"({engine['nodes']} nodes)"
+        )
+        cache = engine["cache"]
+        print(
+            f"  hash cache hits  : {cache['memo_hit_rate']:>12.1%} memo, "
+            f"{cache['fixed_base_hit_rate']:.1%} fixed-base"
+        )
+    if "meter_cdf" in report:
+        meter = report["meter_cdf"]
+        print(
+            f"  meter CDF aggs/s : {meter['columnar_per_s']:>12,.0f} "
+            f"({meter['speedup']:.1f}x over dict probes)"
+        )
+    if "meter_matrix" in report:
+        matrix = report["meter_matrix"]
+        print(
+            f"  meter matrix     : {matrix['vectorized_per_s']:>12,.0f} "
+            f"aggs/s ({matrix['speedup']:.1f}x over columnar at "
+            f"{matrix['nodes']}x{matrix['rounds']})"
+        )
+    if "parallel" in report:
+        parallel = report["parallel"]
+        print(
+            f"  parallel scaling : {parallel['scenario']} "
+            f"({parallel['nodes']} nodes, {parallel['cpu_count']} cpu) — "
+            f"serial {parallel['serial_rounds_per_s']:.2f} rounds/s"
+        )
+        for row in parallel["rows"]:
+            print(
+                f"    {row['workers']} workers       : "
+                f"{row['wall_rounds_per_s']:>8.2f} rounds/s wall "
+                f"({row['speedup_wall']:.2f}x), "
+                f"{row['projected_multicore_rounds_per_s']:.2f} projected "
+                f"multicore ({row['speedup_projected_multicore']:.2f}x)"
+            )
+    if "batch_verify" in report:
+        for row in report["batch_verify"]["primitive"]:
+            print(
+                f"  batched fold k={row['pairs']:<2} : "
+                f"{row['speedup']:.2f}x over per-pair pow "
+                f"({row['batched_folds_per_s']:,.1f} folds/s)"
+            )
+    if "shared_ladder" in report:
+        ladder = report["shared_ladder"]
+        print(
+            "  shared ladder    : "
+            f"{ladder['worker_cpu_saved_fraction']:.1%} "
+            f"worker CPU saved on {ladder['scenario']} "
+            f"({ladder['workers']} workers)"
+        )
+    if "population" in report:
+        population = report["population"]
+        print(
+            f"  population tier  : {population['nodes_per_sec']:>12,.0f} "
+            f"nodes/s ({population['population']:,} nodes, "
+            f"{population['rounds']} rounds, "
+            f"{population['peak_rss_mb']:.0f} MiB peak RSS)"
+        )
     print(f"  written          : {args.out}")
     return 0
 

@@ -64,7 +64,10 @@ class PagConfig:
         hash_memo_entries: bound on the hasher's wide-exponent
             ``(value, exponent) -> hash`` memo; the oldest half is
             evicted when full.  The memory ceiling for long runs — one
-            entry holds two bigints of roughly the modulus width.
+            entry holds two bigints of roughly the modulus width.  The
+            default is 512: memo reuse is drain-local (the
+            server/receiver ack-hash pair of one exchange), so measured
+            hit counts are identical at 512 and 16384 entries.
         fixed_base_cache_entries: bound on the number of hot bases
             holding a fixed-base window table.  Caches are per-hasher;
             hit rates are reported in ``BENCH_hotpath.json``.
@@ -102,7 +105,7 @@ class PagConfig:
     sim_prime_bits: int = 32
     seed: int = 20160627
     crypto_backend: str = "auto"
-    hash_memo_entries: int = 1 << 14
+    hash_memo_entries: int = 1 << 9
     fixed_base_cache_entries: int = 1024
     detection_enabled: bool = True
     forward_owned_ghosts: bool = False

@@ -54,7 +54,14 @@ DEFAULT_PRIME_BITS = 512
 #: oldest half is evicted (insertion order), which is cheap and good
 #: enough for the round-local reuse pattern.  Override per session via
 #: ``PagConfig.hash_memo_entries``.
-_MEMO_MAX = 1 << 14
+#:
+#: 512 entries, down from 16k: the memo's only recurring pattern at
+#: simulation modulus sizes is the server/receiver ack-hash pair of one
+#: exchange, whose reuse distance is drain-local — measured hit counts
+#: are identical at 512 and 16384 entries on 40- and 120-node sessions
+#: (``tests/crypto/test_memo_sizing.py`` regresses this), so the other
+#: 16 KB of bigint pairs per worker were pure ballast.
+_MEMO_MAX = 1 << 9
 
 #: Default bound on the per-base fixed-base ladder cache used by hot
 #: bases; override per session via ``PagConfig.fixed_base_cache_entries``.
@@ -126,6 +133,12 @@ class HomomorphicHasher:
     #: fixed-base tables answered from a shared precomputed ladder
     #: instead of being rebuilt (subset of ``fixed_base_hits``).
     shared_ladder_seeds: int = field(default=0, compare=False)
+    #: population-tier accounting: protocol-level hashes that were never
+    #: evaluated because an equivalence class representative had already
+    #: been computed (:meth:`hash_class`).  Deliberately NOT part of
+    #: ``operations``, so full-fidelity tallies stay bit-identical; the
+    #: population tier reports real + memoised work side by side.
+    memoised_operations: int = field(default=0, compare=False)
 
     def __post_init__(self) -> None:
         if self.modulus < 4:
@@ -209,6 +222,25 @@ class HomomorphicHasher:
         if len(memo) >= self.memo_max:
             self._evict(memo)
         memo[key] = result
+        return result
+
+    def hash_class(
+        self, update: int, exponent: int, members: int = 1
+    ) -> int:
+        """Hash one representative of an equivalence class of exchanges.
+
+        The population tier groups structurally identical exchanges —
+        same (content class, key/cofactor, round) — and evaluates the
+        hash once, fanning the result out to all ``members``.  One real
+        :meth:`hash` call is performed (counted in :attr:`operations`);
+        the ``members - 1`` avoided evaluations are credited to
+        :attr:`memoised_operations` so population reports can reconcile
+        real + memoised totals against full-fidelity op counts.
+        """
+        if members < 1:
+            raise ValueError("a hash class needs at least one member")
+        result = self.hash(update, exponent)
+        self.memoised_operations += members - 1
         return result
 
     def _warm_base(self, update: int, exponent: int) -> int:
@@ -389,6 +421,7 @@ class HomomorphicHasher:
             "cold_powmods": self.cold_powmods,
             "batched_lifts": self.batched_lifts,
             "shared_ladder_seeds": self.shared_ladder_seeds,
+            "memoised_operations": self.memoised_operations,
             "shared_ladder_bases": (
                 len(self._shared_ladders)
                 if self._shared_ladders is not None

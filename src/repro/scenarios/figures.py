@@ -135,6 +135,7 @@ def render_scenario_run(
     rate: Optional[float] = None,
     execution_policy: Optional[ExecutionPolicy] = None,
     json_out: Optional[str] = None,
+    population: Optional[int] = None,
 ) -> int:
     """Run any registered scenario and print its measurement summary.
 
@@ -143,12 +144,18 @@ def render_scenario_run(
             (plus the measured wall clock and the Fig-7-style CDF) as
             JSON — the CI scenario-matrix job collects these into its
             ``BENCH_ci_scenarios.json`` artifact.
+        population: population-tier override (see ``ScenarioSpec``);
+            lets CI cap a million-node scenario to smoke scale.
     """
     import json
     import time
 
     spec = get_scenario(
-        name, nodes=nodes, rounds=rounds, stream_rate_kbps=rate
+        name,
+        nodes=nodes,
+        rounds=rounds,
+        stream_rate_kbps=rate,
+        population=population,
     )
     start = time.perf_counter()
     result = spec.run(execution_policy)
@@ -185,4 +192,11 @@ def render_scenario_run(
         print(f"deviants           : {sorted(deviants)}")
     if result.crypto_hashes is not None:
         print(f"homomorphic hashes : {result.crypto_hashes}")
+    if spec.population:
+        print(f"population         : {summary['population']}")
+        print(
+            "population mean    : "
+            f"{summary['population_mean_down_kbps']:.0f} Kbps per node"
+        )
+        print(f"peak RSS           : {summary['peak_rss_mb']:.0f} MiB")
     return 0

@@ -154,6 +154,24 @@ register_scenario(ScenarioSpec(
 ))
 
 register_scenario(ScenarioSpec(
+    name="fig9-1m",
+    description=(
+        "fig9 at deployment scale: a million-node population tier over "
+        "a 120-node full-fidelity cohort"
+    ),
+    paper_reference=(
+        "Fig. 9: PAG ~2.5 Mbps per node at 10^6 nodes; the vectorised "
+        "honest plane is calibrated against the sampled cohort "
+        "(see PERFORMANCE.md for the validation methodology)"
+    ),
+    nodes=120,
+    rounds=60,
+    warmup_rounds=4,
+    population=1_000_000,
+    policy="population",
+))
+
+register_scenario(ScenarioSpec(
     name="fig10",
     description="coalition privacy topology (Monte-Carlo + closed form)",
     paper_reference=(

@@ -157,10 +157,21 @@ class ScenarioSpec:
         detection_enabled: run the monitoring state machine.
         seed: root seed for all session randomness.
         policy: default execution policy name (``"serial"``,
-            ``"sharded"``, ``"parallel"``); None lets the engine default
-            (serial) apply.  An explicit policy passed to :meth:`run`
-            always wins.  All policies are bit-identical — this knob
-            selects an execution backend, never a different schedule.
+            ``"sharded"``, ``"parallel"``, ``"population"``); None lets
+            the engine default (serial) apply.  An explicit policy
+            passed to :meth:`run` always wins.  All policies are
+            bit-identical — this knob selects an execution backend,
+            never a different schedule.
+        population: total system size of the population tier; 0 (the
+            default) disables it.  When set, ``nodes`` becomes the
+            full-fidelity cohort (the sampled honest nodes plus every
+            deviant) and ids ``nodes..population-1`` run as the
+            vectorised honest plane (see :mod:`repro.sim.population`).
+            The plane attaches to the engine, not the policy, so a
+            population spec runs under every execution policy.
+        population_spill_dir: directory for the plane's columnar
+            per-round spill files; None uses an owned temporary
+            directory (removed at collection).
         workers: shard/worker count for the sharded and parallel
             policies (ignored by serial).
         batch_verify: override for ``PagConfig.batch_verify`` (None
@@ -192,13 +203,22 @@ class ScenarioSpec:
     policy: Optional[str] = None
     workers: int = 4
     batch_verify: Optional[bool] = None
+    population: int = 0
+    population_spill_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if self.policy not in (None, "serial", "sharded", "parallel"):
+        if self.policy not in (
+            None,
+            "serial",
+            "sharded",
+            "parallel",
+            "population",
+        ):
             raise ValueError(
                 f"unknown execution policy {self.policy!r}; expected "
-                "'serial', 'sharded' or 'parallel'"
+                "'serial', 'sharded', 'parallel' or 'population'"
             )
+        self._validate_population()
         if self.workers < 1:
             raise ValueError("worker count must be at least 1")
         if self.protocol not in ("pag", "acting"):
@@ -324,6 +344,56 @@ class ScenarioSpec:
                 f"{n_consumers} consumers"
             )
 
+    def _validate_population(self) -> None:
+        """Population-tier knob validation (clear errors, fail early)."""
+        if self.policy == "population" and self.population <= 0:
+            raise ValueError(
+                "policy 'population' needs population set above the "
+                "cohort size"
+            )
+        if self.population_spill_dir is not None and self.population <= 0:
+            raise ValueError(
+                "population_spill_dir is a population-tier knob; set "
+                "population first"
+            )
+        if self.population <= 0:
+            return
+        if self.protocol != "pag":
+            raise ValueError(
+                "the population tier is modelled for the PAG protocol "
+                "only"
+            )
+        if self.population <= self.nodes:
+            raise ValueError(
+                f"population ({self.population}) must exceed the "
+                f"full-fidelity cohort sample ({self.nodes} nodes); "
+                "the sample size must be smaller than the population"
+            )
+        if self.fault_schedule:
+            raise ValueError(
+                "fault schedules are not modelled in the population "
+                "tier (the calibrated plane assumes an unfaulted "
+                "honest majority)"
+            )
+        if self.population_spill_dir is not None:
+            import os
+
+            spill = self.population_spill_dir
+            if not os.path.isdir(spill):
+                raise ValueError(
+                    f"population_spill_dir {spill!r} is not an "
+                    "existing directory"
+                )
+            if not os.access(spill, os.W_OK):
+                raise ValueError(
+                    f"population_spill_dir {spill!r} is not writable"
+                )
+        # Deviants must live inside the full-fidelity cohort: the plane
+        # is honest by construction.  Group *sizes* are checked against
+        # the cohort consumers in __post_init__; explicit id maps
+        # (node_strategies, churn, arrivals) are range-checked there
+        # too, so anything naming an id >= nodes already failed.
+
     # -- derived construction ----------------------------------------------
 
     def with_overrides(self, **overrides) -> "ScenarioSpec":
@@ -352,6 +422,13 @@ class ScenarioSpec:
             )
         if self.fanout is not None:
             overrides["fanout"] = self.fanout
+        elif self.population > 0:
+            # The cohort samples a population-sized deployment: its
+            # membership views use the *population's* size-dependent
+            # fanout (~log10 N of a million, not of the cohort).
+            from repro.membership.views import default_fanout
+
+            overrides["fanout"] = default_fanout(self.population)
         if self.monitors_per_node is not None:
             overrides["monitors_per_node"] = self.monitors_per_node
         if self.batch_verify is not None:
@@ -430,6 +507,10 @@ class ScenarioSpec:
         self._wire_membership(session.simulator, session)
         self._wire_faults(session)
         self._bind_policy(execution_policy, session)
+        if self.population > 0:
+            from repro.sim.population import wire_population
+
+            wire_population(self, session)
         return session
 
     def _build_acting(self, execution_policy):
@@ -463,16 +544,42 @@ class ScenarioSpec:
         self._bind_policy(execution_policy, session)
         return session
 
+    def cohort_equivalent(self) -> "ScenarioSpec":
+        """The cohort-sized full-fidelity spec this population spec samples.
+
+        Strips the population knobs while pinning the population's
+        derived fanout (and through it the mirrored monitor count), so
+        the resulting spec builds the *same cohort* — the bit-identity
+        oracle the differential suite checks, and the bootstrap replica
+        workers rebuild from.  For non-population specs this is just
+        the spec with the policy knob stripped.
+        """
+        if self.population <= 0:
+            return dataclasses.replace(self, policy=None)
+        fanout = self.fanout
+        if fanout is None:
+            from repro.membership.views import default_fanout
+
+            fanout = default_fanout(self.population)
+        return dataclasses.replace(
+            self,
+            policy=None,
+            population=0,
+            population_spill_dir=None,
+            fanout=fanout,
+        )
+
     def _bind_policy(self, execution_policy, session) -> None:
         """Hand a replica-capable policy its session bootstrap.
 
         Worker-backed policies rebuild the session inside each worker
-        from this spec (stripped of its own policy field, so replicas
-        always run the plain serial engine path).
+        from this spec (stripped of its own policy field and population
+        knobs — replicas run the plain serial engine path over the
+        cohort; the plane lives on the parent engine only).
         """
         binder = getattr(execution_policy, "bind_scenario", None)
         if binder is not None:
-            binder(dataclasses.replace(self, policy=None), session)
+            binder(self.cohort_equivalent(), session)
 
     def _wire_faults(self, session) -> None:
         """Build the fault schedule onto the session's network.
@@ -564,7 +671,14 @@ class ScenarioSpec:
             session.run(self.rounds)
             if policy is not None:
                 policy.sync_session(session)
-            return ScenarioResult.collect(self, session)
+            result = ScenarioResult.collect(self, session)
+            if getattr(session.simulator, "planes", None):
+                from repro.sim.population import (
+                    build_population_result,
+                )
+
+                result = build_population_result(self, session, result)
+            return result
         finally:
             if policy is not None:
                 policy.close()

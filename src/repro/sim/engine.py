@@ -46,6 +46,11 @@ class Simulator:
     #: batch-delivery strategy; the default serial policy reproduces the
     #: pre-policy engine schedule exactly (see repro.sim.execution).
     policy: ExecutionPolicy = field(default_factory=SerialPolicy)
+    #: attached population planes, stepped once per round after the
+    #: full-fidelity nodes finish (see repro.sim.population).  Planes
+    #: are engine-level, not policy-level, so a population scenario runs
+    #: identically under every execution policy.
+    planes: List = field(default_factory=list)
     #: id-sorted node list, rebuilt only when membership changes (the
     #: seed engine re-sorted the whole dict twice per round).
     _sorted_nodes: Optional[List[SimNode]] = field(
@@ -81,6 +86,10 @@ class Simulator:
     def add_round_hook(self, hook: RoundHook) -> None:
         self.round_hooks.append(hook)
 
+    def attach_plane(self, plane) -> None:
+        """Attach a vectorised population plane (stepped per round)."""
+        self.planes.append(plane)
+
     def run_round(self) -> None:
         """Execute one full round: begin, drain to quiescence, end.
 
@@ -99,6 +108,8 @@ class Simulator:
         if not self.policy.end_nodes(round_no, ordered, self.network):
             for node in ordered:
                 node.end_round(round_no)
+        for plane in self.planes:
+            plane.end_round(round_no)
         for hook in self.round_hooks:
             hook(round_no)
         self.current_round += 1

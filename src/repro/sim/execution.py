@@ -1093,7 +1093,8 @@ def make_policy(
     """Build a policy from its CLI/scenario name.
 
     Args:
-        name: ``"serial"``, ``"sharded"`` or ``"parallel"``.
+        name: ``"serial"``, ``"sharded"``, ``"parallel"`` or
+            ``"population"``.
         shards: partition count for ``sharded`` (also the ``parallel``
             worker count when ``workers`` is not given).
         workers: worker count for ``parallel``.
@@ -1109,7 +1110,13 @@ def make_policy(
             workers=workers if workers is not None else shards,
             backend=parallel_backend,
         )
+    if name == "population":
+        # Lazy: the population tier pulls in numpy-backed modules the
+        # serial fast path never needs.
+        from repro.sim.population import PopulationPolicy
+
+        return PopulationPolicy()
     raise ValueError(
-        f"unknown execution policy {name!r}; expected 'serial', 'sharded' "
-        "or 'parallel'"
+        f"unknown execution policy {name!r}; expected 'serial', 'sharded', "
+        "'parallel' or 'population'"
     )

@@ -38,7 +38,13 @@ try:  # numpy accelerates CDF sorting over large memberships
 except ImportError:  # pragma: no cover - numpy is an optional extra
     _np = None
 
-__all__ = ["BandwidthMeter", "NodeTraffic", "cdf_points", "kbps"]
+__all__ = [
+    "BandwidthMeter",
+    "NodeTraffic",
+    "SpilledMeter",
+    "cdf_points",
+    "kbps",
+]
 
 
 def kbps(total_bytes: float, seconds: float) -> float:
@@ -430,6 +436,179 @@ class BandwidthMeter:
                     mine[rnd] += size
         if other.rounds_seen > self.rounds_seen:
             self.rounds_seen = other.rounds_seen
+
+
+class SpilledMeter:
+    """Windowed bandwidth reads over a columnar on-disk round spill.
+
+    The population tier writes each round's dense per-node byte rows to
+    a :class:`~repro.sim.trace.ColumnarRoundSpill` (fields ``up`` and
+    ``down``) instead of keeping per-round series in RAM; this class is
+    the read side, exposing the :class:`BandwidthMeter` window readers
+    (``node_bytes`` / ``node_kbps`` / ``all_node_kbps`` / ``mean_kbps``)
+    over that spill.  Reads follow the meter's float contract exactly —
+    integer window sums first, then one multiply by
+    ``8.0 / 1000.0 / duration`` — so a spilled read of the same traffic
+    is bit-identical to an in-memory meter read (the Hypothesis parity
+    suite in ``tests/sim/test_spilled_meter.py`` holds it to that).
+
+    Args:
+        spill: the round store; rows index plane-local nodes ``0..n-1``.
+        node_offset: global id of plane-local node 0 — the population
+            tier numbers its vectorised plane after the cohort ids.
+    """
+
+    __slots__ = ("spill", "node_offset")
+
+    def __init__(self, spill, node_offset: int = 0) -> None:
+        for name in ("up", "down"):
+            if name not in spill.fields:
+                raise ValueError(
+                    f"spill lacks the {name!r} field; have "
+                    f"{sorted(spill.fields)}"
+                )
+        if node_offset < 0:
+            raise ValueError("node offset cannot be negative")
+        self.spill = spill
+        self.node_offset = node_offset
+
+    @property
+    def rounds_seen(self) -> int:
+        return self.spill.rounds_written
+
+    def node_ids(self) -> List[int]:
+        return list(
+            range(
+                self.node_offset, self.node_offset + self.spill.n_nodes
+            )
+        )
+
+    def _resolve_window(
+        self, first_round: int, last_round: int | None
+    ) -> int:
+        # Same contract as BandwidthMeter._resolve_window.
+        if first_round < 0:
+            raise ValueError(
+                f"first_round must be non-negative, got {first_round}"
+            )
+        last = self.rounds_seen - 1 if last_round is None else last_round
+        if last_round is not None and last < first_round:
+            raise ValueError(
+                f"inverted round window: last_round {last} precedes "
+                f"first_round {first_round}"
+            )
+        return last
+
+    def window_sums(
+        self,
+        first_round: int = 0,
+        last_round: int | None = None,
+        direction: str = "both",
+    ):
+        """Per-node int64 byte sums over a window (plane-local order)."""
+        BandwidthMeter._check_direction(direction)
+        last = self._resolve_window(first_round, last_round)
+        if last < first_round:
+            return _np.zeros(self.spill.n_nodes, dtype=_np.int64)
+        sums = None
+        if direction != "down":
+            sums = self.spill.window_sum("up", first_round, last)
+        if direction != "up":
+            down = self.spill.window_sum("down", first_round, last)
+            sums = down if sums is None else sums + down
+        return sums
+
+    def window_kbps_vector(
+        self,
+        round_seconds: float = 1.0,
+        first_round: int = 0,
+        last_round: int | None = None,
+        direction: str = "down",
+    ):
+        """Per-node Kbps over a window, as a float vector.
+
+        The bulk reader behind the population tier's CDF: one streamed
+        pass over the spill, no per-node dict.  Scaling matches
+        :meth:`BandwidthMeter.all_node_kbps` operation for operation.
+        """
+        last = self._resolve_window(first_round, last_round)
+        if last < first_round:
+            raise ValueError(
+                f"inverted round window: last_round {last} precedes "
+                f"first_round {first_round}"
+            )
+        duration = (last - first_round + 1) * round_seconds
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        scale = 8.0 / 1000.0 / duration
+        sums = self.window_sums(first_round, last, direction)
+        return sums * scale
+
+    def node_bytes(
+        self,
+        node: int,
+        first_round: int = 0,
+        last_round: int | None = None,
+        direction: str = "both",
+    ) -> int:
+        row = node - self.node_offset
+        if not 0 <= row < self.spill.n_nodes:
+            return 0
+        return int(
+            self.window_sums(
+                first_round,
+                self._resolve_window(first_round, last_round),
+                direction,
+            )[row]
+        )
+
+    def node_kbps(
+        self,
+        node: int,
+        round_seconds: float = 1.0,
+        first_round: int = 0,
+        last_round: int | None = None,
+        direction: str = "both",
+    ) -> float:
+        last = self._resolve_window(first_round, last_round)
+        duration = (last - first_round + 1) * round_seconds
+        return kbps(
+            self.node_bytes(node, first_round, last, direction), duration
+        )
+
+    def all_node_kbps(
+        self,
+        nodes: Iterable[int],
+        round_seconds: float = 1.0,
+        first_round: int = 0,
+        last_round: int | None = None,
+        direction: str = "both",
+    ) -> Dict[int, float]:
+        values = self.window_kbps_vector(
+            round_seconds, first_round, last_round, direction
+        ).tolist()
+        out: Dict[int, float] = {}
+        for node in nodes:
+            row = node - self.node_offset
+            out[node] = (
+                values[row] if 0 <= row < self.spill.n_nodes else 0.0
+            )
+        return out
+
+    def mean_kbps(
+        self,
+        nodes: Iterable[int],
+        round_seconds: float = 1.0,
+        first_round: int = 0,
+        last_round: int | None = None,
+        direction: str = "both",
+    ) -> float:
+        values = self.all_node_kbps(
+            nodes, round_seconds, first_round, last_round, direction
+        )
+        if not values:
+            return 0.0
+        return sum(values.values()) / len(values)
 
 
 def cdf_points(

@@ -1,0 +1,457 @@
+"""Million-node population tier: the vectorised honest plane.
+
+The paper's accountability guarantees matter at gossip scale, but a
+full-fidelity session carries a Python object graph per node.  This
+module scales a scenario to millions of nodes by partitioning the
+population:
+
+* a small **full-fidelity cohort** (``spec.nodes`` ids ``0..n-1``: the
+  source, every deviant, every monitor of sampled exchanges, and the
+  seeded honest sample) runs the real protocol, bit-identical to a
+  plain :class:`~repro.sim.execution.SerialPolicy` run of the same
+  cohort-sized spec;
+* the remaining **honest plane** (ids ``spec.nodes..population-1``)
+  lives in numpy arrays updated in bulk once per round.
+
+The plane is *calibrated, not simulated*: a passive
+:class:`PlaneCalibrationTap` measures the cohort's honest consumers —
+per round, per message kind, bytes sent and received per node — and the
+plane replays those per-kind means across its width, modulating each
+node by per-round Poisson degree draws (in-degree, out-degree,
+monitor-load) normalised to their realized mean.  Per-round per-kind
+plane means therefore equal the cohort's honest-consumer means exactly;
+only the across-node variance is synthetic (Poisson contact counts, the
+same model the paper's membership views induce).
+
+Crypto is memoised over equivalence classes of identical exchanges
+(:class:`~repro.core.verification.ExchangeClassCache`): one real
+representative evaluation per class on the plane's *own* hasher (the
+cohort hasher is never touched, preserving bit-identity), the fan-out
+credited to ``memoised_operations``, and a calibrated top-up so real +
+memoised plane totals reconcile with what a full-fidelity run of the
+plane would have cost.
+
+Per-round plane rows stream to a
+:class:`~repro.sim.trace.ColumnarRoundSpill`, so memory stays bounded
+regardless of population x rounds; collection reads windows back
+through :class:`~repro.sim.metrics.SpilledMeter`.
+"""
+
+from __future__ import annotations
+
+import resource
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.verification import ExchangeClassCache
+from repro.crypto.homomorphic import HomomorphicHasher
+from repro.scenarios.spec import ScenarioResult, ScenarioSpec
+from repro.sim.execution import SerialPolicy
+from repro.sim.message import Message
+from repro.sim.metrics import SpilledMeter
+from repro.sim.trace import ColumnarRoundSpill
+
+__all__ = [
+    "PlaneCalibrationTap",
+    "PopulationPlane",
+    "PopulationPolicy",
+    "PopulationResult",
+    "build_population_result",
+    "wire_population",
+]
+
+#: Which degree draw modulates a kind's per-node traffic, as
+#: ``kind -> (upload driver, download driver)``.  ``out``/``in`` are
+#: gossip out-/in-degree, ``mon`` is monitor load, ``uniform`` applies
+#: the mean without modulation.  Derivation: message m of Figs. 5-6 is
+#: sent once per link of the named degree (e.g. a node uploads one
+#: KeyRequest per successor contacted, downloads one per predecessor
+#: that contacted it).
+_KIND_DRIVERS: Dict[str, Tuple[str, str]] = {
+    "key_request": ("out", "in"),
+    "key_response": ("in", "out"),
+    "serve": ("out", "in"),
+    "attestation": ("out", "in"),
+    "ack": ("in", "out"),
+    "ack_copy": ("in", "mon"),
+    "attestation_relay": ("in", "mon"),
+    "declaration_ack": ("mon", "in"),
+    "monitor_broadcast": ("mon", "mon"),
+}
+
+
+class PlaneCalibrationTap:
+    """Passive per-round, per-kind byte accounting of honest consumers.
+
+    Installed as a network :class:`~repro.sim.network.TrafficTap`; under
+    capture-based policies the taps are evaluated at merge time in the
+    reconstructed delivery order, so calibration is identical across
+    execution policies.  Rounds are consumed (and freed) by the plane as
+    it steps, so the tap's memory stays O(kinds), not O(rounds).
+    """
+
+    def __init__(self, honest_ids) -> None:
+        self.honest_ids = frozenset(honest_ids)
+        if not self.honest_ids:
+            raise ValueError(
+                "plane calibration needs at least one honest cohort "
+                "consumer"
+            )
+        #: round -> kind -> [bytes uploaded, bytes downloaded] summed
+        #: over honest cohort consumers.
+        self._rounds: Dict[int, Dict[str, List[int]]] = {}
+        #: round -> a representative Serve received by an honest
+        #: consumer (entries + key_prev drive the class-crypto sample).
+        self._serves: Dict[int, Message] = {}
+        #: round -> a fresh per-link prime issued by an honest consumer.
+        self._primes: Dict[int, int] = {}
+
+    def observe(self, message: Message, size: int) -> None:
+        honest = self.honest_ids
+        sender_honest = message.sender in honest
+        recipient_honest = message.recipient in honest
+        if not (sender_honest or recipient_honest):
+            return
+        rnd = message.round_no
+        bucket = self._rounds.setdefault(rnd, {})
+        pair = bucket.setdefault(message.kind, [0, 0])
+        if sender_honest:
+            pair[0] += size
+        if recipient_honest:
+            pair[1] += size
+        kind = message.kind
+        if kind == "serve" and recipient_honest:
+            if rnd not in self._serves and getattr(
+                message, "entries", ()
+            ):
+                self._serves[rnd] = message
+        elif kind == "key_response" and sender_honest:
+            if rnd not in self._primes:
+                prime = getattr(message, "prime", 0)
+                if prime > 1:
+                    self._primes[rnd] = prime
+
+    def consume_round(
+        self, round_no: int
+    ) -> Tuple[Dict[str, Tuple[int, int]], Optional[Message], int]:
+        """This round's (kind sums, representative serve, prime); frees it."""
+        bucket = self._rounds.pop(round_no, {})
+        serve = self._serves.pop(round_no, None)
+        prime = self._primes.pop(round_no, 0)
+        sums = {kind: (up, down) for kind, (up, down) in bucket.items()}
+        return sums, serve, prime
+
+
+class PopulationPlane:
+    """The vectorised honest plane of one population-tier run.
+
+    Stepped by the engine once per round (after the full-fidelity
+    cohort finishes the round), entirely outside the execution policy —
+    a population scenario therefore runs identically under serial,
+    sharded and parallel policies.
+    """
+
+    def __init__(
+        self,
+        plane_size: int,
+        node_offset: int,
+        tap: PlaneCalibrationTap,
+        cohort_hasher: HomomorphicHasher,
+        fanout: int,
+        seed: int,
+        spill_dir: Optional[str] = None,
+        spill_buffer_rounds: int = 4,
+    ) -> None:
+        if plane_size < 1:
+            raise ValueError("plane needs at least one node")
+        if fanout < 1:
+            raise ValueError("plane fanout must be at least 1")
+        self.plane_size = plane_size
+        self.node_offset = node_offset
+        self.tap = tap
+        self.fanout = fanout
+        self.cohort_hasher = cohort_hasher
+        # The plane's own hasher: same modulus and backend as the
+        # cohort's, but separate counters and caches so the cohort's
+        # crypto tallies stay bit-identical to a plain serial run.
+        self.hasher = HomomorphicHasher(
+            modulus=cohort_hasher.modulus, backend=cohort_hasher.backend
+        )
+        self.class_cache = ExchangeClassCache(self.hasher)
+        self.spill = ColumnarRoundSpill(
+            plane_size,
+            directory=spill_dir,
+            fields=("up", "down"),
+            buffer_rounds=spill_buffer_rounds,
+        )
+        self._rng = np.random.default_rng(seed)
+        self._cohort_ops_mark = cohort_hasher.operations
+        self.rounds_done = 0
+
+    def _degree_scale(self) -> np.ndarray:
+        """Poisson degree draw normalised to its realized mean.
+
+        Normalising by the *realized* mean (not the expectation) pins
+        the plane's per-round per-kind mean exactly to the calibrated
+        cohort mean; only across-node variance is synthetic.
+        """
+        draw = self._rng.poisson(
+            self.fanout, self.plane_size
+        ).astype(np.float64)
+        mean = draw.mean()
+        if mean <= 0.0:
+            return np.ones(self.plane_size, dtype=np.float64)
+        return draw / mean
+
+    def end_round(self, round_no: int) -> None:
+        sums, serve, prime = self.tap.consume_round(round_no)
+        n_honest = len(self.tap.honest_ids)
+        scales = {
+            "in": self._degree_scale(),
+            "out": self._degree_scale(),
+            "mon": self._degree_scale(),
+            "uniform": None,  # mean applies unmodulated
+        }
+        up = np.zeros(self.plane_size, dtype=np.float64)
+        down = np.zeros(self.plane_size, dtype=np.float64)
+        for kind, (up_sum, down_sum) in sums.items():
+            up_driver, down_driver = _KIND_DRIVERS.get(
+                kind, ("uniform", "uniform")
+            )
+            up_mean = up_sum / n_honest
+            down_mean = down_sum / n_honest
+            if up_mean:
+                scale = scales[up_driver]
+                up += up_mean if scale is None else up_mean * scale
+            if down_mean:
+                scale = scales[down_driver]
+                down += (
+                    down_mean if scale is None else down_mean * scale
+                )
+        self.spill.append_round(
+            {
+                "up": np.rint(up).astype(np.int64),
+                "down": np.rint(down).astype(np.int64),
+            }
+        )
+        self._account_crypto(round_no, serve, prime, n_honest)
+        self.rounds_done += 1
+
+    def _account_crypto(
+        self,
+        round_no: int,
+        serve: Optional[Message],
+        prime: int,
+        n_honest: int,
+    ) -> None:
+        """One real class representative + calibrated memoised top-up.
+
+        Target: the plane's per-round crypto cost is the cohort's
+        per-honest-consumer hash count scaled to the plane width.  One
+        representative exchange per round is evaluated for real through
+        the class cache (same code path a sampled exchange would take),
+        its fan-out plus a top-up credited to ``memoised_operations`` —
+        so ``operations + memoised_operations`` reconciles with
+        full-fidelity counts while real work stays O(1) per round.
+        """
+        hasher = self.hasher
+        cohort_delta = (
+            self.cohort_hasher.operations - self._cohort_ops_mark
+        )
+        self._cohort_ops_mark = self.cohort_hasher.operations
+        target = round(cohort_delta / n_honest * self.plane_size)
+        ops_before = hasher.operations
+        memo_before = hasher.memoised_operations
+        if serve is not None:
+            members = max(1, self.fanout)
+            self.class_cache.ack_hash(
+                ("ack", round_no),
+                serve.entries,
+                serve.key_prev,
+                members=members,
+            )
+            if prime > 1:
+                self.class_cache.serve_hashes(
+                    ("serve", round_no),
+                    serve.entries,
+                    prime,
+                    members=members,
+                )
+        done = (hasher.operations - ops_before) + (
+            hasher.memoised_operations - memo_before
+        )
+        if target > done:
+            hasher.memoised_operations += target - done
+
+    def meter(self) -> SpilledMeter:
+        """Windowed read access over the spilled plane rows."""
+        return SpilledMeter(self.spill, node_offset=self.node_offset)
+
+    def stats(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "plane_nodes": self.plane_size,
+            "rounds": self.rounds_done,
+            "real_hashes": self.hasher.operations,
+            "memoised_hashes": self.hasher.memoised_operations,
+            "spill_bytes": self.spill.bytes_on_disk(),
+        }
+        out.update(self.class_cache.stats())
+        return out
+
+    def close(self) -> None:
+        self.spill.close()
+
+
+class PopulationPolicy(SerialPolicy):
+    """Execution policy name for population-tier runs.
+
+    The plane itself attaches to the engine (not the policy), so this
+    is a thin marker over :class:`SerialPolicy`: selecting
+    ``policy="population"`` runs the cohort on the plain serial path.
+    Population specs run identically under the other policies too —
+    the differential suite exercises exactly that.
+    """
+
+
+def wire_population(spec: ScenarioSpec, session) -> None:
+    """Attach the calibration tap and the plane to a built session."""
+    if spec.population <= spec.nodes:
+        raise ValueError(
+            "population tier needs plane nodes beyond the cohort"
+        )
+    deviants = set(spec.deviant_nodes())
+    honest = [
+        node_id
+        for node_id in sorted(session.nodes)
+        if node_id not in deviants
+    ]
+    tap = PlaneCalibrationTap(honest)
+    simulator = session.simulator
+    simulator.network.add_tap(tap)
+    config = session.context.config
+    plane = PopulationPlane(
+        plane_size=spec.population - spec.nodes,
+        node_offset=spec.nodes,
+        tap=tap,
+        cohort_hasher=session.context.hasher,
+        fanout=config.fanout,
+        seed=spec.seed + 0x5EED,
+        spill_dir=spec.population_spill_dir,
+    )
+    simulator.attach_plane(plane)
+
+
+@dataclass
+class PopulationResult(ScenarioResult):
+    """A :class:`ScenarioResult` extended with the plane's measurements.
+
+    The inherited fields (``node_kbps``, ``verdicts``, ``convicted``,
+    ``crypto_hashes``...) describe the full-fidelity cohort alone and
+    stay comparable with a plain run of the cohort-sized spec; the
+    plane adds population-wide aggregates on top.
+    """
+
+    population: int = 0
+    #: steady-state download Kbps of the whole population (cohort
+    #: consumers + plane), the Fig. 9 unit at scale.
+    population_mean_kbps: float = 0.0
+    plane_mean_kbps: float = 0.0
+    plane_stats: Dict[str, object] = field(default_factory=dict)
+    peak_rss_mb: float = 0.0
+    #: plane per-node Kbps vector, kept as a numpy array (a million
+    #: floats; never expanded into a dict).
+    plane_kbps: object = field(default=None, repr=False)
+
+    #: CDF decimation bound: merged population CDFs are downsampled to
+    #: at most this many points so JSON exports stay small.
+    MAX_CDF_POINTS = 2048
+
+    def cdf(self) -> List[Tuple[float, float]]:
+        """Population-wide bandwidth CDF (cohort + plane), decimated."""
+        values = np.asarray(
+            sorted(self.node_kbps.values()), dtype=np.float64
+        )
+        if self.plane_kbps is not None:
+            values = np.concatenate(
+                [values, np.asarray(self.plane_kbps, dtype=np.float64)]
+            )
+            values.sort(kind="stable")
+        n = len(values)
+        if n == 0:
+            return []
+        ranks = (np.arange(n, dtype=np.float64) + 1.0) / n
+        if n > self.MAX_CDF_POINTS:
+            idx = np.linspace(0, n - 1, self.MAX_CDF_POINTS)
+            idx = np.unique(idx.astype(np.int64))
+            values = values[idx]
+            ranks = ranks[idx]
+        return list(zip(values.tolist(), ranks.tolist()))
+
+    def summary(self) -> Dict[str, object]:
+        out = super().summary()
+        out["population"] = self.population
+        out["population_mean_down_kbps"] = round(
+            self.population_mean_kbps, 1
+        )
+        out["plane_mean_down_kbps"] = round(self.plane_mean_kbps, 1)
+        out["peak_rss_mb"] = round(self.peak_rss_mb, 1)
+        out["plane"] = dict(self.plane_stats)
+        return out
+
+
+def peak_rss_mb() -> float:
+    """This process's peak resident set size, in MiB (Linux: KiB units)."""
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return peak_kb / 1024.0
+
+
+def build_population_result(
+    spec: ScenarioSpec, session, base: ScenarioResult
+) -> PopulationResult:
+    """Fold the plane's spilled measurements into a scenario result.
+
+    Reads the steady-state window back from the spill, then closes it
+    (temporary spill directories are removed; a user-supplied
+    ``population_spill_dir`` keeps its files).
+    """
+    plane = session.simulator.planes[0]
+    meter = plane.meter()
+    plane_kbps = meter.window_kbps_vector(
+        round_seconds=session.simulator.round_seconds,
+        first_round=spec.warmup_rounds,
+        direction="down",
+    )
+    plane_mean = float(plane_kbps.mean()) if len(plane_kbps) else 0.0
+    cohort_sum = sum(base.node_kbps.values())
+    total_consumers = len(base.node_kbps) + len(plane_kbps)
+    population_mean = (
+        (cohort_sum + float(plane_kbps.sum())) / total_consumers
+        if total_consumers
+        else 0.0
+    )
+    stats = plane.stats()
+    plane.close()
+    return PopulationResult(
+        spec=base.spec,
+        session=base.session,
+        node_kbps=base.node_kbps,
+        mean_kbps=base.mean_kbps,
+        messages_sent=base.messages_sent,
+        total_bytes=base.total_bytes,
+        verdicts=base.verdicts,
+        convicted=base.convicted,
+        continuity=base.continuity,
+        crypto_hashes=base.crypto_hashes,
+        messages_dropped=base.messages_dropped,
+        messages_delayed=base.messages_delayed,
+        fault_stats=base.fault_stats,
+        accusations=base.accusations,
+        population=spec.population,
+        population_mean_kbps=population_mean,
+        plane_mean_kbps=plane_mean,
+        plane_stats=stats,
+        peak_rss_mb=peak_rss_mb(),
+        plane_kbps=plane_kbps,
+    )

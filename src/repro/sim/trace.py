@@ -4,17 +4,30 @@ Section III's adversary "can monitor and record the traffic on network
 links".  :class:`TraceRecorder` is that observer: it records message
 metadata (never plaintext — the observer cannot invert encryptions) for
 privacy analysis, and full references for white-box test assertions.
+
+:class:`ColumnarRoundSpill` is the population tier's on-disk trace
+format: dense per-round rows over a fixed node universe, one
+little-endian int64 binary file per field, so a million-node run's
+per-round byte series stream to disk instead of accumulating in RAM.
 """
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterator, List, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.sim.message import Message
 
-__all__ = ["TraceRecord", "TraceRecorder"]
+try:  # the columnar spill is numpy-backed (population tier only)
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is an optional extra
+    _np = None
+
+__all__ = ["TraceRecord", "TraceRecorder", "ColumnarRoundSpill"]
 
 
 @dataclass(frozen=True)
@@ -85,3 +98,185 @@ class TraceRecorder:
     def clear(self) -> None:
         self.records.clear()
         self.messages.clear()
+
+
+class ColumnarRoundSpill:
+    """Columnar on-disk per-round store over a fixed node universe.
+
+    Each round appends one dense int64 row per field (``up``/``down``
+    bytes by default) to that field's binary file; a small in-RAM
+    buffer batches writes, so memory stays bounded by
+    ``buffer_rounds * n_nodes * 8`` bytes per field regardless of how
+    many rounds the run lasts.  Rows are raw little-endian int64, so a
+    row's file offset is simply ``round * n_nodes * 8`` and windowed
+    reads stream back in bounded chunks.
+
+    Node ids are row indices ``0..n_nodes-1``; callers with a global id
+    space put their offset on top (see
+    :class:`~repro.sim.metrics.SpilledMeter`).
+    """
+
+    _CHUNK_ROUNDS = 16
+
+    def __init__(
+        self,
+        n_nodes: int,
+        directory: Optional[str] = None,
+        fields: Tuple[str, ...] = ("up", "down"),
+        buffer_rounds: int = 4,
+    ) -> None:
+        if _np is None:  # pragma: no cover - numpy is baked into CI
+            raise RuntimeError("the columnar spill requires numpy")
+        if n_nodes < 1:
+            raise ValueError("spill needs a non-empty node universe")
+        if not fields:
+            raise ValueError("spill needs at least one field")
+        if buffer_rounds < 1:
+            raise ValueError("buffer must hold at least one round")
+        self.n_nodes = n_nodes
+        self.fields = tuple(fields)
+        self.buffer_rounds = buffer_rounds
+        self._owns_directory = directory is None
+        if directory is None:
+            directory = tempfile.mkdtemp(prefix="repro-spill-")
+        self.directory = directory
+        self._paths = {
+            name: os.path.join(directory, f"{name}.i64")
+            for name in self.fields
+        }
+        for path in self._paths.values():
+            # Truncate stale files: a reused spill dir must not leak a
+            # previous run's rows into this one's round numbering.
+            open(path, "wb").close()
+        self._buffers: Dict[str, List[object]] = {
+            name: [] for name in self.fields
+        }
+        self._flushed_rounds = 0
+        self._closed = False
+
+    @property
+    def rounds_written(self) -> int:
+        """Rounds appended so far (flushed or still buffered)."""
+        return self._flushed_rounds + len(self._buffers[self.fields[0]])
+
+    def append_round(self, rows: Mapping[str, object]) -> None:
+        """Append one round: a dense row per field, all fields at once."""
+        if self._closed:
+            raise RuntimeError("spill is closed")
+        if set(rows) != set(self.fields):
+            raise ValueError(
+                f"round rows must cover exactly {sorted(self.fields)}, "
+                f"got {sorted(rows)}"
+            )
+        staged = {}
+        for name, row in rows.items():
+            arr = _np.ascontiguousarray(row, dtype=_np.int64)
+            if arr.shape != (self.n_nodes,):
+                raise ValueError(
+                    f"field {name!r} row has shape {arr.shape}, "
+                    f"expected ({self.n_nodes},)"
+                )
+            staged[name] = arr
+        for name, arr in staged.items():
+            self._buffers[name].append(arr)
+        if len(self._buffers[self.fields[0]]) >= self.buffer_rounds:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write buffered rounds to disk (little-endian int64 rows)."""
+        if self._closed:
+            return
+        for name in self.fields:
+            buffered = self._buffers[name]
+            if not buffered:
+                continue
+            block = _np.concatenate(buffered)
+            if block.dtype.byteorder == ">":  # pragma: no cover
+                block = block.astype("<i8")
+            with open(self._paths[name], "ab") as fh:
+                fh.write(block.tobytes())
+            buffered.clear()
+        self._flushed_rounds = self._disk_rounds()
+
+    def _disk_rounds(self) -> int:
+        row_bytes = self.n_nodes * 8
+        size = os.path.getsize(self._paths[self.fields[0]])
+        return size // row_bytes
+
+    def _check_field(self, field_name: str) -> None:
+        if field_name not in self._paths:
+            raise ValueError(
+                f"unknown spill field {field_name!r}; "
+                f"have {sorted(self.fields)}"
+            )
+
+    def read_round(self, field_name: str, rnd: int):
+        """One round's dense row for a field, as an int64 array."""
+        self._check_field(field_name)
+        if not 0 <= rnd < self.rounds_written:
+            raise ValueError(
+                f"round {rnd} outside the {self.rounds_written} "
+                "spilled rounds"
+            )
+        self.flush()
+        row_bytes = self.n_nodes * 8
+        with open(self._paths[field_name], "rb") as fh:
+            fh.seek(rnd * row_bytes)
+            data = fh.read(row_bytes)
+        return _np.frombuffer(data, dtype="<i8").astype(
+            _np.int64, copy=False
+        )
+
+    def window_sum(
+        self, field_name: str, first_round: int, last_round: int
+    ):
+        """Per-node sum over an inclusive round window, streamed.
+
+        Reads at most ``_CHUNK_ROUNDS`` rows at a time, so a window sum
+        over a long run never materialises the full (node × round)
+        block in memory.  Rounds beyond what was written contribute
+        zero (matching :class:`~repro.sim.metrics.BandwidthMeter`'s
+        padded-series semantics).
+        """
+        self._check_field(field_name)
+        if first_round < 0:
+            raise ValueError(
+                f"first_round must be non-negative, got {first_round}"
+            )
+        if last_round < first_round:
+            raise ValueError(
+                f"inverted round window: last_round {last_round} "
+                f"precedes first_round {first_round}"
+            )
+        self.flush()
+        last = min(last_round, self.rounds_written - 1)
+        total = _np.zeros(self.n_nodes, dtype=_np.int64)
+        if last < first_round:
+            return total
+        row_bytes = self.n_nodes * 8
+        with open(self._paths[field_name], "rb") as fh:
+            rnd = first_round
+            while rnd <= last:
+                count = min(self._CHUNK_ROUNDS, last - rnd + 1)
+                fh.seek(rnd * row_bytes)
+                block = _np.frombuffer(
+                    fh.read(count * row_bytes), dtype="<i8"
+                ).reshape(count, self.n_nodes)
+                total += block.sum(axis=0, dtype=_np.int64)
+                rnd += count
+        return total
+
+    def bytes_on_disk(self) -> int:
+        """Total spill file size (flushed rows only)."""
+        return sum(
+            os.path.getsize(path) for path in self._paths.values()
+        )
+
+    def close(self) -> None:
+        """Flush and, when the spill owns its directory, remove it."""
+        if self._closed:
+            return
+        self.flush()
+        self._closed = True
+        if self._owns_directory:
+            shutil.rmtree(self.directory, ignore_errors=True)

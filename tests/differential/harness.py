@@ -66,6 +66,12 @@ def small_spec(name: str, **extra) -> ScenarioSpec:
     overrides = dict(extra)
     if name not in FIXED_SCALE:
         overrides.update(SMALL)
+        if spec.population:
+            # Population specs shrink their plane too (a million-node
+            # plane has no place in a smoke sweep); the plane attaches
+            # to the engine regardless of policy, so the cohort's
+            # cross-policy bit-identity checks run unchanged.
+            overrides.setdefault("population", 56)
     spec = spec.with_overrides(**overrides)
     return dataclasses.replace(spec, policy=None)
 

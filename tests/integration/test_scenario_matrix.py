@@ -34,6 +34,8 @@ def _small(name):
     spec = get_scenario(name)
     if name in FIXED_SCALE:
         return spec
+    if spec.population:
+        return spec.with_overrides(**SMALL, population=64)
     return spec.with_overrides(**SMALL)
 
 

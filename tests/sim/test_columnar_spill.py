@@ -1,0 +1,187 @@
+"""Unit coverage for the columnar on-disk round spill.
+
+The population tier appends one dense int64 row per field per round and
+reads windows back in bounded chunks; these tests pin the on-disk
+layout (raw little-endian int64 rows), the buffered/flushed duality,
+zero-padding past the written rounds, directory ownership, and every
+argument-validation path.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.sim.trace import ColumnarRoundSpill
+
+
+def _rows(n_nodes, rnd, fields=("up", "down")):
+    """Deterministic distinct rows per (round, field)."""
+    return {
+        name: np.arange(n_nodes, dtype=np.int64) * (rnd + 1)
+        + (100 * idx)
+        for idx, name in enumerate(fields)
+    }
+
+
+def test_round_trip_and_window_sum(tmp_path):
+    spill = ColumnarRoundSpill(5, directory=str(tmp_path))
+    for rnd in range(7):
+        spill.append_round(_rows(5, rnd))
+    assert spill.rounds_written == 7
+    for rnd in range(7):
+        expected = _rows(5, rnd)
+        for field in ("up", "down"):
+            np.testing.assert_array_equal(
+                spill.read_round(field, rnd), expected[field]
+            )
+    # Window sum equals the sum of the read-back rows.
+    manual = sum(_rows(5, rnd)["down"] for rnd in range(2, 6))
+    np.testing.assert_array_equal(
+        spill.window_sum("down", 2, 5), manual
+    )
+    spill.close()
+
+
+def test_buffered_rows_are_readable_before_flush(tmp_path):
+    spill = ColumnarRoundSpill(
+        3, directory=str(tmp_path), buffer_rounds=10
+    )
+    spill.append_round(_rows(3, 0))
+    spill.append_round(_rows(3, 1))
+    # Nothing has hit the disk yet, but reads must still see the rows
+    # (read paths flush first).
+    assert spill.rounds_written == 2
+    np.testing.assert_array_equal(
+        spill.read_round("up", 1), _rows(3, 1)["up"]
+    )
+    assert spill.bytes_on_disk() == 2 * 3 * 8 * 2  # rounds*nodes*8*fields
+    spill.close()
+
+
+def test_auto_flush_at_buffer_rounds(tmp_path):
+    spill = ColumnarRoundSpill(
+        4, directory=str(tmp_path), buffer_rounds=2
+    )
+    spill.append_round(_rows(4, 0))
+    assert os.path.getsize(tmp_path / "up.i64") == 0
+    spill.append_round(_rows(4, 1))
+    # Second append crossed the buffer threshold: both rounds on disk.
+    assert os.path.getsize(tmp_path / "up.i64") == 2 * 4 * 8
+    spill.close()
+
+
+def test_window_sum_zero_pads_past_written_rounds(tmp_path):
+    spill = ColumnarRoundSpill(3, directory=str(tmp_path))
+    spill.append_round({"up": [1, 2, 3], "down": [4, 5, 6]})
+    spill.append_round({"up": [10, 20, 30], "down": [40, 50, 60]})
+    # Window extends far past the data: missing rounds contribute zero,
+    # matching BandwidthMeter's padded-series semantics.
+    np.testing.assert_array_equal(
+        spill.window_sum("up", 0, 99), np.array([11, 22, 33])
+    )
+    # Window entirely past the data sums to zero.
+    np.testing.assert_array_equal(
+        spill.window_sum("up", 50, 99), np.zeros(3, dtype=np.int64)
+    )
+    spill.close()
+
+
+def test_window_sum_streams_chunked(tmp_path):
+    # More rounds than _CHUNK_ROUNDS forces the chunked path.
+    n_rounds = ColumnarRoundSpill._CHUNK_ROUNDS * 2 + 3
+    spill = ColumnarRoundSpill(2, directory=str(tmp_path))
+    for rnd in range(n_rounds):
+        spill.append_round(
+            {"up": [rnd, 2 * rnd], "down": [0, 0]}
+        )
+    total = spill.window_sum("up", 0, n_rounds - 1)
+    s = n_rounds * (n_rounds - 1) // 2
+    np.testing.assert_array_equal(total, np.array([s, 2 * s]))
+    spill.close()
+
+
+def test_reused_directory_truncates_stale_files(tmp_path):
+    first = ColumnarRoundSpill(2, directory=str(tmp_path))
+    first.append_round({"up": [1, 1], "down": [2, 2]})
+    first.flush()
+    # A user-supplied directory is kept on close, files included.
+    first.close()
+    assert os.path.getsize(tmp_path / "up.i64") == 2 * 8
+    # A new spill over the same directory must not inherit those rows.
+    second = ColumnarRoundSpill(2, directory=str(tmp_path))
+    assert second.rounds_written == 0
+    assert os.path.getsize(tmp_path / "up.i64") == 0
+    second.close()
+
+
+def test_owned_tempdir_is_removed_on_close():
+    spill = ColumnarRoundSpill(2)
+    directory = spill.directory
+    spill.append_round({"up": [1, 2], "down": [3, 4]})
+    assert os.path.isdir(directory)
+    spill.close()
+    assert not os.path.exists(directory)
+    # close() is idempotent.
+    spill.close()
+
+
+def test_append_after_close_raises(tmp_path):
+    spill = ColumnarRoundSpill(2, directory=str(tmp_path))
+    spill.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        spill.append_round({"up": [1, 2], "down": [3, 4]})
+
+
+@pytest.mark.parametrize(
+    "kwargs, message",
+    [
+        (dict(n_nodes=0), "non-empty node universe"),
+        (dict(n_nodes=3, fields=()), "at least one field"),
+        (dict(n_nodes=3, buffer_rounds=0), "at least one round"),
+    ],
+)
+def test_constructor_validation(tmp_path, kwargs, message):
+    kwargs.setdefault("directory", str(tmp_path))
+    with pytest.raises(ValueError, match=message):
+        ColumnarRoundSpill(**kwargs)
+
+
+def test_append_validates_fields_and_shape(tmp_path):
+    spill = ColumnarRoundSpill(3, directory=str(tmp_path))
+    with pytest.raises(ValueError, match="exactly"):
+        spill.append_round({"up": [1, 2, 3]})  # missing "down"
+    with pytest.raises(ValueError, match="exactly"):
+        spill.append_round(
+            {"up": [1, 2, 3], "down": [1, 2, 3], "mon": [1, 2, 3]}
+        )
+    with pytest.raises(ValueError, match="shape"):
+        spill.append_round({"up": [1, 2], "down": [1, 2, 3]})
+    # A failed append stages nothing.
+    assert spill.rounds_written == 0
+    spill.close()
+
+
+def test_read_validation(tmp_path):
+    spill = ColumnarRoundSpill(2, directory=str(tmp_path))
+    spill.append_round({"up": [1, 2], "down": [3, 4]})
+    with pytest.raises(ValueError, match="unknown spill field"):
+        spill.read_round("sideways", 0)
+    with pytest.raises(ValueError, match="outside"):
+        spill.read_round("up", 1)
+    with pytest.raises(ValueError, match="outside"):
+        spill.read_round("up", -1)
+    with pytest.raises(ValueError, match="non-negative"):
+        spill.window_sum("up", -1, 3)
+    with pytest.raises(ValueError, match="inverted"):
+        spill.window_sum("up", 3, 2)
+    spill.close()
+
+
+def test_on_disk_layout_is_little_endian_int64(tmp_path):
+    spill = ColumnarRoundSpill(2, directory=str(tmp_path))
+    spill.append_round({"up": [1, 258], "down": [0, 0]})
+    spill.flush()
+    raw = (tmp_path / "up.i64").read_bytes()
+    assert raw == np.array([1, 258], dtype="<i8").tobytes()
+    spill.close()

@@ -101,6 +101,31 @@ class TestCommands:
         with pytest.raises(KeyError, match="unknown scenario"):
             main(["run", "--scenario", "fig99"])
 
+    def test_run_population_scenario(self, capsys, tmp_path):
+        json_path = tmp_path / "pop.json"
+        code = main(
+            ["run", "--scenario", "fig9-1m", "--population", "300",
+             "--rounds", "6", "--nodes", "16", "--json",
+             str(json_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "population" in out
+        assert "peak RSS" in out
+        import json
+
+        summary = json.loads(json_path.read_text())
+        assert summary["population"] == 300
+        assert summary["population_mean_down_kbps"] > 0
+        assert summary["plane"]["plane_nodes"] == 284
+
+    def test_run_population_requires_a_scenario(self):
+        with pytest.raises(SystemExit, match="--population"):
+            main(["run", "--nodes", "8", "--rounds", "2",
+                  "--population", "100"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--population", "0"])
+
     def test_scenarios_listing(self, capsys):
         assert main(["scenarios"]) == 0
         out = capsys.readouterr().out
@@ -168,7 +193,7 @@ class TestBenchCommand:
         import json
 
         report = json.loads(out_file.read_text())
-        assert report["schema"] == 5
+        assert report["schema"] == 6
         assert set(report["hashes_per_s"]) == {"256", "512"}
         assert report["primes_per_s"]["512"] > 0
         assert report["engine"]["rounds_per_s"] > 0
@@ -205,6 +230,52 @@ class TestBenchCommand:
         assert ladder["workers"] == 4
         assert ladder["with_table"]["worker_busy_cpu_seconds"] > 0
         assert ladder["without_table"]["worker_busy_cpu_seconds"] > 0
+        population = report["population"]
+        assert population["scenario"] == "fig9-1m"
+        assert population["population"] == 100_000  # quick shrink
+        assert population["nodes_per_sec"] > 0
+        assert population["peak_rss_mb"] > 0
+        assert "population tier" in out
+
+    def test_bench_section_selector_retimes_only_selection(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        out_file = tmp_path / "BENCH_hotpath.json"
+        code = main(
+            ["bench", "--quick", "--section", "primes_per_s",
+             "--out", str(out_file)]
+        )
+        assert code == 0
+        report = json.loads(out_file.read_text())
+        assert report["schema"] == 6
+        assert report["primes_per_s"]["512"] > 0
+        # Non-selected sections were not measured at all.
+        assert "engine" not in report
+        assert "population" not in report
+        capsys.readouterr()
+
+        # A second selective run re-times its section and carries the
+        # previous report's other sections over unchanged.
+        previous_primes = report["primes_per_s"]
+        code = main(
+            ["bench", "--quick", "--section", "hashes_per_s",
+             "--out", str(out_file)]
+        )
+        assert code == 0
+        merged = json.loads(out_file.read_text())
+        assert merged["hashes_per_s"]["512"] > 0
+        assert merged["primes_per_s"] == previous_primes
+        out = capsys.readouterr().out
+        assert "hashes/s 512-bit" in out
+
+    def test_bench_rejects_unknown_section(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown bench section"):
+            main(
+                ["bench", "--quick", "--section", "warp-core",
+                 "--out", str(tmp_path / "b.json")]
+            )
 
 
 class TestFuzzCommand:
