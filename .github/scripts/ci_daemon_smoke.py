@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Two-process daemon smoke for CI.
+
+Spins up two real ``repro daemon`` processes on localhost TCP, drives a
+fig7-shaped session across them with ``repro session --verify-serial``
+(which exits non-zero if the fleet's verdicts differ from an in-process
+serial run of the same spec), and repeats with a free-rider scenario so
+the parity check covers a non-empty verdict set.  Results land in a
+junit XML artifact.
+
+Usage: PYTHONPATH=src python .github/scripts/ci_daemon_smoke.py out.xml
+"""
+
+import os
+import subprocess
+import sys
+import time
+from xml.sax.saxutils import escape
+
+CASES = [
+    (
+        "fig7-clean-run",
+        ["--scenario", "fig7", "--nodes", "14", "--rounds", "6"],
+    ),
+    (
+        "selfish-free-rider-convicted",
+        ["--scenario", "selfish", "--nodes", "14", "--rounds", "6"],
+    ),
+]
+
+DAEMONS_PER_CASE = 2
+
+
+def run_case(flags):
+    """Fresh daemons per case (a daemon serves one session and exits)."""
+    daemons = []
+    try:
+        endpoints = []
+        for _ in range(DAEMONS_PER_CASE):
+            proc = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.cli",
+                    "daemon",
+                    "--listen",
+                    "tcp://127.0.0.1:0",
+                ],
+                stdout=subprocess.PIPE,
+                text=True,
+            )
+            daemons.append(proc)
+            # First stdout line: "daemon listening on tcp://host:port"
+            endpoints.append(proc.stdout.readline().split()[-1])
+        started = time.perf_counter()
+        session = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "session",
+                *flags,
+                "--daemons",
+                ",".join(endpoints),
+                "--verify-serial",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        wall = time.perf_counter() - started
+        for proc in daemons:
+            proc.wait(timeout=60)
+        daemon_rcs = [proc.returncode for proc in daemons]
+        ok = session.returncode == 0 and all(rc == 0 for rc in daemon_rcs)
+        detail = (
+            f"session rc={session.returncode}, daemon rcs={daemon_rcs}\n"
+            f"--- session stdout ---\n{session.stdout}\n"
+            f"--- session stderr ---\n{session.stderr}"
+        )
+        return ok, wall, detail
+    finally:
+        for proc in daemons:
+            if proc.poll() is None:
+                proc.kill()
+
+
+def main() -> int:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "junit-daemon.xml"
+    rows = []
+    failures = 0
+    for name, flags in CASES:
+        ok, wall, detail = run_case(flags)
+        print(f"[{'PASS' if ok else 'FAIL'}] {name} ({wall:.1f}s)")
+        sys.stdout.write(detail + "\n")
+        if not ok:
+            failures += 1
+        rows.append((name, ok, wall, detail))
+    total_wall = sum(wall for _name, _ok, wall, _d in rows)
+    with open(out_path, "w", encoding="utf-8") as fh:
+        fh.write('<?xml version="1.0" encoding="utf-8"?>\n')
+        fh.write(
+            f'<testsuite name="daemon-smoke" tests="{len(rows)}" '
+            f'failures="{failures}" time="{total_wall:.1f}">\n'
+        )
+        for name, ok, wall, detail in rows:
+            fh.write(
+                f'  <testcase classname="daemon-smoke" name="{name}" '
+                f'time="{wall:.1f}"'
+            )
+            if ok:
+                fh.write("/>\n")
+            else:
+                fh.write(
+                    f'><failure message="verdict parity or process '
+                    f'failure">{escape(detail)}</failure></testcase>\n'
+                )
+        fh.write("</testsuite>\n")
+    print(f"junit written to {out_path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

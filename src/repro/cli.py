@@ -51,12 +51,14 @@ def _positive_int(value: str) -> int:
 def _add_policy_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--policy",
-        choices=("serial", "sharded", "parallel"),
+        choices=("serial", "sharded", "parallel", "daemon"),
         default=None,
         help=(
-            "execution policy (see repro.sim.execution); all three are "
-            "bit-identical, 'parallel' runs shards on a worker pool. "
-            "Default: the scenario's own policy knob, else serial."
+            "execution policy (see repro.sim.execution); all are "
+            "bit-identical, 'parallel' runs shards on a worker pool, "
+            "'daemon' round-trips every message through the v1 wire "
+            "codec. Default: the scenario's own policy knob, else "
+            "serial."
         ),
     )
     parser.add_argument(
@@ -202,6 +204,82 @@ def build_parser() -> argparse.ArgumentParser:
             "--section population); other sections are kept from the "
             "existing --out file instead of being re-measured"
         ),
+    )
+
+    daemon = sub.add_parser(
+        "daemon",
+        help=(
+            "host one shard of a session behind a transport endpoint "
+            "(tcp://host:port, unix:///path, mem://name)"
+        ),
+    )
+    daemon.add_argument(
+        "--listen",
+        required=True,
+        metavar="ENDPOINT",
+        help="endpoint to accept the coordinator and peer daemons on",
+    )
+
+    session = sub.add_parser(
+        "session",
+        help=(
+            "coordinate a scenario across node daemons (join handshake, "
+            "round barriers, merged verdict report)"
+        ),
+    )
+    session.add_argument(
+        "--scenario",
+        required=True,
+        help="named scenario from the registry (see 'repro scenarios')",
+    )
+    session.add_argument("--nodes", type=int, default=None)
+    session.add_argument("--rounds", type=int, default=None)
+    session.add_argument(
+        "--daemons",
+        default=None,
+        metavar="EP1,EP2,...",
+        help=(
+            "comma-separated endpoints of already-running daemons "
+            "(one shard each); omit to spawn --local-daemons in-process"
+        ),
+    )
+    session.add_argument(
+        "--local-daemons",
+        type=_positive_int,
+        default=2,
+        metavar="N",
+        help=(
+            "without --daemons: number of in-process daemons to spawn "
+            "(default 2)"
+        ),
+    )
+    session.add_argument(
+        "--transport",
+        choices=("mem", "tcp", "unix"),
+        default="mem",
+        help="transport scheme for --local-daemons (default mem)",
+    )
+    session.add_argument(
+        "--no-batch-relays",
+        action="store_true",
+        help=(
+            "send attestation relays one per frame instead of "
+            "coalescing same-monitor relays into one signed batch"
+        ),
+    )
+    session.add_argument(
+        "--verify-serial",
+        action="store_true",
+        help=(
+            "also run the scenario on the in-process serial engine and "
+            "compare the verdict sets"
+        ),
+    )
+    session.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the merged session report as JSON to PATH",
     )
 
     fuzz = sub.add_parser(
@@ -480,6 +558,110 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_daemon(args) -> int:
+    import asyncio
+
+    from repro.net.daemon import NodeDaemon
+
+    async def serve() -> None:
+        daemon = NodeDaemon(args.listen)
+        endpoint = await daemon.start()
+        print(f"daemon listening on {endpoint}", flush=True)
+        await daemon.serve_forever()
+        print("daemon shut down cleanly")
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("interrupted")
+        return 130
+    return 0
+
+
+def _cmd_session(args) -> int:
+    import asyncio
+    import json
+
+    from repro.net.daemon import (
+        SessionCoordinator,
+        run_coordinated_session,
+        validate_daemon_spec,
+    )
+    from repro.scenarios import get_scenario
+
+    import dataclasses
+
+    spec = get_scenario(args.scenario).with_overrides(
+        nodes=args.nodes, rounds=args.rounds
+    )
+    # The daemon runtime *is* the execution policy; strip the spec's
+    # own knob so --verify-serial compares against the serial baseline.
+    spec = dataclasses.replace(spec, policy=None)
+    validate_daemon_spec(spec)
+    batch_relays = not args.no_batch_relays
+    if args.daemons is not None:
+        endpoints = [
+            item.strip() for item in args.daemons.split(",") if item.strip()
+        ]
+        coordinator = SessionCoordinator(
+            spec, endpoints, batch_relays=batch_relays
+        )
+        result = asyncio.run(coordinator.run())
+    else:
+        result = asyncio.run(
+            run_coordinated_session(
+                spec,
+                shards=args.local_daemons,
+                scheme=args.transport,
+                batch_relays=batch_relays,
+            )
+        )
+    print(
+        f"{result['scenario']}: {result['shards']} shards, "
+        f"{result['rounds']} rounds"
+    )
+    print(
+        f"  wire traffic : {result['frames_sent']} frames, "
+        f"{result['bytes_on_wire']} bytes "
+        f"({result['relay_batches']} relay batches covering "
+        f"{result['relays_batched']} relays)"
+    )
+    if result["mean_continuity"] is not None:
+        print(f"  continuity   : {result['mean_continuity']:.1%}")
+    print(
+        f"  verdicts     : {len(result['verdicts'])} "
+        f"(convicted: {result['convicted']})"
+    )
+    status = 0
+    if args.verify_serial:
+        serial = spec.run()
+        serial_verdicts = sorted(
+            (v.node, v.reason.value, v.exchange_round)
+            for v in serial.session.all_verdicts()
+        )
+        daemon_verdicts = sorted(
+            (node, reason, exchange_round)
+            for node, reason, exchange_round, _ in result["verdicts"]
+        )
+        if serial_verdicts == daemon_verdicts:
+            print(
+                f"  serial parity: OK ({len(serial_verdicts)} verdicts "
+                "match)"
+            )
+        else:
+            print("  serial parity: MISMATCH")
+            print(f"    serial: {serial_verdicts}")
+            print(f"    daemon: {daemon_verdicts}")
+            status = 1
+        result["serial_verdicts"] = serial_verdicts
+        result["serial_parity"] = serial_verdicts == daemon_verdicts
+    if args.json is not None:
+        with open(args.json, "w") as handle:
+            json.dump(result, handle, indent=2)
+        print(f"  report       : {args.json}")
+    return status
+
+
 def _cmd_fuzz(args) -> int:
     import json
 
@@ -567,6 +749,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "export": _cmd_export,
         "bench": _cmd_bench,
         "fuzz": _cmd_fuzz,
+        "daemon": _cmd_daemon,
+        "session": _cmd_session,
     }[args.command]
     return handler(args)
 

@@ -32,6 +32,8 @@ __all__ = [
     "Ack",
     "AckCopy",
     "AttestationRelay",
+    "RelayPair",
+    "AttestationRelayBatch",
     "DeclarationAck",
     "MonitorBroadcast",
     "SelfCheck",
@@ -284,6 +286,75 @@ class AttestationRelay(Message):
             sizes.header
             + self.attestation.wire_bytes(sizes)
             + self.cofactor_prime_count * sizes.prime
+            + sizes.signature
+            + sizes.encryption_overhead
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class RelayPair:
+    """One (attestation, cofactor) pair inside a batched relay.
+
+    The raw material of one message-7 declaration: the server's signed
+    attestation plus the cofactor that lifts it to the declarer's full
+    round key.  ``cofactor_prime_count`` prices the cofactor on the
+    wire (a product of k primes is k * prime bytes wide).
+    """
+
+    attestation: SignedAttestation
+    cofactor: int = 1
+    cofactor_prime_count: int = 0
+
+    def wire_bytes(self, sizes: WireSizes) -> int:
+        return (
+            self.attestation.wire_bytes(sizes)
+            + self.cofactor_prime_count * sizes.prime
+        )
+
+
+@dataclass(slots=True)
+class AttestationRelayBatch(Message):
+    """Message 7, batched: several raw (hash, cofactor) pairs, one
+    signature.
+
+    The wire form the fm>1 batched fold waits on (ROADMAP item 1): when
+    a declarer owes one monitor several per-predecessor declarations in
+    a round (its designation rotation wraps because it has more
+    predecessors than monitors, or it redeclares after a monitor
+    failure), the raw pairs travel in a single signed message instead
+    of one :class:`AttestationRelay` per pair.  Each attestation keeps
+    its server's inner signature; the declarer signs the pair list once
+    (:meth:`payload_desc`).  Receiving monitors fold the raw pairs
+    straight into their round :class:`~repro.core.verification.BatchVerifier`
+    without materialising per-pair lifts, and the designated monitor
+    forwards the *same signed batch* to its peer monitors in place of
+    per-pair MonitorBroadcasts.
+
+    The in-process simulator never emits this type — it exists for the
+    daemon wire path (``repro.net``), which is held to verdict parity
+    with the simulator, not byte parity.  ``declarer`` names the node
+    whose declarations these are; it differs from ``sender`` when a
+    designated monitor forwards the batch to its peers.
+    """
+
+    declarer: int = -1
+    pairs: Tuple[RelayPair, ...] = ()
+    signature: int = 0
+    kind: ClassVar[str] = "attestation_relay_batch"
+
+    def payload_desc(self) -> bytes:
+        body = "|".join(
+            f"{pair.attestation.round_no}|{pair.attestation.server}|"
+            f"{pair.cofactor}"
+            for pair in self.pairs
+        )
+        return f"attbatch|{self.round_no}|{self.declarer}|{body}".encode()
+
+    def size_bytes(self, sizes: WireSizes) -> int:
+        body = sum(pair.wire_bytes(sizes) for pair in self.pairs)
+        return (
+            sizes.header
+            + body
             + sizes.signature
             + sizes.encryption_overhead
         )

@@ -40,6 +40,7 @@ from repro.core.messages import (
     AckCopy,
     AckRelay,
     AttestationRelay,
+    AttestationRelayBatch,
     Confirm,
     DeclarationAck,
     InvestigateRequest,
@@ -75,6 +76,10 @@ class _ReceiverRecord:
     attestation: Optional[object] = None
     cofactor: int = 1
     processed: bool = False
+    #: the attestation arrived inside an AttestationRelayBatch, whose
+    #: peer sharing is the forwarded batch itself — the pair folds into
+    #: the round's BatchVerifier instead of materialising a lift.
+    batched: bool = False
 
 
 @dataclass
@@ -133,13 +138,23 @@ class MonitorEngine:
         #: lying monitor's hook) or cross-checked against signed
         #: self-checks (section V-B compares them value by value) must
         #: be materialised per pair, so those paths are unchanged.
+        #: batched *wire* pairs (AttestationRelayBatch) may fold without
+        #: materialised lifts whenever no per-pair value must be
+        #: produced for a transform hook or a section V-B cross-check;
+        #: unlike ``_defer_lifts`` this is independent of batch_verify —
+        #: the message itself is inherently batched.
+        self._fold_batched = lift_transform is None and not getattr(
+            config, "monitor_cross_checks", False
+        )
         self._defer_lifts = (
-            getattr(config, "batch_verify", True)
-            and lift_transform is None
-            and not getattr(config, "monitor_cross_checks", False)
+            getattr(config, "batch_verify", True) and self._fold_batched
         )
         #: (monitored, round) -> deferred same-modulus lift folds.
         self._batch: Dict[Tuple[int, int], BatchVerifier] = {}
+        #: (monitored, pred, round) pairs already folded from a wire
+        #: batch — BatchVerifier adds are irreversible, so duplicate
+        #: forwarded copies must be dropped here, not after the fold.
+        self._batch_seen: set[Tuple[int, int, int]] = set()
         #: (monitored, pred, round) -> paired messages 6/7.
         self._receiver_records: Dict[
             Tuple[int, int, int], _ReceiverRecord
@@ -250,6 +265,106 @@ class MonitorEngine:
         record.cofactor = message.cofactor
         self._maybe_process_pair(*key)
 
+    def on_attestation_relay_batch(
+        self, message: AttestationRelayBatch
+    ) -> None:
+        """Batched message 7: raw (hash, cofactor) pairs, one signature.
+
+        Direct from the declarer, every valid pair enters the normal
+        receiver record (paired with its AckCopy, acknowledged with a
+        DeclarationAck, its ack relayed as message 9) — but the lift is
+        never materialised: the same signed batch is forwarded to the
+        peer monitors in place of per-pair MonitorBroadcasts, and every
+        monitor folds the raw pairs through its round
+        :class:`BatchVerifier` (one multi-exponentiation per obligation
+        instead of one wide ``pow`` per pair, now also when fm > 1).
+        """
+        if not self.active:
+            return
+        declarer = message.declarer
+        if not self.context.signer.verify(
+            declarer, message.payload_desc(), message.signature
+        ):
+            # One outer signature covers every cofactor in the list; a
+            # tampered batch is discarded whole, and the declarer's
+            # missing DeclarationAcks rotate the pairs to its next
+            # monitors as individual relays.
+            self.counters["declarations_rejected"] += 1
+            return
+        forwarded = message.sender != declarer
+        if not forwarded and self._fold_batched:
+            # Peer sharing for the whole batch: forward the declarer's
+            # own signed artifact (peers re-verify the declarer's
+            # signature; this monitor cannot corrupt it).
+            for peer in self.context.monitors_of(declarer):
+                if peer == self.host_id:
+                    continue
+                self.send(
+                    AttestationRelayBatch(
+                        sender=self.host_id,
+                        recipient=peer,
+                        round_no=message.round_no,
+                        declarer=declarer,
+                        pairs=message.pairs,
+                        signature=message.signature,
+                    )
+                )
+        for pair in message.pairs:
+            att = pair.attestation
+            if not self.context.signer.verify(
+                att.server, att.payload_bytes_desc(), att.signature
+            ):
+                self.counters["declarations_rejected"] += 1
+                continue
+            if forwarded:
+                self._on_forwarded_pair(declarer, pair, message.sender)
+                continue
+            key = (declarer, att.server, att.round_no)
+            record = self._record_for(*key)
+            record.attestation = att
+            record.cofactor = pair.cofactor
+            record.batched = self._fold_batched
+            self._maybe_process_pair(*key)
+
+    def _on_forwarded_pair(
+        self, monitored: int, pair, source: int
+    ) -> None:
+        """A peer-forwarded batch pair: fold it, or fall back to a
+        materialised lift when a transform/cross-check needs per-pair
+        values (mirroring :meth:`on_monitor_broadcast`)."""
+        att = pair.attestation
+        if self._fold_batched:
+            self._fold_wire_pair(monitored, att, pair.cofactor)
+            return
+        hasher = self.context.hasher
+        self._accumulate(
+            monitored,
+            att.round_no,
+            att.server,
+            lift_attested(hasher, att.hash_forward, pair.cofactor),
+            lift_attested(hasher, att.hash_ack_only, pair.cofactor),
+            source=source,
+        )
+
+    def _fold_wire_pair(
+        self, monitored: int, att, cofactor: int
+    ) -> None:
+        """Fold one wire-carried raw pair into the round's verifier.
+
+        The ack-only lift is tallied but folded out: monitors
+        acknowledge the expiring/duplicate list without adding it to
+        the forwarding obligation (section V-D).
+        """
+        key = (monitored, att.server, att.round_no)
+        if key in self._batch_seen:
+            return
+        self._batch_seen.add(key)
+        verifier = self._batch.setdefault(
+            (monitored, att.round_no), BatchVerifier(self.context.hasher)
+        )
+        verifier.add(att.hash_forward, cofactor)
+        verifier.add(att.hash_ack_only, cofactor, include=False)
+
     def _record_for(
         self, monitored: int, predecessor: int, round_no: int
     ) -> _ReceiverRecord:
@@ -285,6 +400,14 @@ class MonitorEngine:
         )
         att = record.attestation
         hasher = self.context.hasher
+        if record.batched:
+            # The pair arrived in an AttestationRelayBatch: the signed
+            # batch itself was forwarded to the peer monitors, so no
+            # per-pair lift is ever materialised — fold the raw pair
+            # (even when fm > 1) and relay the ack as usual.
+            self._fold_wire_pair(monitored, att, record.cofactor)
+            self._relay_ack(predecessor, record.ack, round_no)
+            return
         if self._defer_lifts and not any(
             peer != self.host_id
             for peer in self.context.monitors_of(monitored)
@@ -876,6 +999,9 @@ class MonitorEngine:
             del self._lifted[key]
         for key in [k for k in self._batch if k[1] < horizon]:
             del self._batch[key]
+        self._batch_seen = {
+            k for k in self._batch_seen if k[2] >= horizon
+        }
         for key in [k for k in self._self_checks if k[1] < horizon]:
             del self._self_checks[key]
         for key in [k for k in self._relays if k[1] < horizon]:

@@ -30,6 +30,7 @@ from repro.core.messages import (
     AckRelay,
     Attestation,
     AttestationRelay,
+    AttestationRelayBatch,
     Confirm,
     DeclarationAck,
     InvestigateRequest,
@@ -152,6 +153,9 @@ class PagNode(SimNode):
             Ack: self._on_ack,
             AckCopy: self.monitor.on_ack_copy,
             AttestationRelay: self.monitor.on_attestation_relay,
+            AttestationRelayBatch: (
+                self.monitor.on_attestation_relay_batch
+            ),
             MonitorBroadcast: self.monitor.on_monitor_broadcast,
             AckRelay: self.monitor.on_ack_relay,
             Accusation: self.monitor.on_accusation,

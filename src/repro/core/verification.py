@@ -22,6 +22,7 @@ __all__ = [
     "ack_hash",
     "lift_attested",
     "combine_lifted",
+    "fold_wire_pairs",
     "BatchVerifier",
     "ExchangeClassCache",
 ]
@@ -311,3 +312,32 @@ class BatchVerifier:
     def verify(self, acknowledged: int) -> bool:
         """Does the folded obligation match an acknowledged hash?"""
         return self.fold() == acknowledged % self.hasher.modulus
+
+
+def fold_wire_pairs(hasher: HomomorphicHasher, pairs) -> int:
+    """Fold wire-carried raw (hash, cofactor) pairs in one pass.
+
+    The fm>1 batched fold over an
+    :class:`~repro.core.messages.AttestationRelayBatch`'s pair list:
+    each pair contributes ``hash_forward ** cofactor`` to the
+    obligation product, while the acknowledge-only hash is tallied but
+    folded out (section V-D), exactly as the monitor engine does pair
+    by pair.  ``pairs`` is an iterable of
+    ``(hash_forward, hash_ack_only, cofactor)`` triples (or objects
+    exposing an ``attestation`` plus ``cofactor``, i.e.
+    :class:`~repro.core.messages.RelayPair`).  Bit-identical to the
+    sequential ``lift_attested``/``combine_lifted`` chain — one Straus
+    multi-exponentiation instead of one wide ``pow`` per pair.
+    """
+    verifier = BatchVerifier(hasher)
+    for pair in pairs:
+        attestation = getattr(pair, "attestation", None)
+        if attestation is not None:
+            forward = attestation.hash_forward
+            ack_only = attestation.hash_ack_only
+            cofactor = pair.cofactor
+        else:
+            forward, ack_only, cofactor = pair
+        verifier.add(forward, cofactor)
+        verifier.add(ack_only, cofactor, include=False)
+    return verifier.fold()

@@ -1,0 +1,44 @@
+"""Real-process deployment runtime: wire protocol, transports, daemon.
+
+The simulator executes the paper's message sequence in one process;
+this package promotes it to a deployable peer protocol (ROADMAP item
+1): a versioned binary wire codec over every PAG message kind
+(:mod:`repro.net.wire`), a :class:`Transport` abstraction with TCP,
+UNIX-socket and in-memory loopback implementations
+(:mod:`repro.net.transport`), and an asyncio :class:`NodeDaemon`
+hosting a shard of a session's nodes behind a join handshake
+(:mod:`repro.net.daemon`).
+
+The in-process ``DaemonPolicy`` (:mod:`repro.sim.execution`) drives
+every delivered message through this codec and is held bit-identical
+to ``SerialPolicy`` by the differential suite; the multi-process
+daemon path is held to verdict parity.
+"""
+
+from repro.net.wire import (
+    WIRE_VERSION,
+    FrameAssembler,
+    WireError,
+    WireTruncatedError,
+    WireUnknownKindError,
+    WireValidationError,
+    WireVersionError,
+    decode_message,
+    encodable,
+    encode_message,
+    frame,
+)
+
+__all__ = [
+    "WIRE_VERSION",
+    "FrameAssembler",
+    "WireError",
+    "WireTruncatedError",
+    "WireUnknownKindError",
+    "WireValidationError",
+    "WireVersionError",
+    "decode_message",
+    "encodable",
+    "encode_message",
+    "frame",
+]

@@ -1,0 +1,1347 @@
+"""Versioned binary wire codec for the PAG deployment runtime.
+
+Every frame is::
+
+    [u32 big-endian payload length][payload]
+    payload = [u8 version][u8 kind][body]
+
+The codec is *deterministic* — one message has exactly one encoding —
+and *validated at the boundary*: every bounds check (negative ids,
+oversized frames, zero-length pair lists, non-canonical integers,
+trailing bytes) rejects with a crisp :class:`WireError` subclass
+before any crypto work happens downstream.  Unknown kind bytes raise
+:class:`WireUnknownKindError`, short reads :class:`WireTruncatedError`,
+and a foreign protocol version :class:`WireVersionError`.
+
+Primitive layer:
+
+* ``varint`` — unsigned LEB128, at most 10 bytes, canonical (no
+  redundant trailing zero groups).
+* ``id`` — a zigzag-encoded varint; decode rejects negative values, so
+  a crafted frame smuggling ``-1`` ids fails here, not in the engine.
+* ``bigint`` — varint byte length + big-endian magnitude, canonical
+  (no leading zero byte; zero is the empty string).  Hashes, primes,
+  cofactors and signatures are arbitrary-precision integers.
+
+The ``attestation_relay`` kind carries a *pair list*: one entry
+round-trips to the simulator's :class:`AttestationRelay`, two or more
+decode to an :class:`AttestationRelayBatch` — the signed
+(hash, cofactor) pair list the fm>1 batched fold consumes (one outer
+signature, one wire message, one multi-exponentiation at the monitor).
+
+Kind bytes < 64 are session traffic (:mod:`repro.core.messages`);
+bytes >= 64 are daemon control frames (join handshake, round barriers)
+defined at the bottom of this module.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Type
+
+from repro.core.messages import (
+    Accusation,
+    Ack,
+    AckCopy,
+    AckRelay,
+    Attestation,
+    AttestationRelay,
+    AttestationRelayBatch,
+    Confirm,
+    DeclarationAck,
+    InvestigateRequest,
+    InvestigateResponse,
+    KeyRequest,
+    KeyResponse,
+    MonitorBroadcast,
+    MonitorProbe,
+    Nack,
+    ProbeAck,
+    RelayPair,
+    SelfCheck,
+    Serve,
+    ServeEntry,
+    SignedAck,
+    SignedAttestation,
+)
+from repro.gossip.updates import Update
+
+__all__ = [
+    "WIRE_VERSION",
+    "MAX_FRAME_BYTES",
+    "WireError",
+    "WireTruncatedError",
+    "WireVersionError",
+    "WireUnknownKindError",
+    "WireValidationError",
+    "encode_message",
+    "decode_message",
+    "encodable",
+    "frame",
+    "FrameAssembler",
+    "registered_kinds",
+    "JoinRequest",
+    "JoinAccept",
+    "JoinReject",
+    "PeerHello",
+    "RoundStart",
+    "StepMark",
+    "StepDone",
+    "StepGo",
+    "RoundDone",
+    "CollectRequest",
+    "SessionReport",
+    "Shutdown",
+]
+
+#: Protocol version byte; frames from any other version are rejected.
+WIRE_VERSION = 1
+
+#: Hard frame ceiling — an oversized length prefix is rejected before
+#: a single payload byte is read (no attacker-controlled allocation).
+MAX_FRAME_BYTES = 1 << 20
+
+# Structural bounds, enforced at decode before anything touches crypto.
+_MAX_BIGINT_BYTES = 4096
+_MAX_ENTRIES = 1 << 16
+_MAX_BUFFERMAP = 1 << 20
+_MAX_PAIRS = 1 << 12
+_MAX_PRIME_COUNT = 1 << 20
+_MAX_COUNT = 1 << 16
+_MAX_STRING_BYTES = 1 << 16
+
+
+class WireError(Exception):
+    """Base class for every codec failure."""
+
+
+class WireTruncatedError(WireError):
+    """The frame or a field ends before its declared length."""
+
+
+class WireVersionError(WireError):
+    """The payload's protocol-version byte is not ours."""
+
+
+class WireUnknownKindError(WireError):
+    """The payload's kind byte maps to no registered schema."""
+
+
+class WireValidationError(WireError):
+    """A structurally complete frame carries out-of-bounds values."""
+
+
+# ---------------------------------------------------------------------------
+# Primitive readers/writers
+# ---------------------------------------------------------------------------
+
+
+class _Writer:
+    __slots__ = ("_parts",)
+
+    def __init__(self) -> None:
+        self._parts: List[bytes] = []
+
+    def u8(self, value: int) -> None:
+        self._parts.append(bytes((value,)))
+
+    def varint(self, value: int) -> None:
+        if value < 0:
+            raise WireValidationError(
+                f"cannot encode negative varint {value}"
+            )
+        out = bytearray()
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                out.append(byte | 0x80)
+            else:
+                out.append(byte)
+                break
+        self._parts.append(bytes(out))
+
+    def id(self, value: int) -> None:
+        """Zigzag varint; encode refuses negatives (ids are >= 0 on the
+        wire — the in-memory ``-1`` defaults never travel)."""
+        if value < 0:
+            raise WireValidationError(f"cannot encode negative id {value}")
+        self.varint(value << 1)
+
+    def bool(self, value: bool) -> None:
+        self.u8(1 if value else 0)
+
+    def bigint(self, value: int) -> None:
+        if value < 0:
+            raise WireValidationError(
+                f"cannot encode negative integer {value}"
+            )
+        raw = value.to_bytes((value.bit_length() + 7) // 8, "big")
+        if len(raw) > _MAX_BIGINT_BYTES:
+            raise WireValidationError(
+                f"integer of {len(raw)} bytes exceeds the "
+                f"{_MAX_BIGINT_BYTES}-byte wire bound"
+            )
+        self.varint(len(raw))
+        self._parts.append(raw)
+
+    def string(self, value: str) -> None:
+        raw = value.encode("utf-8")
+        if len(raw) > _MAX_STRING_BYTES:
+            raise WireValidationError("string exceeds the wire bound")
+        self.varint(len(raw))
+        self._parts.append(raw)
+
+    def blob(self, value: bytes) -> None:
+        if len(value) > MAX_FRAME_BYTES:
+            raise WireValidationError("blob exceeds the frame bound")
+        self.varint(len(value))
+        self._parts.append(bytes(value))
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+
+class _Reader:
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def _take(self, n: int) -> bytes:
+        end = self.pos + n
+        if end > len(self.data):
+            raise WireTruncatedError(
+                f"field needs {n} bytes at offset {self.pos}, "
+                f"payload has {len(self.data) - self.pos} left"
+            )
+        chunk = self.data[self.pos:end]
+        self.pos = end
+        return chunk
+
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def varint(self, bound: Optional[int] = None) -> int:
+        result = 0
+        shift = 0
+        for _ in range(10):
+            byte = self.u8()
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                if byte == 0 and shift:
+                    raise WireValidationError(
+                        "non-canonical varint (redundant trailing zero)"
+                    )
+                if bound is not None and result > bound:
+                    raise WireValidationError(
+                        f"varint {result} exceeds bound {bound}"
+                    )
+                return result
+            shift += 7
+        raise WireValidationError("varint longer than 10 bytes")
+
+    def id(self) -> int:
+        raw = self.varint()
+        value = (raw >> 1) if not raw & 1 else -((raw + 1) >> 1)
+        if value < 0:
+            raise WireValidationError(f"negative id {value} on the wire")
+        return value
+
+    def bool(self) -> bool:
+        value = self.u8()
+        if value not in (0, 1):
+            raise WireValidationError(f"boolean byte must be 0/1, got {value}")
+        return bool(value)
+
+    def bigint(self) -> int:
+        length = self.varint(bound=_MAX_BIGINT_BYTES)
+        raw = self._take(length)
+        if length and raw[0] == 0:
+            raise WireValidationError(
+                "non-canonical integer (leading zero byte)"
+            )
+        return int.from_bytes(raw, "big")
+
+    def string(self) -> str:
+        length = self.varint(bound=_MAX_STRING_BYTES)
+        try:
+            return self._take(length).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireValidationError(f"invalid utf-8 string: {exc}") from exc
+
+    def blob(self) -> bytes:
+        length = self.varint(bound=MAX_FRAME_BYTES)
+        return bytes(self._take(length))
+
+    def expect_end(self) -> None:
+        if self.pos != len(self.data):
+            raise WireValidationError(
+                f"{len(self.data) - self.pos} trailing bytes after body"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Shared sub-object schemas
+# ---------------------------------------------------------------------------
+
+
+def _put_update(w: _Writer, update: Update) -> None:
+    w.id(update.uid)
+    w.id(update.round_created)
+    w.id(update.expiry_round)
+    w.varint(update.payload_bytes)
+    w.varint(update.session)
+
+
+def _get_update(r: _Reader) -> Update:
+    return Update(
+        uid=r.id(),
+        round_created=r.id(),
+        expiry_round=r.id(),
+        payload_bytes=r.varint(bound=1 << 30),
+        session=r.varint(),
+    )
+
+
+def _put_entry(w: _Writer, entry: ServeEntry) -> None:
+    _put_update(w, entry.update)
+    w.varint(entry.count)
+    w.u8((1 if entry.has_payload else 0) | (2 if entry.ack_only else 0))
+
+
+def _get_entry(r: _Reader) -> ServeEntry:
+    update = _get_update(r)
+    count = r.varint(bound=_MAX_COUNT)
+    if count < 1:
+        raise WireValidationError("serve entry count must be positive")
+    flags = r.u8()
+    if flags > 3:
+        raise WireValidationError(f"unknown serve entry flags {flags:#x}")
+    return ServeEntry(
+        update=update,
+        count=count,
+        has_payload=bool(flags & 1),
+        ack_only=bool(flags & 2),
+    )
+
+
+def _put_entries(w: _Writer, entries: Tuple[ServeEntry, ...]) -> None:
+    w.varint(len(entries))
+    for entry in entries:
+        _put_entry(w, entry)
+
+
+def _get_entries(r: _Reader) -> Tuple[ServeEntry, ...]:
+    return tuple(
+        _get_entry(r) for _ in range(r.varint(bound=_MAX_ENTRIES))
+    )
+
+
+def _put_signed_ack(w: _Writer, ack: SignedAck) -> None:
+    if ack is None:
+        raise WireValidationError("message carries no SignedAck")
+    w.id(ack.round_no)
+    w.id(ack.receiver)
+    w.id(ack.server)
+    w.bigint(ack.hash_total)
+    w.varint(ack.key_prime_count)
+    w.bigint(ack.signature)
+
+
+def _get_signed_ack(r: _Reader) -> SignedAck:
+    return SignedAck(
+        round_no=r.id(),
+        receiver=r.id(),
+        server=r.id(),
+        hash_total=r.bigint(),
+        key_prime_count=r.varint(bound=_MAX_PRIME_COUNT),
+        signature=r.bigint(),
+    )
+
+
+def _put_attestation(w: _Writer, att: SignedAttestation) -> None:
+    if att is None:
+        raise WireValidationError("message carries no SignedAttestation")
+    w.id(att.round_no)
+    w.id(att.server)
+    w.id(att.receiver)
+    w.bigint(att.hash_forward)
+    w.bigint(att.hash_ack_only)
+    w.bigint(att.signature)
+
+
+def _get_attestation(r: _Reader) -> SignedAttestation:
+    return SignedAttestation(
+        round_no=r.id(),
+        server=r.id(),
+        receiver=r.id(),
+        hash_forward=r.bigint(),
+        hash_ack_only=r.bigint(),
+        signature=r.bigint(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Schema registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Schema:
+    kind_byte: int
+    cls: Type
+    encode: Callable  # (writer, message) -> None
+    decode: Callable  # (reader, sender, recipient, round_no) -> message
+    control: bool = False
+
+
+_BY_BYTE: Dict[int, _Schema] = {}
+_BY_CLASS: Dict[Type, _Schema] = {}
+
+
+def _register(schema: _Schema) -> None:
+    if schema.kind_byte in _BY_BYTE:
+        raise ValueError(f"duplicate kind byte {schema.kind_byte}")
+    _BY_BYTE[schema.kind_byte] = schema
+    _BY_CLASS[schema.cls] = schema
+
+
+def _session(kind_byte: int, cls: Type):
+    """Register a session-message schema from a builder returning
+    ``(encode, decode)``."""
+
+    def wrap(build):
+        encode, decode = build()
+        _register(_Schema(kind_byte, cls, encode, decode))
+        return build
+
+    return wrap
+
+
+# -- messages 1-5 -----------------------------------------------------------
+
+
+@_session(1, KeyRequest)
+def _key_request():
+    def encode(w: _Writer, m: KeyRequest) -> None:
+        w.bigint(m.signature)
+
+    def decode(r: _Reader, sender, recipient, round_no) -> KeyRequest:
+        return KeyRequest(
+            sender=sender,
+            recipient=recipient,
+            round_no=round_no,
+            signature=r.bigint(),
+        )
+
+    return encode, decode
+
+
+
+@_session(2, KeyResponse)
+def _key_response():
+    def encode(w: _Writer, m: KeyResponse) -> None:
+        w.bigint(m.prime)
+        # Buffermap members are *encrypted* uids (section V-A), i.e.
+        # wide integers; sorted order makes the encoding canonical.
+        uids = sorted(m.buffermap)
+        w.varint(len(uids))
+        for uid in uids:
+            w.bigint(uid)
+        w.bigint(m.signature)
+
+    def decode(r: _Reader, sender, recipient, round_no) -> KeyResponse:
+        prime = r.bigint()
+        count = r.varint(bound=_MAX_BUFFERMAP)
+        uids = []
+        last = -1
+        for _ in range(count):
+            uid = r.bigint()
+            if uid <= last:
+                raise WireValidationError(
+                    "buffermap uids must be strictly increasing"
+                )
+            uids.append(uid)
+            last = uid
+        return KeyResponse(
+            sender=sender,
+            recipient=recipient,
+            round_no=round_no,
+            prime=prime,
+            buffermap=frozenset(uids),
+            signature=r.bigint(),
+        )
+
+    return encode, decode
+
+
+
+@_session(3, Serve)
+def _serve():
+    def encode(w: _Writer, m: Serve) -> None:
+        w.bigint(m.key_prev)
+        w.varint(m.key_prime_count)
+        _put_entries(w, m.entries)
+        w.bigint(m.signature)
+
+    def decode(r: _Reader, sender, recipient, round_no) -> Serve:
+        return Serve(
+            sender=sender,
+            recipient=recipient,
+            round_no=round_no,
+            key_prev=r.bigint(),
+            key_prime_count=r.varint(bound=_MAX_PRIME_COUNT),
+            entries=_get_entries(r),
+            signature=r.bigint(),
+        )
+
+    return encode, decode
+
+
+
+@_session(4, Attestation)
+def _attestation():
+    def encode(w: _Writer, m: Attestation) -> None:
+        _put_attestation(w, m.attestation)
+
+    def decode(r: _Reader, sender, recipient, round_no) -> Attestation:
+        return Attestation(
+            sender=sender,
+            recipient=recipient,
+            round_no=round_no,
+            attestation=_get_attestation(r),
+        )
+
+    return encode, decode
+
+
+
+@_session(5, Ack)
+def _ack():
+    def encode(w: _Writer, m: Ack) -> None:
+        _put_signed_ack(w, m.ack)
+
+    def decode(r: _Reader, sender, recipient, round_no) -> Ack:
+        return Ack(
+            sender=sender,
+            recipient=recipient,
+            round_no=round_no,
+            ack=_get_signed_ack(r),
+        )
+
+    return encode, decode
+
+
+
+# -- messages 6-9 and the declaration seam ----------------------------------
+
+
+@_session(6, AckCopy)
+def _ack_copy():
+    def encode(w: _Writer, m: AckCopy) -> None:
+        _put_signed_ack(w, m.ack)
+
+    def decode(r: _Reader, sender, recipient, round_no) -> AckCopy:
+        return AckCopy(
+            sender=sender,
+            recipient=recipient,
+            round_no=round_no,
+            ack=_get_signed_ack(r),
+        )
+
+    return encode, decode
+
+
+
+def _put_relay_pair(w: _Writer, pair: RelayPair) -> None:
+    _put_attestation(w, pair.attestation)
+    if pair.cofactor < 1:
+        raise WireValidationError("relay cofactor must be positive")
+    w.bigint(pair.cofactor)
+    w.varint(pair.cofactor_prime_count)
+
+
+def _get_relay_pair(r: _Reader) -> RelayPair:
+    attestation = _get_attestation(r)
+    cofactor = r.bigint()
+    if cofactor < 1:
+        raise WireValidationError("relay cofactor must be positive")
+    return RelayPair(
+        attestation=attestation,
+        cofactor=cofactor,
+        cofactor_prime_count=r.varint(bound=_MAX_PRIME_COUNT),
+    )
+
+
+def _encode_relay(w: _Writer, m: AttestationRelay) -> None:
+    w.id(m.sender)  # the declarer: a lone relay is never forwarded
+    w.varint(1)
+    _put_relay_pair(
+        w,
+        RelayPair(
+            attestation=m.attestation,
+            cofactor=m.cofactor,
+            cofactor_prime_count=m.cofactor_prime_count,
+        ),
+    )
+    w.bigint(m.signature)
+
+
+def _encode_relay_batch(w: _Writer, m: AttestationRelayBatch) -> None:
+    if len(m.pairs) < 2:
+        raise WireValidationError(
+            "a relay batch needs at least two pairs; send a lone pair "
+            "as a plain attestation_relay"
+        )
+    w.id(m.declarer)
+    w.varint(len(m.pairs))
+    for pair in m.pairs:
+        _put_relay_pair(w, pair)
+    w.bigint(m.signature)
+
+
+def _decode_relay(r: _Reader, sender, recipient, round_no):
+    declarer = r.id()
+    count = r.varint(bound=_MAX_PAIRS)
+    if count < 1:
+        raise WireValidationError("zero-length relay pair list")
+    pairs = tuple(_get_relay_pair(r) for _ in range(count))
+    signature = r.bigint()
+    if count == 1:
+        if declarer != sender:
+            raise WireValidationError(
+                "a single-pair relay must come from its declarer"
+            )
+        pair = pairs[0]
+        return AttestationRelay(
+            sender=sender,
+            recipient=recipient,
+            round_no=round_no,
+            attestation=pair.attestation,
+            cofactor=pair.cofactor,
+            cofactor_prime_count=pair.cofactor_prime_count,
+            signature=signature,
+        )
+    return AttestationRelayBatch(
+        sender=sender,
+        recipient=recipient,
+        round_no=round_no,
+        declarer=declarer,
+        pairs=pairs,
+        signature=signature,
+    )
+
+
+_register(_Schema(7, AttestationRelay, _encode_relay, _decode_relay))
+_BY_CLASS[AttestationRelayBatch] = _Schema(
+    7, AttestationRelayBatch, _encode_relay_batch, _decode_relay
+)
+
+
+@_session(8, MonitorBroadcast)
+def _monitor_broadcast():
+    def encode(w: _Writer, m: MonitorBroadcast) -> None:
+        w.id(m.monitored)
+        w.id(m.predecessor)
+        w.bigint(m.lifted_forward)
+        w.bigint(m.lifted_ack_only)
+        _put_signed_ack(w, m.ack)
+        w.bigint(m.signature)
+
+    def decode(r: _Reader, sender, recipient, round_no) -> MonitorBroadcast:
+        return MonitorBroadcast(
+            sender=sender,
+            recipient=recipient,
+            round_no=round_no,
+            monitored=r.id(),
+            predecessor=r.id(),
+            lifted_forward=r.bigint(),
+            lifted_ack_only=r.bigint(),
+            ack=_get_signed_ack(r),
+            signature=r.bigint(),
+        )
+
+    return encode, decode
+
+
+
+@_session(9, AckRelay)
+def _ack_relay():
+    def encode(w: _Writer, m: AckRelay) -> None:
+        w.id(m.server)
+        _put_signed_ack(w, m.ack)
+        w.bigint(m.signature)
+
+    def decode(r: _Reader, sender, recipient, round_no) -> AckRelay:
+        return AckRelay(
+            sender=sender,
+            recipient=recipient,
+            round_no=round_no,
+            server=r.id(),
+            ack=_get_signed_ack(r),
+            signature=r.bigint(),
+        )
+
+    return encode, decode
+
+
+
+@_session(10, DeclarationAck)
+def _declaration_ack():
+    def encode(w: _Writer, m: DeclarationAck) -> None:
+        w.id(m.server)
+        w.id(m.exchange_round)
+        w.bigint(m.signature)
+
+    def decode(r: _Reader, sender, recipient, round_no) -> DeclarationAck:
+        return DeclarationAck(
+            sender=sender,
+            recipient=recipient,
+            round_no=round_no,
+            server=r.id(),
+            exchange_round=r.id(),
+            signature=r.bigint(),
+        )
+
+    return encode, decode
+
+
+
+@_session(11, SelfCheck)
+def _self_check():
+    def encode(w: _Writer, m: SelfCheck) -> None:
+        w.id(m.predecessor)
+        w.bigint(m.lifted_forward)
+        w.bigint(m.lifted_ack_only)
+        w.bigint(m.signature)
+
+    def decode(r: _Reader, sender, recipient, round_no) -> SelfCheck:
+        return SelfCheck(
+            sender=sender,
+            recipient=recipient,
+            round_no=round_no,
+            predecessor=r.id(),
+            lifted_forward=r.bigint(),
+            lifted_ack_only=r.bigint(),
+            signature=r.bigint(),
+        )
+
+    return encode, decode
+
+
+
+# -- accusation path and investigations -------------------------------------
+
+
+@_session(12, Accusation)
+def _accusation():
+    def encode(w: _Writer, m: Accusation) -> None:
+        w.id(m.accused)
+        w.id(m.exchange_round)
+        _put_entries(w, m.entries)
+        w.bigint(m.key_prev)
+        w.varint(m.key_prime_count)
+        w.bool(m.attestation is not None)
+        if m.attestation is not None:
+            _put_attestation(w, m.attestation)
+        w.bigint(m.signature)
+
+    def decode(r: _Reader, sender, recipient, round_no) -> Accusation:
+        return Accusation(
+            sender=sender,
+            recipient=recipient,
+            round_no=round_no,
+            accused=r.id(),
+            exchange_round=r.id(),
+            entries=_get_entries(r),
+            key_prev=r.bigint(),
+            key_prime_count=r.varint(bound=_MAX_PRIME_COUNT),
+            attestation=_get_attestation(r) if r.bool() else None,
+            signature=r.bigint(),
+        )
+
+    return encode, decode
+
+
+
+@_session(13, MonitorProbe)
+def _monitor_probe():
+    def encode(w: _Writer, m: MonitorProbe) -> None:
+        w.id(m.accuser)
+        w.id(m.exchange_round)
+        _put_entries(w, m.entries)
+        w.bigint(m.key_prev)
+        w.varint(m.key_prime_count)
+        w.bigint(m.signature)
+
+    def decode(r: _Reader, sender, recipient, round_no) -> MonitorProbe:
+        return MonitorProbe(
+            sender=sender,
+            recipient=recipient,
+            round_no=round_no,
+            accuser=r.id(),
+            exchange_round=r.id(),
+            entries=_get_entries(r),
+            key_prev=r.bigint(),
+            key_prime_count=r.varint(bound=_MAX_PRIME_COUNT),
+            signature=r.bigint(),
+        )
+
+    return encode, decode
+
+
+
+@_session(14, ProbeAck)
+def _probe_ack():
+    def encode(w: _Writer, m: ProbeAck) -> None:
+        _put_signed_ack(w, m.ack)
+
+    def decode(r: _Reader, sender, recipient, round_no) -> ProbeAck:
+        return ProbeAck(
+            sender=sender,
+            recipient=recipient,
+            round_no=round_no,
+            ack=_get_signed_ack(r),
+        )
+
+    return encode, decode
+
+
+
+@_session(15, Confirm)
+def _confirm():
+    def encode(w: _Writer, m: Confirm) -> None:
+        _put_signed_ack(w, m.ack)
+        w.bigint(m.signature)
+
+    def decode(r: _Reader, sender, recipient, round_no) -> Confirm:
+        return Confirm(
+            sender=sender,
+            recipient=recipient,
+            round_no=round_no,
+            ack=_get_signed_ack(r),
+            signature=r.bigint(),
+        )
+
+    return encode, decode
+
+
+
+@_session(16, Nack)
+def _nack():
+    def encode(w: _Writer, m: Nack) -> None:
+        w.id(m.accused)
+        w.id(m.accuser)
+        w.id(m.exchange_round)
+        w.bigint(m.signature)
+
+    def decode(r: _Reader, sender, recipient, round_no) -> Nack:
+        return Nack(
+            sender=sender,
+            recipient=recipient,
+            round_no=round_no,
+            accused=r.id(),
+            accuser=r.id(),
+            exchange_round=r.id(),
+            signature=r.bigint(),
+        )
+
+    return encode, decode
+
+
+
+@_session(17, InvestigateRequest)
+def _investigate_request():
+    def encode(w: _Writer, m: InvestigateRequest) -> None:
+        w.id(m.successor)
+        w.id(m.exchange_round)
+        w.bigint(m.signature)
+
+    def decode(r: _Reader, sender, recipient, round_no) -> InvestigateRequest:
+        return InvestigateRequest(
+            sender=sender,
+            recipient=recipient,
+            round_no=round_no,
+            successor=r.id(),
+            exchange_round=r.id(),
+            signature=r.bigint(),
+        )
+
+    return encode, decode
+
+
+
+@_session(18, InvestigateResponse)
+def _investigate_response():
+    def encode(w: _Writer, m: InvestigateResponse) -> None:
+        w.id(m.successor)
+        w.id(m.exchange_round)
+        w.bool(m.ack is not None)
+        if m.ack is not None:
+            _put_signed_ack(w, m.ack)
+        w.bool(m.accused_instead)
+        w.bigint(m.signature)
+
+    def decode(
+        r: _Reader, sender, recipient, round_no
+    ) -> InvestigateResponse:
+        return InvestigateResponse(
+            sender=sender,
+            recipient=recipient,
+            round_no=round_no,
+            successor=r.id(),
+            exchange_round=r.id(),
+            ack=_get_signed_ack(r) if r.bool() else None,
+            accused_instead=r.bool(),
+            signature=r.bigint(),
+        )
+
+    return encode, decode
+
+
+
+# ---------------------------------------------------------------------------
+# Daemon control frames (kind bytes >= 64): join handshake + barriers
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JoinRequest:
+    """Coordinator -> daemon: host this shard of the scenario.
+
+    ``spec_json`` is the canonical JSON of the ScenarioSpec every
+    daemon rebuilds its session from (replica-from-spec determinism);
+    ``peers`` are the listen endpoints of all daemons, indexed by
+    shard, so daemon ``shard`` dials every lower-numbered peer.
+    """
+
+    shard: int
+    shards: int
+    spec_json: bytes
+    peers: Tuple[str, ...]
+    batch_relays: bool = True
+    kind = "join_request"
+
+
+@dataclass(frozen=True)
+class JoinAccept:
+    """Daemon -> coordinator: session built, peer links up."""
+
+    shard: int
+    nodes_owned: int
+    spec_digest: str
+    kind = "join_accept"
+
+
+@dataclass(frozen=True)
+class JoinReject:
+    """Daemon -> coordinator: cannot host this scenario."""
+
+    reason: str
+    kind = "join_reject"
+
+
+@dataclass(frozen=True)
+class PeerHello:
+    """Daemon -> daemon: identifies the dialing shard on a new link."""
+
+    shard: int
+    kind = "peer_hello"
+
+
+@dataclass(frozen=True)
+class RoundStart:
+    """Coordinator -> daemons: run the begin fan-out of a round."""
+
+    round_no: int
+    kind = "round_start"
+
+
+@dataclass(frozen=True)
+class StepMark:
+    """Daemon -> peer daemons: all my step-``step`` payload frames for
+    this link are ahead of this mark (FIFO barrier)."""
+
+    round_no: int
+    step: int
+    kind = "step_mark"
+
+
+@dataclass(frozen=True)
+class StepDone:
+    """Daemon -> coordinator: step finished; activity counters let the
+    coordinator detect global quiescence."""
+
+    round_no: int
+    step: int
+    delivered: int
+    sent_remote: int
+    pending_local: int
+    kind = "step_done"
+
+
+@dataclass(frozen=True)
+class StepGo:
+    """Coordinator -> daemons: run the next step, or (``proceed`` False)
+    end the round's drain."""
+
+    round_no: int
+    step: int
+    proceed: bool
+    kind = "step_go"
+
+
+@dataclass(frozen=True)
+class RoundDone:
+    """Daemon -> coordinator: end fan-out of the round completed."""
+
+    round_no: int
+    kind = "round_done"
+
+
+@dataclass(frozen=True)
+class CollectRequest:
+    """Coordinator -> daemons: report your shard's outcomes."""
+
+    kind = "collect"
+
+
+@dataclass(frozen=True)
+class SessionReport:
+    """Daemon -> coordinator: JSON outcome payload for the shard."""
+
+    payload: bytes
+    kind = "session_report"
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Coordinator -> daemon: close links and exit cleanly."""
+
+    kind = "shutdown"
+
+
+def _control(kind_byte: int, cls: Type):
+    def wrap(build):
+        encode, decode = build()
+        _register(_Schema(kind_byte, cls, encode, decode, control=True))
+        return build
+
+    return wrap
+
+
+@_control(64, JoinRequest)
+def _join_request():
+    def encode(w: _Writer, m: JoinRequest) -> None:
+        w.varint(m.shard)
+        w.varint(m.shards)
+        w.blob(m.spec_json)
+        w.varint(len(m.peers))
+        for peer in m.peers:
+            w.string(peer)
+        w.bool(m.batch_relays)
+
+    def decode(r: _Reader) -> JoinRequest:
+        shard = r.varint(bound=1 << 16)
+        shards = r.varint(bound=1 << 16)
+        if shards < 1 or shard >= shards:
+            raise WireValidationError(
+                f"join shard {shard} outside 0..{shards - 1}"
+            )
+        return JoinRequest(
+            shard=shard,
+            shards=shards,
+            spec_json=r.blob(),
+            peers=tuple(
+                r.string() for _ in range(r.varint(bound=1 << 16))
+            ),
+            batch_relays=r.bool(),
+        )
+
+    return encode, decode
+
+
+
+@_control(65, JoinAccept)
+def _join_accept():
+    def encode(w: _Writer, m: JoinAccept) -> None:
+        w.varint(m.shard)
+        w.varint(m.nodes_owned)
+        w.string(m.spec_digest)
+
+    def decode(r: _Reader) -> JoinAccept:
+        return JoinAccept(
+            shard=r.varint(bound=1 << 16),
+            nodes_owned=r.varint(bound=1 << 32),
+            spec_digest=r.string(),
+        )
+
+    return encode, decode
+
+
+
+@_control(66, JoinReject)
+def _join_reject():
+    def encode(w: _Writer, m: JoinReject) -> None:
+        w.string(m.reason)
+
+    def decode(r: _Reader) -> JoinReject:
+        return JoinReject(reason=r.string())
+
+    return encode, decode
+
+
+
+@_control(67, PeerHello)
+def _peer_hello():
+    def encode(w: _Writer, m: PeerHello) -> None:
+        w.varint(m.shard)
+
+    def decode(r: _Reader) -> PeerHello:
+        return PeerHello(shard=r.varint(bound=1 << 16))
+
+    return encode, decode
+
+
+
+@_control(68, RoundStart)
+def _round_start():
+    def encode(w: _Writer, m: RoundStart) -> None:
+        w.varint(m.round_no)
+
+    def decode(r: _Reader) -> RoundStart:
+        return RoundStart(round_no=r.varint(bound=1 << 32))
+
+    return encode, decode
+
+
+
+@_control(69, StepMark)
+def _step_mark():
+    def encode(w: _Writer, m: StepMark) -> None:
+        w.varint(m.round_no)
+        w.varint(m.step)
+
+    def decode(r: _Reader) -> StepMark:
+        return StepMark(
+            round_no=r.varint(bound=1 << 32),
+            step=r.varint(bound=1 << 32),
+        )
+
+    return encode, decode
+
+
+
+@_control(70, StepDone)
+def _step_done():
+    def encode(w: _Writer, m: StepDone) -> None:
+        w.varint(m.round_no)
+        w.varint(m.step)
+        w.varint(m.delivered)
+        w.varint(m.sent_remote)
+        w.varint(m.pending_local)
+
+    def decode(r: _Reader) -> StepDone:
+        return StepDone(
+            round_no=r.varint(bound=1 << 32),
+            step=r.varint(bound=1 << 32),
+            delivered=r.varint(),
+            sent_remote=r.varint(),
+            pending_local=r.varint(),
+        )
+
+    return encode, decode
+
+
+
+@_control(71, StepGo)
+def _step_go():
+    def encode(w: _Writer, m: StepGo) -> None:
+        w.varint(m.round_no)
+        w.varint(m.step)
+        w.bool(m.proceed)
+
+    def decode(r: _Reader) -> StepGo:
+        return StepGo(
+            round_no=r.varint(bound=1 << 32),
+            step=r.varint(bound=1 << 32),
+            proceed=r.bool(),
+        )
+
+    return encode, decode
+
+
+
+@_control(72, RoundDone)
+def _round_done():
+    def encode(w: _Writer, m: RoundDone) -> None:
+        w.varint(m.round_no)
+
+    def decode(r: _Reader) -> RoundDone:
+        return RoundDone(round_no=r.varint(bound=1 << 32))
+
+    return encode, decode
+
+
+
+@_control(73, CollectRequest)
+def _collect_request():
+    def encode(w: _Writer, m: CollectRequest) -> None:
+        pass
+
+    def decode(r: _Reader) -> CollectRequest:
+        return CollectRequest()
+
+    return encode, decode
+
+
+
+@_control(74, SessionReport)
+def _session_report():
+    def encode(w: _Writer, m: SessionReport) -> None:
+        w.blob(m.payload)
+
+    def decode(r: _Reader) -> SessionReport:
+        return SessionReport(payload=r.blob())
+
+    return encode, decode
+
+
+
+@_control(75, Shutdown)
+def _shutdown():
+    def encode(w: _Writer, m: Shutdown) -> None:
+        pass
+
+    def decode(r: _Reader) -> Shutdown:
+        return Shutdown()
+
+    return encode, decode
+
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+
+def registered_kinds() -> Dict[str, int]:
+    """kind string -> kind byte for every registered schema."""
+    return {
+        schema.cls.kind: schema.kind_byte
+        for schema in _BY_CLASS.values()
+    }
+
+
+def encodable(message) -> bool:
+    """Does this message type have a wire schema?
+
+    Baseline protocols (the AcTinG comparator, the push baseline)
+    define their own message types outside the PAG wire catalogue; the
+    loopback policy passes those through unencoded.
+    """
+    return type(message) in _BY_CLASS
+
+
+def encode_message(message) -> bytes:
+    """Message -> payload bytes (``[version][kind][body]``, unframed)."""
+    schema = _BY_CLASS.get(type(message))
+    if schema is None:
+        raise WireUnknownKindError(
+            f"no wire schema for message type {type(message).__name__!r}"
+        )
+    w = _Writer()
+    w.u8(WIRE_VERSION)
+    w.u8(schema.kind_byte)
+    if schema.control:
+        schema.encode(w, message)
+    else:
+        w.id(message.sender)
+        w.id(message.recipient)
+        w.id(message.round_no)
+        schema.encode(w, message)
+    payload = w.getvalue()
+    if len(payload) > MAX_FRAME_BYTES:
+        raise WireValidationError(
+            f"encoded payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame bound"
+        )
+    return payload
+
+
+def decode_message(payload: bytes):
+    """Payload bytes -> message object, fully validated.
+
+    All structural and bounds validation happens here — before any
+    signature verification or hash lifting downstream — so a malformed
+    or hostile frame never reaches crypto code.
+    """
+    r = _Reader(payload)
+    version = r.u8()
+    if version != WIRE_VERSION:
+        raise WireVersionError(
+            f"protocol version {version}, this build speaks "
+            f"{WIRE_VERSION}"
+        )
+    kind_byte = r.u8()
+    schema = _BY_BYTE.get(kind_byte)
+    if schema is None:
+        raise WireUnknownKindError(f"unknown kind byte {kind_byte}")
+    if schema.control:
+        message = schema.decode(r)
+    else:
+        sender = r.id()
+        recipient = r.id()
+        round_no = r.id()
+        message = schema.decode(r, sender, recipient, round_no)
+    r.expect_end()
+    return message
+
+
+def frame(payload: bytes) -> bytes:
+    """Length-prefix one payload for a byte-stream transport."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise WireValidationError(
+            f"payload of {len(payload)} bytes exceeds the frame bound"
+        )
+    return struct.pack(">I", len(payload)) + payload
+
+
+class FrameAssembler:
+    """Incremental splitter of a length-prefixed byte stream.
+
+    Feed arbitrary chunks; complete payloads come back in order.  An
+    oversized length prefix raises :class:`WireValidationError`
+    immediately — before buffering the body — so a hostile peer cannot
+    drive allocation with a forged header.
+    """
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[bytes]:
+        self._buffer.extend(data)
+        payloads: List[bytes] = []
+        while True:
+            if len(self._buffer) < 4:
+                return payloads
+            (length,) = struct.unpack_from(">I", self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise WireValidationError(
+                    f"frame of {length} bytes exceeds the "
+                    f"{MAX_FRAME_BYTES}-byte bound"
+                )
+            if len(self._buffer) < 4 + length:
+                return payloads
+            payloads.append(bytes(self._buffer[4:4 + length]))
+            del self._buffer[:4 + length]
+
+    @property
+    def buffered(self) -> int:
+        """Bytes awaiting a complete frame (0 when drained)."""
+        return len(self._buffer)

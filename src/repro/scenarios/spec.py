@@ -157,7 +157,8 @@ class ScenarioSpec:
         detection_enabled: run the monitoring state machine.
         seed: root seed for all session randomness.
         policy: default execution policy name (``"serial"``,
-            ``"sharded"``, ``"parallel"``, ``"population"``); None lets
+            ``"sharded"``, ``"parallel"``, ``"population"``,
+            ``"daemon"`` — the loopback wire-codec path); None lets
             the engine default (serial) apply.  An explicit policy
             passed to :meth:`run` always wins.  All policies are
             bit-identical — this knob selects an execution backend,
@@ -213,10 +214,12 @@ class ScenarioSpec:
             "sharded",
             "parallel",
             "population",
+            "daemon",
         ):
             raise ValueError(
                 f"unknown execution policy {self.policy!r}; expected "
-                "'serial', 'sharded', 'parallel' or 'population'"
+                "'serial', 'sharded', 'parallel', 'population' or "
+                "'daemon'"
             )
         self._validate_population()
         if self.workers < 1:
@@ -666,8 +669,10 @@ class ScenarioSpec:
         policy = execution_policy
         if policy is None:
             policy = self.make_policy()
-        session = self.build(policy)
+        session = None
+        collected = False
         try:
+            session = self.build(policy)
             session.run(self.rounds)
             if policy is not None:
                 policy.sync_session(session)
@@ -678,10 +683,21 @@ class ScenarioSpec:
                 )
 
                 result = build_population_result(self, session, result)
+            collected = True
             return result
         finally:
             if policy is not None:
                 policy.close()
+            # A run that died mid-flight still owns its population
+            # planes (and their spill directories); collection closes
+            # them on the success path, so only the failure path cleans
+            # up here.
+            if not collected and session is not None:
+                for plane in getattr(session.simulator, "planes", ()):
+                    try:
+                        plane.close()
+                    except Exception:
+                        pass
 
 
 @dataclass

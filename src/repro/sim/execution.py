@@ -68,6 +68,7 @@ __all__ = [
     "ShardedPolicy",
     "ParallelShardedPolicy",
     "ParallelStats",
+    "DaemonPolicy",
     "make_policy",
 ]
 
@@ -167,6 +168,65 @@ class SerialPolicy(ExecutionPolicy):
                 # this.
                 continue
             recipient.on_message(message)
+
+
+class DaemonPolicy(ExecutionPolicy):
+    """Serial FIFO delivery through the v1 wire codec (loopback).
+
+    Every message whose type has a wire schema is encoded, framed,
+    reassembled and decoded before reaching its recipient — exactly the
+    byte path of the node daemon's loopback transport, without sockets
+    or an event loop.  Because the codec round-trip is the identity on
+    message values and the network meters sizes at send time, the
+    schedule, byte accounting, crypto-op counts and verdicts are
+    bit-identical to :class:`SerialPolicy`; the differential suite
+    holds that equality over the whole scenario registry.
+
+    Message types outside the PAG wire catalogue (the AcTinG baseline's
+    audit traffic, the push baseline) pass through unencoded and are
+    tallied in ``passthrough``.
+    """
+
+    name = "daemon"
+
+    def __init__(self) -> None:
+        self.frames = 0
+        self.bytes_on_wire = 0
+        self.passthrough = 0
+        self._assembler = None
+
+    def deliver(
+        self,
+        batch: Sequence["Message"],
+        nodes_get: NodeLookup,
+        network: "Network",
+    ) -> None:
+        # Lazy import: repro.net pulls in the message catalogue, which
+        # the bare engine path never needs.
+        from repro.net import wire
+
+        if self._assembler is None:
+            self._assembler = wire.FrameAssembler()
+        assembler = self._assembler
+        for message in batch:
+            recipient = nodes_get(message.recipient)
+            if recipient is None:
+                # Recipient left the system (churn); gossip tolerates
+                # this.
+                continue
+            if not wire.encodable(message):
+                self.passthrough += 1
+                recipient.on_message(message)
+                continue
+            payloads = assembler.feed(wire.frame(wire.encode_message(message)))
+            if len(payloads) != 1:  # pragma: no cover - codec invariant
+                raise RuntimeError(
+                    f"loopback frame did not reassemble 1:1 "
+                    f"({len(payloads)} payloads)"
+                )
+            self.frames += 1
+            self.bytes_on_wire += len(payloads[0]) + 4
+            recipient.on_message(wire.decode_message(payloads[0]))
 
 
 def _deliver_sharded(
@@ -1093,8 +1153,8 @@ def make_policy(
     """Build a policy from its CLI/scenario name.
 
     Args:
-        name: ``"serial"``, ``"sharded"``, ``"parallel"`` or
-            ``"population"``.
+        name: ``"serial"``, ``"sharded"``, ``"parallel"``,
+            ``"population"`` or ``"daemon"``.
         shards: partition count for ``sharded`` (also the ``parallel``
             worker count when ``workers`` is not given).
         workers: worker count for ``parallel``.
@@ -1105,6 +1165,8 @@ def make_policy(
         return SerialPolicy()
     if name == "sharded":
         return ShardedPolicy(shards=shards)
+    if name == "daemon":
+        return DaemonPolicy()
     if name == "parallel":
         return ParallelShardedPolicy(
             workers=workers if workers is not None else shards,
@@ -1118,5 +1180,5 @@ def make_policy(
         return PopulationPolicy()
     raise ValueError(
         f"unknown execution policy {name!r}; expected 'serial', 'sharded', "
-        "'parallel' or 'population'"
+        "'parallel', 'population' or 'daemon'"
     )

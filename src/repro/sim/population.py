@@ -417,22 +417,26 @@ def build_population_result(
     ``population_spill_dir`` keeps its files).
     """
     plane = session.simulator.planes[0]
-    meter = plane.meter()
-    plane_kbps = meter.window_kbps_vector(
-        round_seconds=session.simulator.round_seconds,
-        first_round=spec.warmup_rounds,
-        direction="down",
-    )
-    plane_mean = float(plane_kbps.mean()) if len(plane_kbps) else 0.0
-    cohort_sum = sum(base.node_kbps.values())
-    total_consumers = len(base.node_kbps) + len(plane_kbps)
-    population_mean = (
-        (cohort_sum + float(plane_kbps.sum())) / total_consumers
-        if total_consumers
-        else 0.0
-    )
-    stats = plane.stats()
-    plane.close()
+    try:
+        meter = plane.meter()
+        plane_kbps = meter.window_kbps_vector(
+            round_seconds=session.simulator.round_seconds,
+            first_round=spec.warmup_rounds,
+            direction="down",
+        )
+        plane_mean = float(plane_kbps.mean()) if len(plane_kbps) else 0.0
+        cohort_sum = sum(base.node_kbps.values())
+        total_consumers = len(base.node_kbps) + len(plane_kbps)
+        population_mean = (
+            (cohort_sum + float(plane_kbps.sum())) / total_consumers
+            if total_consumers
+            else 0.0
+        )
+        stats = plane.stats()
+    finally:
+        # Close unconditionally: a collection that dies mid-read must
+        # not leak the spill's temp directory.
+        plane.close()
     return PopulationResult(
         spec=base.spec,
         session=base.session,

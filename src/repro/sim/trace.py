@@ -154,6 +154,25 @@ class ColumnarRoundSpill:
         self._flushed_rounds = 0
         self._closed = False
 
+    def _ensure_open(self) -> None:
+        """Reject reads and writes on a closed spill explicitly.
+
+        Closing removes an owned directory, so a late ``read_round`` /
+        ``window_sum`` would otherwise surface as a raw
+        ``FileNotFoundError`` from whatever path it opened first.
+        """
+        if self._closed:
+            raise RuntimeError(
+                "spill is closed (its files are gone); read the data "
+                "before close()"
+            )
+
+    def __enter__(self) -> "ColumnarRoundSpill":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     @property
     def rounds_written(self) -> int:
         """Rounds appended so far (flushed or still buffered)."""
@@ -161,8 +180,7 @@ class ColumnarRoundSpill:
 
     def append_round(self, rows: Mapping[str, object]) -> None:
         """Append one round: a dense row per field, all fields at once."""
-        if self._closed:
-            raise RuntimeError("spill is closed")
+        self._ensure_open()
         if set(rows) != set(self.fields):
             raise ValueError(
                 f"round rows must cover exactly {sorted(self.fields)}, "
@@ -212,6 +230,7 @@ class ColumnarRoundSpill:
 
     def read_round(self, field_name: str, rnd: int):
         """One round's dense row for a field, as an int64 array."""
+        self._ensure_open()
         self._check_field(field_name)
         if not 0 <= rnd < self.rounds_written:
             raise ValueError(
@@ -238,6 +257,7 @@ class ColumnarRoundSpill:
         zero (matching :class:`~repro.sim.metrics.BandwidthMeter`'s
         padded-series semantics).
         """
+        self._ensure_open()
         self._check_field(field_name)
         if first_round < 0:
             raise ValueError(
@@ -268,6 +288,7 @@ class ColumnarRoundSpill:
 
     def bytes_on_disk(self) -> int:
         """Total spill file size (flushed rows only)."""
+        self._ensure_open()
         return sum(
             os.path.getsize(path) for path in self._paths.values()
         )

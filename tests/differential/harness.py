@@ -183,3 +183,7 @@ def record_scenario(
     finally:
         if policy is not None:
             policy.close()
+        # Population planes own spill temp dirs; RunRecords never read
+        # them, so close here rather than leak on every recorded run.
+        for plane in getattr(session.simulator, "planes", ()):
+            plane.close()

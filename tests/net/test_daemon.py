@@ -1,0 +1,146 @@
+"""Daemon runtime: coordinated multi-shard sessions vs the simulator.
+
+The tentpole acceptance check in miniature: a fleet of in-process
+daemons over the loopback transport must reach exactly the verdicts of
+a serial simulator run of the same spec, with fm>1 attestation pairs
+travelling as signed ``AttestationRelayBatch`` frames.  Plus the spec
+hand-off plumbing: canonical JSON round-trip, digesting, shard
+ownership arithmetic, and the unsupported-feature rejections.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.net.daemon import (
+    DaemonError,
+    owned_node_ids,
+    run_coordinated_session,
+    spec_digest,
+    spec_from_json,
+    spec_to_json,
+    validate_daemon_spec,
+)
+from repro.scenarios import get_scenario
+
+from tests.differential.harness import record_scenario, small_spec
+
+
+def _serial_verdicts(spec):
+    """(node, reason, exchange_round) triples — the verdict identity.
+
+    ``detected_by`` is excluded: when several monitors of a node all
+    convict it, the session-level dedup keeps one representative, and
+    *which* monitor that is depends on merge order (shard layout), not
+    on what was detected.
+    """
+    record = record_scenario(spec, None, trace=False)
+    return sorted({v[:3] for v in record.verdicts})
+
+
+def _daemon_verdicts(result):
+    return sorted({tuple(v[:3]) for v in result["verdicts"]})
+
+
+# ---------------------------------------------------------------------------
+# Spec hand-off
+# ---------------------------------------------------------------------------
+
+
+def test_spec_json_round_trip_is_exact():
+    spec = small_spec("selfish")
+    data = spec_to_json(spec)
+    rebuilt = spec_from_json(data)
+    assert spec_to_json(rebuilt) == data
+    assert rebuilt.name == spec.name
+    assert rebuilt.nodes == spec.nodes
+    assert rebuilt.adversaries == spec.adversaries
+
+
+def test_spec_digest_is_stable_and_content_sensitive():
+    spec = small_spec("selfish")
+    data = spec_to_json(spec)
+    assert spec_digest(data) == spec_digest(data)
+    other = spec_to_json(small_spec("selfish", seed=99))
+    assert spec_digest(other) != spec_digest(data)
+
+
+@pytest.mark.parametrize(
+    "name, feature",
+    [
+        ("churn", "churn"),
+        ("fig7-acting", "protocol"),
+        ("fault-fuzz", "fault_schedule"),
+        ("fig9-1m", "population"),
+    ],
+)
+def test_unsupported_scenarios_are_rejected(name, feature):
+    spec = get_scenario(name)
+    with pytest.raises(DaemonError):
+        validate_daemon_spec(spec)
+
+
+def test_owned_node_ids_partition_the_membership():
+    ids = list(range(100, 117))
+    shards = 3
+    owned = [owned_node_ids(ids, shard, shards) for shard in range(shards)]
+    assert sorted(sum(owned, [])) == sorted(ids)
+    assert all(
+        not set(a) & set(b)
+        for i, a in enumerate(owned)
+        for b in owned[i + 1:]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Coordinated sessions over loopback
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("shards", [2, 3])
+def test_sharded_session_matches_serial_verdicts(shards):
+    spec = small_spec("selfish")
+    serial = _serial_verdicts(spec)
+    assert serial, "the selfish spec must convict its free-rider"
+    result = asyncio.run(
+        run_coordinated_session(spec, shards=shards, scheme="mem")
+    )
+    assert _daemon_verdicts(result) == serial
+    assert result["shards"] == shards
+    assert result["frames_sent"] > 0
+    assert result["bytes_on_wire"] > 0
+    # fm>1 pairs travelled as signed batches and folded at the monitors.
+    assert result["relay_batches"] > 0
+    assert result["relays_batched"] >= 2 * result["relay_batches"]
+
+
+def test_unbatched_session_matches_too():
+    """batch_relays=False sends one frame per pair; same verdicts."""
+    spec = small_spec("selfish")
+    serial = _serial_verdicts(spec)
+    result = asyncio.run(
+        run_coordinated_session(
+            spec, shards=2, scheme="mem", batch_relays=False
+        )
+    )
+    assert _daemon_verdicts(result) == serial
+    assert result["relay_batches"] == 0
+
+
+def test_clean_run_convicts_nobody():
+    spec = small_spec("fig7")
+    result = asyncio.run(
+        run_coordinated_session(spec, shards=2, scheme="mem")
+    )
+    assert result["verdicts"] == []
+    assert _serial_verdicts(spec) == []
+
+
+def test_unix_socket_session_matches_serial_verdicts():
+    """One non-loopback scheme end to end (TCP is covered by the CI
+    smoke script with real separate processes)."""
+    spec = small_spec("selfish")
+    result = asyncio.run(
+        run_coordinated_session(spec, shards=2, scheme="unix")
+    )
+    assert _daemon_verdicts(result) == _serial_verdicts(spec)

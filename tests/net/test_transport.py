@@ -1,0 +1,159 @@
+"""Transport layer: tcp://, unix:// and mem:// behind one interface.
+
+Each scheme is exercised through the same echo-server scenario, plus
+the scheme-specific contracts: ephemeral TCP ports resolve in the
+listener's endpoint, a clean close reads back as ``recv() -> None``,
+and a mid-frame cut surfaces as a :class:`TransportError` rather than
+a silently truncated payload.
+"""
+
+import asyncio
+import os
+import tempfile
+
+import pytest
+
+from repro.net.transport import (
+    TransportError,
+    connect,
+    listen,
+    reset_memory_transport,
+)
+from repro.net.wire import frame
+
+
+@pytest.fixture(autouse=True)
+def _clean_memory_table():
+    reset_memory_transport()
+    yield
+    reset_memory_transport()
+
+
+async def _echo_once(conn):
+    payload = await conn.recv()
+    if payload is not None:
+        await conn.send(payload + b"!")
+    await conn.close()
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+async def _echo_scenario(listen_endpoint: str):
+    listener = await listen(listen_endpoint, _echo_once)
+    try:
+        client = await connect(listener.endpoint)
+        await client.send(b"ping")
+        assert await client.recv() == b"ping!"
+        assert await client.recv() is None  # server closed cleanly
+        await client.close()
+    finally:
+        await listener.close()
+    return listener.endpoint
+
+
+def test_memory_echo():
+    endpoint = _run(_echo_scenario("mem://echo-test"))
+    assert endpoint == "mem://echo-test"
+
+
+def test_tcp_echo_resolves_ephemeral_port():
+    endpoint = _run(_echo_scenario("tcp://127.0.0.1:0"))
+    port = int(endpoint.rpartition(":")[2])
+    assert port > 0  # the listener reports the bound port, not 0
+
+
+def test_unix_echo():
+    with tempfile.TemporaryDirectory(prefix="repro-net-test-") as tmp:
+        path = os.path.join(tmp, "daemon.sock")
+        endpoint = _run(_echo_scenario(f"unix://{path}"))
+        assert endpoint.endswith("daemon.sock")
+
+
+def test_payloads_preserve_boundaries_and_order():
+    async def scenario():
+        received = []
+        done = asyncio.Event()
+
+        async def server(conn):
+            while True:
+                payload = await conn.recv()
+                if payload is None:
+                    break
+                received.append(payload)
+            done.set()
+
+        listener = await listen("tcp://127.0.0.1:0", server)
+        client = await connect(listener.endpoint)
+        payloads = [bytes([i]) * (i * 37 + 1) for i in range(20)]
+        for payload in payloads:
+            await client.send(payload)
+        await client.close()
+        await asyncio.wait_for(done.wait(), timeout=5)
+        await listener.close()
+        assert received == payloads
+
+    _run(scenario())
+
+
+def test_mid_frame_cut_raises_transport_error():
+    async def scenario():
+        async def server(conn):
+            # A 100-byte frame announced, 4 bytes delivered, then cut.
+            partial = frame(b"x" * 100)[:8]
+            conn._writer.write(partial)
+            await conn._writer.drain()
+            await conn.close()
+
+        listener = await listen("tcp://127.0.0.1:0", server)
+        client = await connect(listener.endpoint)
+        with pytest.raises(TransportError, match="mid-frame"):
+            await client.recv()
+        await client.close()
+        await listener.close()
+
+    _run(scenario())
+
+
+def test_send_after_close_raises():
+    async def scenario():
+        listener = await listen("mem://closed-send", _echo_once)
+        client = await connect(listener.endpoint)
+        await client.close()
+        with pytest.raises(TransportError):
+            await client.send(b"late")
+        await listener.close()
+
+    _run(scenario())
+
+
+def test_connect_to_nothing_raises():
+    async def scenario():
+        with pytest.raises(TransportError):
+            await connect("mem://nobody-home")
+        with pytest.raises(TransportError):
+            await connect("tcp://127.0.0.1:1")  # reserved, refused
+
+    _run(scenario())
+
+
+def test_bad_scheme_rejected():
+    async def scenario():
+        with pytest.raises(TransportError, match="not tcp"):
+            await connect("carrier-pigeon://coop")
+
+    _run(scenario())
+
+
+def test_duplicate_memory_listener_rejected():
+    async def scenario():
+        listener = await listen("mem://dup", _echo_once)
+        with pytest.raises(TransportError, match="already listening"):
+            await listen("mem://dup", _echo_once)
+        await listener.close()
+        # After close the name is free again.
+        second = await listen("mem://dup", _echo_once)
+        await second.close()
+
+    _run(scenario())

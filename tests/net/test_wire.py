@@ -1,0 +1,404 @@
+"""Wire codec round-trip and fuzz suite.
+
+Three layers of assurance:
+
+* deterministic fixtures — every registered kind byte round-trips
+  exactly (``decode(encode(m)) == m``) and the fixture list covers the
+  whole registry, so adding a schema without a fixture fails here;
+* Hypothesis round-trips — randomised field values over every session
+  kind, including the batched relay's pair lists;
+* fuzzing — truncation at *every* byte offset, byte flips at every
+  offset, and raw random payloads must never raise anything but a
+  :class:`~repro.net.wire.WireError`.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.messages import (
+    Ack,
+    Accusation,
+    AttestationRelay,
+    AttestationRelayBatch,
+    InvestigateResponse,
+    KeyResponse,
+    RelayPair,
+    Serve,
+    ServeEntry,
+    SignedAck,
+    SignedAttestation,
+)
+from repro.gossip.updates import Update
+from repro.net.wire import (
+    MAX_FRAME_BYTES,
+    WIRE_VERSION,
+    FrameAssembler,
+    WireError,
+    WireValidationError,
+    decode_message,
+    encodable,
+    encode_message,
+    frame,
+    registered_kinds,
+)
+
+from tests.net.fixtures import all_messages, session_messages
+
+MESSAGES = all_messages()
+IDS = [type(m).__name__ for m in MESSAGES]
+
+
+# ---------------------------------------------------------------------------
+# Registry coverage and deterministic round-trips
+# ---------------------------------------------------------------------------
+
+
+def test_fixtures_cover_every_registered_kind():
+    covered = {type(m).kind for m in MESSAGES}
+    assert covered == set(registered_kinds())
+
+
+def test_kind_bytes_split_session_and_control():
+    kinds = registered_kinds()
+    session = {type(m).kind for m in session_messages()}
+    for kind, byte in kinds.items():
+        if kind in session:
+            assert byte < 64, f"session kind {kind} above control range"
+        else:
+            assert byte >= 64, f"control kind {kind} in session range"
+
+
+@pytest.mark.parametrize("message", MESSAGES, ids=IDS)
+def test_round_trip_is_exact(message):
+    assert encodable(message)
+    payload = encode_message(message)
+    assert payload[0] == WIRE_VERSION
+    decoded = decode_message(payload)
+    assert decoded == message
+    assert type(decoded) is type(message)
+
+
+@pytest.mark.parametrize("message", MESSAGES, ids=IDS)
+def test_encoding_is_deterministic(message):
+    assert encode_message(message) == encode_message(message)
+
+
+def test_framing_reassembles_under_arbitrary_chunking():
+    stream = b"".join(frame(encode_message(m)) for m in MESSAGES)
+    for chunk_size in (1, 3, 7, 64, len(stream)):
+        assembler = FrameAssembler()
+        payloads = []
+        for start in range(0, len(stream), chunk_size):
+            payloads.extend(
+                assembler.feed(stream[start:start + chunk_size])
+            )
+        assert [decode_message(p) for p in payloads] == MESSAGES
+        assert assembler.buffered == 0
+
+
+def test_oversized_length_prefix_rejected_before_buffering():
+    assembler = FrameAssembler()
+    header = (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+    with pytest.raises(WireValidationError):
+        assembler.feed(header)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis round-trips
+# ---------------------------------------------------------------------------
+
+ids_st = st.integers(min_value=0, max_value=(1 << 40) - 1)
+bigints_st = st.integers(min_value=0, max_value=(1 << 256) - 1)
+counts_st = st.integers(min_value=0, max_value=1 << 10)
+
+updates_st = st.builds(
+    Update,
+    uid=ids_st,
+    round_created=ids_st,
+    expiry_round=ids_st,
+    payload_bytes=st.integers(min_value=0, max_value=1 << 20),
+    session=st.integers(min_value=0, max_value=1 << 10),
+)
+
+entries_st = st.builds(
+    ServeEntry,
+    update=updates_st,
+    count=st.integers(min_value=1, max_value=1 << 12),
+    has_payload=st.booleans(),
+    ack_only=st.booleans(),
+)
+
+signed_acks_st = st.builds(
+    SignedAck,
+    round_no=ids_st,
+    receiver=ids_st,
+    server=ids_st,
+    hash_total=bigints_st,
+    key_prime_count=counts_st,
+    signature=bigints_st,
+)
+
+attestations_st = st.builds(
+    SignedAttestation,
+    round_no=ids_st,
+    server=ids_st,
+    receiver=ids_st,
+    hash_forward=bigints_st,
+    hash_ack_only=bigints_st,
+    signature=bigints_st,
+)
+
+pairs_st = st.builds(
+    RelayPair,
+    attestation=attestations_st,
+    cofactor=st.integers(min_value=1, max_value=(1 << 128) - 1),
+    cofactor_prime_count=counts_st,
+)
+
+
+def _route(**fields):
+    return dict(
+        sender=fields.pop("sender"),
+        recipient=fields.pop("recipient"),
+        round_no=fields.pop("round_no"),
+        **fields,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    sender=ids_st,
+    recipient=ids_st,
+    round_no=ids_st,
+    prime=bigints_st,
+    buffermap=st.frozensets(
+        st.integers(min_value=0, max_value=(1 << 160) - 1), max_size=24
+    ),
+    signature=bigints_st,
+)
+def test_key_response_round_trip(
+    sender, recipient, round_no, prime, buffermap, signature
+):
+    message = KeyResponse(
+        sender=sender,
+        recipient=recipient,
+        round_no=round_no,
+        prime=prime,
+        buffermap=buffermap,
+        signature=signature,
+    )
+    assert decode_message(encode_message(message)) == message
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    sender=ids_st,
+    recipient=ids_st,
+    round_no=ids_st,
+    key_prev=bigints_st,
+    key_prime_count=counts_st,
+    entries=st.lists(entries_st, max_size=8).map(tuple),
+    signature=bigints_st,
+)
+def test_serve_round_trip(
+    sender, recipient, round_no, key_prev, key_prime_count, entries,
+    signature,
+):
+    message = Serve(
+        sender=sender,
+        recipient=recipient,
+        round_no=round_no,
+        key_prev=key_prev,
+        key_prime_count=key_prime_count,
+        entries=entries,
+        signature=signature,
+    )
+    assert decode_message(encode_message(message)) == message
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    sender=ids_st,
+    recipient=ids_st,
+    round_no=ids_st,
+    ack=signed_acks_st,
+)
+def test_ack_round_trip(sender, recipient, round_no, ack):
+    message = Ack(
+        sender=sender, recipient=recipient, round_no=round_no, ack=ack
+    )
+    assert decode_message(encode_message(message)) == message
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    sender=ids_st,
+    recipient=ids_st,
+    round_no=ids_st,
+    attestation=attestations_st,
+    cofactor=st.integers(min_value=1, max_value=(1 << 128) - 1),
+    cofactor_prime_count=counts_st,
+    signature=bigints_st,
+)
+def test_relay_round_trip(
+    sender, recipient, round_no, attestation, cofactor,
+    cofactor_prime_count, signature,
+):
+    message = AttestationRelay(
+        sender=sender,
+        recipient=recipient,
+        round_no=round_no,
+        attestation=attestation,
+        cofactor=cofactor,
+        cofactor_prime_count=cofactor_prime_count,
+        signature=signature,
+    )
+    decoded = decode_message(encode_message(message))
+    assert type(decoded) is AttestationRelay
+    assert decoded == message
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    sender=ids_st,
+    recipient=ids_st,
+    round_no=ids_st,
+    declarer=ids_st,
+    pairs=st.lists(pairs_st, min_size=2, max_size=6).map(tuple),
+    signature=bigints_st,
+)
+def test_relay_batch_round_trip(
+    sender, recipient, round_no, declarer, pairs, signature
+):
+    message = AttestationRelayBatch(
+        sender=sender,
+        recipient=recipient,
+        round_no=round_no,
+        declarer=declarer,
+        pairs=pairs,
+        signature=signature,
+    )
+    decoded = decode_message(encode_message(message))
+    assert type(decoded) is AttestationRelayBatch
+    assert decoded == message
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    sender=ids_st,
+    recipient=ids_st,
+    round_no=ids_st,
+    accused=ids_st,
+    exchange_round=ids_st,
+    entries=st.lists(entries_st, max_size=4).map(tuple),
+    key_prev=bigints_st,
+    key_prime_count=counts_st,
+    attestation=st.none() | attestations_st,
+    signature=bigints_st,
+)
+def test_accusation_round_trip(
+    sender, recipient, round_no, accused, exchange_round, entries,
+    key_prev, key_prime_count, attestation, signature,
+):
+    message = Accusation(
+        sender=sender,
+        recipient=recipient,
+        round_no=round_no,
+        accused=accused,
+        exchange_round=exchange_round,
+        entries=entries,
+        key_prev=key_prev,
+        key_prime_count=key_prime_count,
+        attestation=attestation,
+        signature=signature,
+    )
+    assert decode_message(encode_message(message)) == message
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    sender=ids_st,
+    recipient=ids_st,
+    round_no=ids_st,
+    successor=ids_st,
+    exchange_round=ids_st,
+    ack=st.none() | signed_acks_st,
+    accused_instead=st.booleans(),
+    signature=bigints_st,
+)
+def test_investigate_response_round_trip(
+    sender, recipient, round_no, successor, exchange_round, ack,
+    accused_instead, signature,
+):
+    message = InvestigateResponse(
+        sender=sender,
+        recipient=recipient,
+        round_no=round_no,
+        successor=successor,
+        exchange_round=exchange_round,
+        ack=ack,
+        accused_instead=accused_instead,
+        signature=signature,
+    )
+    assert decode_message(encode_message(message)) == message
+
+
+# ---------------------------------------------------------------------------
+# Fuzz: truncation, bit rot, random garbage
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("message", MESSAGES, ids=IDS)
+def test_every_truncation_offset_raises_wire_error(message):
+    payload = encode_message(message)
+    for cut in range(len(payload)):
+        with pytest.raises(WireError):
+            decode_message(payload[:cut])
+
+
+@pytest.mark.parametrize("message", MESSAGES, ids=IDS)
+def test_trailing_garbage_raises_wire_error(message):
+    payload = encode_message(message)
+    with pytest.raises(WireError):
+        decode_message(payload + b"\x00")
+
+
+@pytest.mark.parametrize("message", MESSAGES, ids=IDS)
+def test_byte_flips_never_escape_wire_error(message):
+    """Flipping any payload byte either still decodes (to *something*)
+    or raises a WireError — never an unhandled exception reaching the
+    engine."""
+    payload = encode_message(message)
+    for offset in range(len(payload)):
+        for flip in (0x01, 0x80, 0xFF):
+            mutated = bytearray(payload)
+            mutated[offset] ^= flip
+            try:
+                decode_message(bytes(mutated))
+            except WireError:
+                pass
+    # Unknown-kind and version flips must raise the *specific* errors:
+    wrong_version = bytes([payload[0] ^ 0xFF]) + payload[1:]
+    with pytest.raises(WireError):
+        decode_message(wrong_version)
+
+
+@settings(max_examples=300, deadline=None)
+@given(data=st.binary(max_size=256))
+def test_random_payloads_never_escape_wire_error(data):
+    try:
+        decode_message(data)
+    except WireError:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.binary(max_size=256))
+def test_random_stream_chunks_never_escape_wire_error(data):
+    assembler = FrameAssembler()
+    try:
+        for payload in assembler.feed(data):
+            decode_message(payload)
+    except WireError:
+        pass

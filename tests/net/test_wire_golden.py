@@ -1,0 +1,85 @@
+"""Cross-version golden pinning of the v1 wire layout.
+
+``golden_wire_v1.json`` stores the exact hex encoding of one fixture
+per kind.  The byte layout of protocol version 1 is a compatibility
+contract between daemon builds: any change to the v1 encoder shows up
+here as a diff against the pinned hex, and the right fix is a new
+protocol version, not an edit to the golden file.
+
+Regenerate (only when *adding* kinds) with::
+
+    PYTHONPATH=src python tests/net/test_wire_golden.py --regen
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.net.wire import WIRE_VERSION, decode_message, encode_message
+
+from tests.net.fixtures import all_messages
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "golden_wire_v1.json"
+)
+
+
+def _current() -> dict:
+    entries = {}
+    for index, message in enumerate(all_messages()):
+        label = f"{index:02d}-{type(message).__name__}"
+        entries[label] = encode_message(message).hex()
+    return entries
+
+
+def _load() -> dict:
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+def test_golden_file_matches_wire_version():
+    assert _load()["version"] == WIRE_VERSION == 1
+
+
+def test_every_fixture_is_pinned():
+    golden = _load()["frames"]
+    assert sorted(golden) == sorted(_current())
+
+
+@pytest.mark.parametrize(
+    "label", sorted(_current()), ids=lambda label: label
+)
+def test_v1_encoding_is_pinned(label):
+    golden = _load()["frames"]
+    current = _current()
+    assert current[label] == golden[label], (
+        f"{label}: the v1 byte layout changed; bump WIRE_VERSION "
+        "instead of re-pinning"
+    )
+
+
+@pytest.mark.parametrize(
+    "label", sorted(_current()), ids=lambda label: label
+)
+def test_pinned_bytes_decode_to_the_fixture(label):
+    golden = _load()["frames"]
+    index = int(label.split("-", 1)[0])
+    expected = all_messages()[index]
+    assert decode_message(bytes.fromhex(golden[label])) == expected
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" not in sys.argv:
+        sys.exit("pass --regen to rewrite the golden file")
+    with open(GOLDEN_PATH, "w") as handle:
+        json.dump(
+            {"version": WIRE_VERSION, "frames": _current()},
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+        handle.write("\n")
+    print(f"pinned {len(_current())} frames to {GOLDEN_PATH}")

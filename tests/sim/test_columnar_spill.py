@@ -185,3 +185,37 @@ def test_on_disk_layout_is_little_endian_int64(tmp_path):
     raw = (tmp_path / "up.i64").read_bytes()
     assert raw == np.array([1, 258], dtype="<i8").tobytes()
     spill.close()
+
+
+def test_reads_on_closed_spill_raise_explicitly(tmp_path):
+    """A closed spill's files are gone; every read path must say so
+    instead of surfacing a FileNotFoundError from whichever file it
+    opened first."""
+    spill = ColumnarRoundSpill(2, directory=str(tmp_path))
+    spill.append_round({"up": [1, 2], "down": [3, 4]})
+    spill.close()
+    with pytest.raises(RuntimeError, match="spill is closed"):
+        spill.read_round("up", 0)
+    with pytest.raises(RuntimeError, match="spill is closed"):
+        spill.window_sum("up", 0, 0)
+    with pytest.raises(RuntimeError, match="spill is closed"):
+        spill.bytes_on_disk()
+
+
+def test_context_manager_closes_and_removes_owned_dir():
+    with ColumnarRoundSpill(2) as spill:
+        directory = spill.directory
+        spill.append_round({"up": [1, 2], "down": [3, 4]})
+        assert spill.window_sum("up", 0, 0).tolist() == [1, 2]
+    assert not os.path.exists(directory)
+    with pytest.raises(RuntimeError, match="spill is closed"):
+        spill.read_round("up", 0)
+
+
+def test_context_manager_closes_on_error_too():
+    directory = None
+    with pytest.raises(ValueError, match="shape"):
+        with ColumnarRoundSpill(2) as spill:
+            directory = spill.directory
+            spill.append_round({"up": [1], "down": [2]})
+    assert not os.path.exists(directory)

@@ -331,3 +331,25 @@ def test_population_cdf_merges_and_decimates():
     assert dec_values[-1] == max(
         max(result.node_kbps.values()), 900.0
     )
+
+
+def test_failing_population_run_leaks_no_spill_dirs(monkeypatch):
+    """Regression: a collection that dies mid-read used to leave the
+    plane's ``repro-spill-*`` temp directory behind; the run path now
+    closes the spill unconditionally."""
+    import glob
+    import os
+    import tempfile
+
+    from repro.sim.trace import ColumnarRoundSpill
+
+    pattern = os.path.join(tempfile.gettempdir(), "repro-spill-*")
+    before = set(glob.glob(pattern))
+
+    def explode(self, *args, **kwargs):
+        raise RuntimeError("collection died mid-read")
+
+    monkeypatch.setattr(ColumnarRoundSpill, "window_sum", explode)
+    with pytest.raises(RuntimeError, match="collection died"):
+        _spec().run()
+    assert set(glob.glob(pattern)) == before

@@ -336,3 +336,54 @@ class TestFuzzCommand:
     def test_fuzz_rejects_unknown_policy(self):
         with pytest.raises(ValueError, match="unknown execution policy"):
             main(["fuzz", "--policies", "serial,warp"])
+
+
+class TestDaemonSessionCommands:
+    def test_daemon_parser_requires_listen(self):
+        args = build_parser().parse_args(
+            ["daemon", "--listen", "tcp://127.0.0.1:0"]
+        )
+        assert args.listen == "tcp://127.0.0.1:0"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["daemon"])
+
+    def test_session_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["session", "--scenario", "selfish"]
+        )
+        assert args.daemons is None
+        assert args.local_daemons == 2
+        assert args.transport == "mem"
+        assert not args.no_batch_relays
+        assert not args.verify_serial
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["session"])  # --scenario required
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["session", "--scenario", "x", "--transport", "pigeon"]
+            )
+
+    def test_session_local_fleet_with_serial_parity(self, capsys):
+        code = main(
+            ["session", "--scenario", "selfish", "--nodes", "14",
+             "--rounds", "6", "--local-daemons", "2", "--verify-serial"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 shards" in out
+        assert "serial parity: OK" in out
+        assert "relay batches" in out
+
+    def test_session_rejects_daemon_unsupported_scenarios(self):
+        from repro.net.daemon import DaemonError
+
+        with pytest.raises(DaemonError, match="churn"):
+            main(["session", "--scenario", "churn"])
+
+    def test_daemon_policy_flag_accepted_on_run(self, capsys):
+        code = main(
+            ["run", "--nodes", "12", "--rounds", "4",
+             "--policy", "daemon"]
+        )
+        assert code == 0
+        assert "mean download" in capsys.readouterr().out
