@@ -79,7 +79,7 @@ def test_table2_quality_matrix(benchmark):
 def test_table2_respects_capacity():
     """No chosen quality may exceed its link capacity."""
     table = table2(n_nodes=1000)
-    for protocol, cells in table.items():
+    for _protocol, cells in table.items():
         for cell, capacity in zip(cells, LINK_CAPACITIES_KBPS.values()):
             if cell.used_kbps is not None:
                 assert cell.used_kbps <= capacity

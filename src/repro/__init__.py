@@ -28,6 +28,8 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured results.
 """
 
+from __future__ import annotations
+
 __version__ = "1.0.0"
 
 __all__ = ["__version__"]

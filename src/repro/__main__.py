@@ -1,5 +1,7 @@
 """Entry point for ``python -m repro``."""
 
+from __future__ import annotations
+
 import sys
 
 from repro.cli import main

@@ -1,13 +1,15 @@
 """Adversaries: selfish strategies, privacy coalitions, global observer."""
 
+from __future__ import annotations
+
 from repro.adversary.active import ActiveInjector
 from repro.adversary.coalition import Coalition, ExchangeDiscovery
 from repro.adversary.observer import GlobalObserver
 from repro.adversary.selfish import (
     ContactAvoider,
-    LyingMonitor,
     DeclarationSkipper,
     FreeRider,
+    LyingMonitor,
     PartialForwarder,
     SilentReceiver,
     StealthyFreeRider,

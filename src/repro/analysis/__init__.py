@@ -1,5 +1,7 @@
 """Analysis layer: bandwidth models, cost accounting, privacy, game theory."""
 
+from __future__ import annotations
+
 from repro.analysis.bandwidth import (
     DUPLICATE_DELIVERY_FACTOR,
     ActingBandwidthModel,
@@ -8,17 +10,17 @@ from repro.analysis.bandwidth import (
     pag_duplicate_factor,
     plain_gossip_kbps,
 )
-from repro.analysis.detection import (
-    DetectionLatency,
-    PopulationImpact,
-    detection_latency,
-    selfish_population_impact,
-)
 from repro.analysis.costs import (
     Table1Row,
     hashes_per_second,
     signatures_per_second,
     table1_rows,
+)
+from repro.analysis.detection import (
+    DetectionLatency,
+    PopulationImpact,
+    detection_latency,
+    selfish_population_impact,
 )
 from repro.analysis.nash import (
     DeviationOutcome,

@@ -9,6 +9,8 @@
 * plain push gossip lives in :mod:`repro.gossip.dissemination`.
 """
 
+from __future__ import annotations
+
 from repro.baselines.acting import (
     ActingConfig,
     ActingNode,

@@ -10,6 +10,7 @@ Usage::
     python -m repro fig7 | fig8 | fig9 | fig10 | table1 | table2
     python -m repro verify [--fanout F]
     python -m repro bench [--out BENCH_hotpath.json] [--quick]
+    python -m repro lint [PATHS ...] [--rules] [--no-wire-check]
 
 Each figure/table subcommand prints the regenerated series next to the
 paper's reference values; the workloads themselves are declared once in
@@ -204,6 +205,32 @@ def build_parser() -> argparse.ArgumentParser:
             "--section population); other sections are kept from the "
             "existing --out file instead of being re-measured"
         ),
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help=(
+            "static project-invariant analysis: determinism (DET1xx), "
+            "wire-schema coverage (WIRE2xx), policy parity (PAR3xx)"
+        ),
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the installed "
+        "repro package sources)",
+    )
+    lint.add_argument(
+        "--rules", action="store_true",
+        help="list every rule code and exit",
+    )
+    lint.add_argument(
+        "--no-wire-check", action="store_true",
+        help="skip the wire-schema cross-check",
+    )
+    lint.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="repository root for locating tests/net assets",
     )
 
     daemon = sub.add_parser(
@@ -558,6 +585,19 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint.runner import main as lint_main
+
+    argv = list(args.paths)
+    if args.rules:
+        argv.append("--rules")
+    if args.no_wire_check:
+        argv.append("--no-wire-check")
+    if args.root is not None:
+        argv.extend(["--root", args.root])
+    return lint_main(argv)
+
+
 def _cmd_daemon(args) -> int:
     import asyncio
 
@@ -749,6 +789,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "export": _cmd_export,
         "bench": _cmd_bench,
         "fuzz": _cmd_fuzz,
+        "lint": _cmd_lint,
         "daemon": _cmd_daemon,
         "session": _cmd_session,
     }[args.command]

@@ -6,15 +6,17 @@ path of Fig. 3, investigations, the two-list expiration mechanism and
 multiplicity counters of section V-D, and verdict generation.
 """
 
+from __future__ import annotations
+
 from repro.core.accusations import CaseFile, FaultReason, Verdict, VerdictLog
 from repro.core.behavior import Behavior, CorrectBehavior
 from repro.core.config import PagConfig
 from repro.core.context import PagContext
 from repro.core.messages import (
+    Accusation,
     Ack,
     AckCopy,
     AckRelay,
-    Accusation,
     Attestation,
     AttestationRelay,
     Confirm,

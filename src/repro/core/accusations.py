@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Set, Tuple
+from typing import Iterator, List, Set, Tuple
 
 __all__ = ["FaultReason", "Verdict", "VerdictLog", "CaseFile"]
 
@@ -94,7 +94,7 @@ class VerdictLog:
     def __len__(self) -> int:
         return len(self.verdicts)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Verdict]:
         return iter(self.verdicts)
 
 

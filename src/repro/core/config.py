@@ -9,7 +9,7 @@ with 1000 nodes), buffermaps covering the last 4 rounds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Any, Tuple
 
 from repro.membership.views import default_fanout
 
@@ -136,7 +136,7 @@ class PagConfig:
         )
 
     @classmethod
-    def for_system_size(cls, n: int, **overrides) -> "PagConfig":
+    def for_system_size(cls, n: int, **overrides: Any) -> "PagConfig":
         """Config with the paper's size-dependent fanout (~log10 N)."""
         fanout = overrides.pop("fanout", default_fanout(n))
         monitors = overrides.pop("monitors_per_node", fanout)

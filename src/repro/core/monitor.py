@@ -49,9 +49,11 @@ from repro.core.messages import (
     MonitorProbe,
     Nack,
     ProbeAck,
+    RelayPair,
     SelfCheck,
     ServeEntry,
     SignedAck,
+    SignedAttestation,
 )
 from repro.core.verification import (
     BatchVerifier,
@@ -327,7 +329,7 @@ class MonitorEngine:
             self._maybe_process_pair(*key)
 
     def _on_forwarded_pair(
-        self, monitored: int, pair, source: int
+        self, monitored: int, pair: RelayPair, source: int
     ) -> None:
         """A peer-forwarded batch pair: fold it, or fall back to a
         materialised lift when a transform/cross-check needs per-pair
@@ -347,7 +349,7 @@ class MonitorEngine:
         )
 
     def _fold_wire_pair(
-        self, monitored: int, att, cofactor: int
+        self, monitored: int, att: SignedAttestation, cofactor: int
     ) -> None:
         """Fold one wire-carried raw pair into the round's verifier.
 

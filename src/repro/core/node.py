@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.accusations import VerdictLog
 from repro.core.behavior import Behavior, CorrectBehavior
 from repro.core.context import PagContext
 from repro.core.messages import (
@@ -627,7 +628,9 @@ class PagNode(SimNode):
                     target,
                 )
 
-    def _send_self_checks(self, round_no: int, server: int, serve) -> None:
+    def _send_self_checks(
+        self, round_no: int, server: int, serve: Serve
+    ) -> None:
         """Section V-B: compute the lifted pair ourselves and send it,
         signed, to every monitor, so they can check each other."""
         key, _count = self.state.round_key(round_no)
@@ -699,7 +702,7 @@ class PagNode(SimNode):
     # Reporting
     # ------------------------------------------------------------------
 
-    def verdicts(self):
+    def verdicts(self) -> VerdictLog:
         return self.monitor.verdicts
 
 

@@ -10,7 +10,7 @@ playback quality).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Set
 
 from repro.core.accusations import Verdict
 from repro.core.behavior import Behavior
@@ -24,6 +24,9 @@ from repro.sim.engine import Simulator
 from repro.sim.execution import ExecutionPolicy
 from repro.sim.network import Network
 from repro.streaming.player import PlaybackReport, evaluate_playback
+
+if TYPE_CHECKING:
+    from repro.crypto.backend import SharedLadderTable
 
 __all__ = ["PagSession"]
 
@@ -149,7 +152,9 @@ class PagSession:
     def run(self, rounds: int) -> None:
         self.simulator.run(rounds)
 
-    def shared_ladder_table(self, rounds: int):
+    def shared_ladder_table(
+        self, rounds: int
+    ) -> "SharedLadderTable | None":
         """Precomputed fixed-base ladders for the run's update contents.
 
         The stream schedule is deterministic, so the update-content

@@ -9,10 +9,10 @@ tests exercise the math in isolation.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Iterable, Sequence, Tuple
+from typing import Any, Callable, Hashable, Iterable, Sequence, Tuple
 
+from repro.core.messages import RelayPair, ServeEntry
 from repro.crypto.homomorphic import HomomorphicHasher
-from repro.core.messages import ServeEntry
 from repro.gossip.updates import content_integer
 
 __all__ = [
@@ -30,7 +30,11 @@ __all__ = [
 
 @lru_cache(maxsize=1 << 16)
 def _entry_power(
-    uid: int, session: int, count: int, modulus: int, powmod
+    uid: int,
+    session: int,
+    count: int,
+    modulus: int,
+    powmod: Callable[[int, int, int], int],
 ) -> int:
     """``content(uid)^count mod modulus``, cached.
 
@@ -160,7 +164,12 @@ class ExchangeClassCache:
         self.misses = 0
         self._cache: dict = {}
 
-    def _lookup(self, key, compute, members: int):
+    def _lookup(
+        self,
+        key: Hashable,
+        compute: Callable[[], Any],
+        members: int,
+    ) -> Any:
         cached = self._cache.get(key)
         if cached is not None:
             result, real_ops = cached
@@ -183,7 +192,7 @@ class ExchangeClassCache:
 
     def serve_hashes(
         self,
-        class_key,
+        class_key: Hashable,
         entries: Sequence[ServeEntry],
         prime: int,
         members: int = 1,
@@ -199,7 +208,7 @@ class ExchangeClassCache:
 
     def ack_hash(
         self,
-        class_key,
+        class_key: Hashable,
         entries: Sequence[ServeEntry],
         key_prev: int,
         members: int = 1,
@@ -314,7 +323,9 @@ class BatchVerifier:
         return self.fold() == acknowledged % self.hasher.modulus
 
 
-def fold_wire_pairs(hasher: HomomorphicHasher, pairs) -> int:
+def fold_wire_pairs(
+    hasher: HomomorphicHasher, pairs: Iterable[RelayPair]
+) -> int:
     """Fold wire-carried raw (hash, cofactor) pairs in one pass.
 
     The fm>1 batched fold over an

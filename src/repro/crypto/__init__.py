@@ -9,6 +9,8 @@ simulations), while also exposing operation counters for the large-scale
 cost accounting of section VII.
 """
 
+from __future__ import annotations
+
 from repro.crypto.backend import (
     Backend,
     FixedBaseCache,

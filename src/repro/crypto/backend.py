@@ -27,7 +27,7 @@ backends can never change reported operation counts.
 from __future__ import annotations
 
 import os
-from typing import List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
     "Backend",
@@ -86,7 +86,9 @@ class Backend:
     def mulmod(self, a: int, b: int, modulus: int) -> int:
         return (a * b) % modulus
 
-    def multi_powmod(self, pairs, modulus: int) -> int:
+    def multi_powmod(
+        self, pairs: Iterable[Tuple[int, int]], modulus: int
+    ) -> int:
         """``prod base_i ** exp_i mod modulus`` in one interleaved pass.
 
         Straus's algorithm (interleaved windowed multi-exponentiation,
@@ -171,7 +173,9 @@ class Gmpy2Backend(Backend):
     def mulmod(self, a: int, b: int, modulus: int) -> int:
         return int(self._mpz(a) * b % modulus)
 
-    def multi_powmod(self, pairs, modulus: int) -> int:
+    def multi_powmod(
+        self, pairs: Iterable[Tuple[int, int]], modulus: int
+    ) -> int:
         """Straus interleaving over ``mpz`` limbs (GMP multiplies).
 
         Same algorithm and window policy as the portable default — the
@@ -220,7 +224,9 @@ def gmpy2_available() -> bool:
 
 
 def multi_powmod(
-    pairs, modulus: int, backend: Optional[Backend] = None
+    pairs: Iterable[Tuple[int, int]],
+    modulus: int,
+    backend: Optional[Backend] = None,
 ) -> int:
     """``prod base_i ** exp_i mod modulus`` via one interleaved pass.
 
@@ -317,7 +323,12 @@ class FixedBaseCache:
 
     @classmethod
     def from_shared(
-        cls, base: int, modulus: int, window: int, levels, tops
+        cls,
+        base: int,
+        modulus: int,
+        window: int,
+        levels: Sequence[Sequence[int]],
+        tops: Sequence[int],
     ) -> "FixedBaseCache":
         """Wrap precomputed (read-only) ladder levels without rebuilding.
 
@@ -389,7 +400,12 @@ class SharedLadderTable:
 
     __slots__ = ("modulus", "window", "_entries")
 
-    def __init__(self, modulus: int, window: int, entries) -> None:
+    def __init__(
+        self,
+        modulus: int,
+        window: int,
+        entries: Dict[int, Tuple[tuple, tuple]],
+    ) -> None:
         if modulus <= 1:
             raise ValueError("modulus must exceed 1")
         if window < 1:
@@ -403,7 +419,7 @@ class SharedLadderTable:
     @classmethod
     def build(
         cls,
-        bases,
+        bases: Iterable[int],
         modulus: int,
         window: int = 4,
         capacity_bits: int = 64,
@@ -436,7 +452,7 @@ class SharedLadderTable:
             )
         return cls(modulus, window, entries)
 
-    def get(self, base: int):
+    def get(self, base: int) -> Optional[Tuple[tuple, tuple]]:
         """``(levels, tops)`` for ``base``, or None when not tabled."""
         return self._entries.get(base)
 

@@ -71,17 +71,29 @@ class CryptoCounters:
         self.prime_generations = 0
 
 
+#: Default seed for key generation.  The keystore's documented
+#: contract is "seeded randomness so two runs produce identical keys";
+#: an unseeded ``random.Random()`` default silently broke it for every
+#: caller that never passed an rng (caught by ``repro lint`` DET102).
+DEFAULT_KEYSTORE_SEED = 0x6B657973  # b"keys"
+
+
+def _default_rng() -> random.Random:
+    return random.Random(DEFAULT_KEYSTORE_SEED)
+
+
 @dataclass
 class KeyStore:
     """Maps node identifiers to RSA key pairs.
 
     Attributes:
         key_bits: modulus size for generated pairs (tests shrink this).
-        rng: seeded randomness so two runs produce identical keys.
+        rng: seeded randomness so two runs produce identical keys; the
+            default is seeded with :data:`DEFAULT_KEYSTORE_SEED`.
     """
 
     key_bits: int = 512
-    rng: random.Random = field(default_factory=random.Random)
+    rng: random.Random = field(default_factory=_default_rng)
     _pairs: Dict[int, RsaKeyPair] = field(default_factory=dict)
 
     def register(self, node_id: int) -> RsaKeyPair:

@@ -167,14 +167,19 @@ def generate_keypair(
     Args:
         bits: modulus size; the paper deploys RSA-2048, tests use smaller
             keys for speed (the algebra is identical).
-        rng: seeded random source for reproducible simulations.
+        rng: seeded random source for reproducible simulations.  When
+            omitted, a generator seeded from ``(bits, exponent)`` is
+            used so two parameter-identical calls agree — simulations
+            must never consume ambient entropy (``repro lint`` DET102
+            flagged the previous unseeded fallback).
         public_exponent: must be odd and at least 3.
     """
     if bits < 64:
         raise ValueError("RSA modulus below 64 bits is meaningless")
     if public_exponent < 3 or public_exponent % 2 == 0:
         raise ValueError("public exponent must be an odd integer >= 3")
-    rng = rng if rng is not None else random.Random()
+    if rng is None:
+        rng = random.Random((bits << 20) | public_exponent)
     half = bits // 2
     while True:
         p = generate_prime(half, rng)

@@ -7,6 +7,8 @@
   (section III assumes them; this measures what they cost).
 """
 
+from __future__ import annotations
+
 from repro.extensions.multisession import (
     MultiSessionReport,
     MultiSessionRunner,

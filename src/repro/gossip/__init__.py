@@ -1,5 +1,7 @@
 """Gossip dissemination substrate: updates, source, buffermaps, push gossip."""
 
+from __future__ import annotations
+
 from repro.gossip.buffermap import (
     DEFAULT_BUFFERMAP_DEPTH,
     HashedBuffermap,

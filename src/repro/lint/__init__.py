@@ -1,0 +1,29 @@
+"""Project-invariant static analysis (``repro lint``).
+
+Three analyzer families guard the invariants the differential suite
+can only probe dynamically:
+
+* :mod:`repro.lint.determinism` — DET1xx: no ambient entropy, no wall
+  clock, no address-keyed or hash-ordered data feeding ordered sinks.
+* :mod:`repro.lint.wireschema` — WIRE2xx: total wire-format coverage
+  (codec + bounds + fixture + golden frame per message kind).
+* :mod:`repro.lint.parity` — PAR3xx: replica-worker code never mutates
+  parent-session state or shared module globals.
+
+See ``docs/INVARIANTS.md`` for the rule catalogue and the
+``# lint: allow[RULE] justification`` pragma syntax.
+"""
+
+from __future__ import annotations
+
+from repro.lint.diagnostics import RULES, Diagnostic
+from repro.lint.runner import lint_file, lint_paths, lint_source, main
+
+__all__ = [
+    "RULES",
+    "Diagnostic",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "main",
+]

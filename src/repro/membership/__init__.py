@@ -5,6 +5,8 @@ protocols: every node can compute, for any node and round, that node's
 successors and monitors (section III).
 """
 
+from __future__ import annotations
+
 from repro.membership.directory import Directory
 from repro.membership.sampling import PeerSampler, chi_square_uniformity
 from repro.membership.views import ViewProvider, default_fanout

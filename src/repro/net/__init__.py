@@ -15,6 +15,8 @@ to ``SerialPolicy`` by the differential suite; the multi-process
 daemon path is held to verdict parity.
 """
 
+from __future__ import annotations
+
 from repro.net.wire import (
     WIRE_VERSION,
     FrameAssembler,

@@ -47,7 +47,15 @@ import asyncio
 import dataclasses
 import hashlib
 import json
-from typing import Dict, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
 
 from repro.core.messages import (
     AttestationRelay,
@@ -56,6 +64,9 @@ from repro.core.messages import (
 )
 from repro.net import wire
 from repro.net.transport import Connection, TransportError, connect, listen
+
+if TYPE_CHECKING:
+    from repro.scenarios.spec import ScenarioSpec
 
 __all__ = [
     "DaemonError",
@@ -98,7 +109,7 @@ _SPEC_FIELDS = (
 )
 
 
-def validate_daemon_spec(spec) -> None:
+def validate_daemon_spec(spec: ScenarioSpec) -> None:
     """Reject scenario features the daemon runtime does not model."""
     if spec.protocol != "pag":
         raise DaemonError(
@@ -117,7 +128,7 @@ def validate_daemon_spec(spec) -> None:
         )
 
 
-def spec_to_json(spec) -> bytes:
+def spec_to_json(spec: ScenarioSpec) -> bytes:
     """Canonical JSON of a daemon-runnable :class:`ScenarioSpec`."""
     validate_daemon_spec(spec)
     payload = {}
@@ -138,7 +149,7 @@ def spec_to_json(spec) -> bytes:
     return json.dumps(payload, sort_keys=True, indent=None).encode()
 
 
-def spec_from_json(data: bytes):
+def spec_from_json(data: bytes) -> ScenarioSpec:
     """Rebuild the :class:`ScenarioSpec` a coordinator shipped."""
     from repro.scenarios.spec import AdversaryGroup, RateStep, ScenarioSpec
 
@@ -175,7 +186,9 @@ def spec_digest(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()[:16]
 
 
-def owned_node_ids(all_ids, shard: int, shards: int) -> List[int]:
+def owned_node_ids(
+    all_ids: Iterable[int], shard: int, shards: int
+) -> List[int]:
     """The ids shard ``shard`` executes: ``sorted(ids)[shard::shards]``."""
     return sorted(all_ids)[shard::shards]
 
@@ -308,7 +321,7 @@ class NodeDaemon:
                 "new connection"
             )
 
-    async def _send(self, conn: Connection, message) -> None:
+    async def _send(self, conn: Connection, message: Any) -> None:
         payload = wire.encode_message(message)
         self.frames_sent += 1
         self.bytes_sent += len(payload) + 4
@@ -565,7 +578,7 @@ class SessionCoordinator:
 
     def __init__(
         self,
-        spec,
+        spec: ScenarioSpec,
         endpoints: List[str],
         batch_relays: bool = True,
     ) -> None:
@@ -628,10 +641,10 @@ class SessionCoordinator:
             for conn in conns:
                 await conn.close()
 
-    async def _send(self, conn: Connection, message) -> None:
+    async def _send(self, conn: Connection, message: Any) -> None:
         await conn.send(wire.encode_message(message))
 
-    async def _recv(self, conn: Connection):
+    async def _recv(self, conn: Connection) -> Any:
         payload = await conn.recv()
         if payload is None:
             raise DaemonError("a daemon hung up mid-session")
@@ -712,7 +725,7 @@ class SessionCoordinator:
 
 
 async def run_coordinated_session(
-    spec,
+    spec: ScenarioSpec,
     shards: int = 2,
     scheme: str = "mem",
     batch_relays: bool = True,

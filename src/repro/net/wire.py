@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple, Type
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
 from repro.core.messages import (
     Accusation,
@@ -110,6 +110,13 @@ _MAX_PAIRS = 1 << 12
 _MAX_PRIME_COUNT = 1 << 20
 _MAX_COUNT = 1 << 16
 _MAX_STRING_BYTES = 1 << 16
+#: Node ids, round numbers and update uids — and the queue-depth
+#: tallies of the barrier protocol — are bounded integers.  Ids may
+#: carry sharded-uid payloads up to 48 bits; a zigzag id doubles, so
+#: the raw varint fits 49 bits.
+_MAX_ID_RAW = 1 << 49
+_MAX_SESSION = 1 << 16
+_MAX_TALLY = 1 << 32
 
 
 class WireError(Exception):
@@ -244,7 +251,7 @@ class _Reader:
         raise WireValidationError("varint longer than 10 bytes")
 
     def id(self) -> int:
-        raw = self.varint()
+        raw = self.varint(bound=_MAX_ID_RAW)
         value = (raw >> 1) if not raw & 1 else -((raw + 1) >> 1)
         if value < 0:
             raise WireValidationError(f"negative id {value} on the wire")
@@ -302,7 +309,7 @@ def _get_update(r: _Reader) -> Update:
         round_created=r.id(),
         expiry_round=r.id(),
         payload_bytes=r.varint(bound=1 << 30),
-        session=r.varint(),
+        session=r.varint(bound=_MAX_SESSION),
     )
 
 
@@ -401,6 +408,13 @@ class _Schema:
 _BY_BYTE: Dict[int, _Schema] = {}
 _BY_CLASS: Dict[Type, _Schema] = {}
 
+#: Encoder half of a codec pair: ``(writer, message) -> None``.
+_EncodeFn = Callable[..., None]
+#: Decoder half: ``(reader[, sender, recipient, round_no]) -> message``.
+_DecodeFn = Callable[..., Any]
+#: A builder producing one ``(encode, decode)`` pair.
+_BuildFn = Callable[[], Tuple[_EncodeFn, _DecodeFn]]
+
 
 def _register(schema: _Schema) -> None:
     if schema.kind_byte in _BY_BYTE:
@@ -409,11 +423,13 @@ def _register(schema: _Schema) -> None:
     _BY_CLASS[schema.cls] = schema
 
 
-def _session(kind_byte: int, cls: Type):
+def _session(
+    kind_byte: int, cls: Type
+) -> Callable[[_BuildFn], _BuildFn]:
     """Register a session-message schema from a builder returning
     ``(encode, decode)``."""
 
-    def wrap(build):
+    def wrap(build: _BuildFn) -> _BuildFn:
         encode, decode = build()
         _register(_Schema(kind_byte, cls, encode, decode))
         return build
@@ -425,11 +441,13 @@ def _session(kind_byte: int, cls: Type):
 
 
 @_session(1, KeyRequest)
-def _key_request():
+def _key_request() -> Tuple[_EncodeFn, _DecodeFn]:
     def encode(w: _Writer, m: KeyRequest) -> None:
         w.bigint(m.signature)
 
-    def decode(r: _Reader, sender, recipient, round_no) -> KeyRequest:
+    def decode(
+        r: _Reader, sender: int, recipient: int, round_no: int
+    ) -> KeyRequest:
         return KeyRequest(
             sender=sender,
             recipient=recipient,
@@ -442,7 +460,7 @@ def _key_request():
 
 
 @_session(2, KeyResponse)
-def _key_response():
+def _key_response() -> Tuple[_EncodeFn, _DecodeFn]:
     def encode(w: _Writer, m: KeyResponse) -> None:
         w.bigint(m.prime)
         # Buffermap members are *encrypted* uids (section V-A), i.e.
@@ -453,7 +471,9 @@ def _key_response():
             w.bigint(uid)
         w.bigint(m.signature)
 
-    def decode(r: _Reader, sender, recipient, round_no) -> KeyResponse:
+    def decode(
+        r: _Reader, sender: int, recipient: int, round_no: int
+    ) -> KeyResponse:
         prime = r.bigint()
         count = r.varint(bound=_MAX_BUFFERMAP)
         uids = []
@@ -480,14 +500,16 @@ def _key_response():
 
 
 @_session(3, Serve)
-def _serve():
+def _serve() -> Tuple[_EncodeFn, _DecodeFn]:
     def encode(w: _Writer, m: Serve) -> None:
         w.bigint(m.key_prev)
         w.varint(m.key_prime_count)
         _put_entries(w, m.entries)
         w.bigint(m.signature)
 
-    def decode(r: _Reader, sender, recipient, round_no) -> Serve:
+    def decode(
+        r: _Reader, sender: int, recipient: int, round_no: int
+    ) -> Serve:
         return Serve(
             sender=sender,
             recipient=recipient,
@@ -503,11 +525,13 @@ def _serve():
 
 
 @_session(4, Attestation)
-def _attestation():
+def _attestation() -> Tuple[_EncodeFn, _DecodeFn]:
     def encode(w: _Writer, m: Attestation) -> None:
         _put_attestation(w, m.attestation)
 
-    def decode(r: _Reader, sender, recipient, round_no) -> Attestation:
+    def decode(
+        r: _Reader, sender: int, recipient: int, round_no: int
+    ) -> Attestation:
         return Attestation(
             sender=sender,
             recipient=recipient,
@@ -520,11 +544,13 @@ def _attestation():
 
 
 @_session(5, Ack)
-def _ack():
+def _ack() -> Tuple[_EncodeFn, _DecodeFn]:
     def encode(w: _Writer, m: Ack) -> None:
         _put_signed_ack(w, m.ack)
 
-    def decode(r: _Reader, sender, recipient, round_no) -> Ack:
+    def decode(
+        r: _Reader, sender: int, recipient: int, round_no: int
+    ) -> Ack:
         return Ack(
             sender=sender,
             recipient=recipient,
@@ -540,11 +566,13 @@ def _ack():
 
 
 @_session(6, AckCopy)
-def _ack_copy():
+def _ack_copy() -> Tuple[_EncodeFn, _DecodeFn]:
     def encode(w: _Writer, m: AckCopy) -> None:
         _put_signed_ack(w, m.ack)
 
-    def decode(r: _Reader, sender, recipient, round_no) -> AckCopy:
+    def decode(
+        r: _Reader, sender: int, recipient: int, round_no: int
+    ) -> AckCopy:
         return AckCopy(
             sender=sender,
             recipient=recipient,
@@ -603,7 +631,9 @@ def _encode_relay_batch(w: _Writer, m: AttestationRelayBatch) -> None:
     w.bigint(m.signature)
 
 
-def _decode_relay(r: _Reader, sender, recipient, round_no):
+def _decode_relay(
+    r: _Reader, sender: int, recipient: int, round_no: int
+) -> AttestationRelay | AttestationRelayBatch:
     declarer = r.id()
     count = r.varint(bound=_MAX_PAIRS)
     if count < 1:
@@ -642,7 +672,7 @@ _BY_CLASS[AttestationRelayBatch] = _Schema(
 
 
 @_session(8, MonitorBroadcast)
-def _monitor_broadcast():
+def _monitor_broadcast() -> Tuple[_EncodeFn, _DecodeFn]:
     def encode(w: _Writer, m: MonitorBroadcast) -> None:
         w.id(m.monitored)
         w.id(m.predecessor)
@@ -651,7 +681,9 @@ def _monitor_broadcast():
         _put_signed_ack(w, m.ack)
         w.bigint(m.signature)
 
-    def decode(r: _Reader, sender, recipient, round_no) -> MonitorBroadcast:
+    def decode(
+        r: _Reader, sender: int, recipient: int, round_no: int
+    ) -> MonitorBroadcast:
         return MonitorBroadcast(
             sender=sender,
             recipient=recipient,
@@ -669,13 +701,15 @@ def _monitor_broadcast():
 
 
 @_session(9, AckRelay)
-def _ack_relay():
+def _ack_relay() -> Tuple[_EncodeFn, _DecodeFn]:
     def encode(w: _Writer, m: AckRelay) -> None:
         w.id(m.server)
         _put_signed_ack(w, m.ack)
         w.bigint(m.signature)
 
-    def decode(r: _Reader, sender, recipient, round_no) -> AckRelay:
+    def decode(
+        r: _Reader, sender: int, recipient: int, round_no: int
+    ) -> AckRelay:
         return AckRelay(
             sender=sender,
             recipient=recipient,
@@ -690,13 +724,15 @@ def _ack_relay():
 
 
 @_session(10, DeclarationAck)
-def _declaration_ack():
+def _declaration_ack() -> Tuple[_EncodeFn, _DecodeFn]:
     def encode(w: _Writer, m: DeclarationAck) -> None:
         w.id(m.server)
         w.id(m.exchange_round)
         w.bigint(m.signature)
 
-    def decode(r: _Reader, sender, recipient, round_no) -> DeclarationAck:
+    def decode(
+        r: _Reader, sender: int, recipient: int, round_no: int
+    ) -> DeclarationAck:
         return DeclarationAck(
             sender=sender,
             recipient=recipient,
@@ -711,14 +747,16 @@ def _declaration_ack():
 
 
 @_session(11, SelfCheck)
-def _self_check():
+def _self_check() -> Tuple[_EncodeFn, _DecodeFn]:
     def encode(w: _Writer, m: SelfCheck) -> None:
         w.id(m.predecessor)
         w.bigint(m.lifted_forward)
         w.bigint(m.lifted_ack_only)
         w.bigint(m.signature)
 
-    def decode(r: _Reader, sender, recipient, round_no) -> SelfCheck:
+    def decode(
+        r: _Reader, sender: int, recipient: int, round_no: int
+    ) -> SelfCheck:
         return SelfCheck(
             sender=sender,
             recipient=recipient,
@@ -737,7 +775,7 @@ def _self_check():
 
 
 @_session(12, Accusation)
-def _accusation():
+def _accusation() -> Tuple[_EncodeFn, _DecodeFn]:
     def encode(w: _Writer, m: Accusation) -> None:
         w.id(m.accused)
         w.id(m.exchange_round)
@@ -749,7 +787,9 @@ def _accusation():
             _put_attestation(w, m.attestation)
         w.bigint(m.signature)
 
-    def decode(r: _Reader, sender, recipient, round_no) -> Accusation:
+    def decode(
+        r: _Reader, sender: int, recipient: int, round_no: int
+    ) -> Accusation:
         return Accusation(
             sender=sender,
             recipient=recipient,
@@ -768,7 +808,7 @@ def _accusation():
 
 
 @_session(13, MonitorProbe)
-def _monitor_probe():
+def _monitor_probe() -> Tuple[_EncodeFn, _DecodeFn]:
     def encode(w: _Writer, m: MonitorProbe) -> None:
         w.id(m.accuser)
         w.id(m.exchange_round)
@@ -777,7 +817,9 @@ def _monitor_probe():
         w.varint(m.key_prime_count)
         w.bigint(m.signature)
 
-    def decode(r: _Reader, sender, recipient, round_no) -> MonitorProbe:
+    def decode(
+        r: _Reader, sender: int, recipient: int, round_no: int
+    ) -> MonitorProbe:
         return MonitorProbe(
             sender=sender,
             recipient=recipient,
@@ -795,11 +837,13 @@ def _monitor_probe():
 
 
 @_session(14, ProbeAck)
-def _probe_ack():
+def _probe_ack() -> Tuple[_EncodeFn, _DecodeFn]:
     def encode(w: _Writer, m: ProbeAck) -> None:
         _put_signed_ack(w, m.ack)
 
-    def decode(r: _Reader, sender, recipient, round_no) -> ProbeAck:
+    def decode(
+        r: _Reader, sender: int, recipient: int, round_no: int
+    ) -> ProbeAck:
         return ProbeAck(
             sender=sender,
             recipient=recipient,
@@ -812,12 +856,14 @@ def _probe_ack():
 
 
 @_session(15, Confirm)
-def _confirm():
+def _confirm() -> Tuple[_EncodeFn, _DecodeFn]:
     def encode(w: _Writer, m: Confirm) -> None:
         _put_signed_ack(w, m.ack)
         w.bigint(m.signature)
 
-    def decode(r: _Reader, sender, recipient, round_no) -> Confirm:
+    def decode(
+        r: _Reader, sender: int, recipient: int, round_no: int
+    ) -> Confirm:
         return Confirm(
             sender=sender,
             recipient=recipient,
@@ -831,14 +877,16 @@ def _confirm():
 
 
 @_session(16, Nack)
-def _nack():
+def _nack() -> Tuple[_EncodeFn, _DecodeFn]:
     def encode(w: _Writer, m: Nack) -> None:
         w.id(m.accused)
         w.id(m.accuser)
         w.id(m.exchange_round)
         w.bigint(m.signature)
 
-    def decode(r: _Reader, sender, recipient, round_no) -> Nack:
+    def decode(
+        r: _Reader, sender: int, recipient: int, round_no: int
+    ) -> Nack:
         return Nack(
             sender=sender,
             recipient=recipient,
@@ -854,13 +902,15 @@ def _nack():
 
 
 @_session(17, InvestigateRequest)
-def _investigate_request():
+def _investigate_request() -> Tuple[_EncodeFn, _DecodeFn]:
     def encode(w: _Writer, m: InvestigateRequest) -> None:
         w.id(m.successor)
         w.id(m.exchange_round)
         w.bigint(m.signature)
 
-    def decode(r: _Reader, sender, recipient, round_no) -> InvestigateRequest:
+    def decode(
+        r: _Reader, sender: int, recipient: int, round_no: int
+    ) -> InvestigateRequest:
         return InvestigateRequest(
             sender=sender,
             recipient=recipient,
@@ -875,7 +925,7 @@ def _investigate_request():
 
 
 @_session(18, InvestigateResponse)
-def _investigate_response():
+def _investigate_response() -> Tuple[_EncodeFn, _DecodeFn]:
     def encode(w: _Writer, m: InvestigateResponse) -> None:
         w.id(m.successor)
         w.id(m.exchange_round)
@@ -886,7 +936,7 @@ def _investigate_response():
         w.bigint(m.signature)
 
     def decode(
-        r: _Reader, sender, recipient, round_no
+        r: _Reader, sender: int, recipient: int, round_no: int
     ) -> InvestigateResponse:
         return InvestigateResponse(
             sender=sender,
@@ -1024,8 +1074,10 @@ class Shutdown:
     kind = "shutdown"
 
 
-def _control(kind_byte: int, cls: Type):
-    def wrap(build):
+def _control(
+    kind_byte: int, cls: Type
+) -> Callable[[_BuildFn], _BuildFn]:
+    def wrap(build: _BuildFn) -> _BuildFn:
         encode, decode = build()
         _register(_Schema(kind_byte, cls, encode, decode, control=True))
         return build
@@ -1034,7 +1086,7 @@ def _control(kind_byte: int, cls: Type):
 
 
 @_control(64, JoinRequest)
-def _join_request():
+def _join_request() -> Tuple[_EncodeFn, _DecodeFn]:
     def encode(w: _Writer, m: JoinRequest) -> None:
         w.varint(m.shard)
         w.varint(m.shards)
@@ -1066,7 +1118,7 @@ def _join_request():
 
 
 @_control(65, JoinAccept)
-def _join_accept():
+def _join_accept() -> Tuple[_EncodeFn, _DecodeFn]:
     def encode(w: _Writer, m: JoinAccept) -> None:
         w.varint(m.shard)
         w.varint(m.nodes_owned)
@@ -1084,7 +1136,7 @@ def _join_accept():
 
 
 @_control(66, JoinReject)
-def _join_reject():
+def _join_reject() -> Tuple[_EncodeFn, _DecodeFn]:
     def encode(w: _Writer, m: JoinReject) -> None:
         w.string(m.reason)
 
@@ -1096,7 +1148,7 @@ def _join_reject():
 
 
 @_control(67, PeerHello)
-def _peer_hello():
+def _peer_hello() -> Tuple[_EncodeFn, _DecodeFn]:
     def encode(w: _Writer, m: PeerHello) -> None:
         w.varint(m.shard)
 
@@ -1108,7 +1160,7 @@ def _peer_hello():
 
 
 @_control(68, RoundStart)
-def _round_start():
+def _round_start() -> Tuple[_EncodeFn, _DecodeFn]:
     def encode(w: _Writer, m: RoundStart) -> None:
         w.varint(m.round_no)
 
@@ -1120,7 +1172,7 @@ def _round_start():
 
 
 @_control(69, StepMark)
-def _step_mark():
+def _step_mark() -> Tuple[_EncodeFn, _DecodeFn]:
     def encode(w: _Writer, m: StepMark) -> None:
         w.varint(m.round_no)
         w.varint(m.step)
@@ -1136,7 +1188,7 @@ def _step_mark():
 
 
 @_control(70, StepDone)
-def _step_done():
+def _step_done() -> Tuple[_EncodeFn, _DecodeFn]:
     def encode(w: _Writer, m: StepDone) -> None:
         w.varint(m.round_no)
         w.varint(m.step)
@@ -1148,9 +1200,9 @@ def _step_done():
         return StepDone(
             round_no=r.varint(bound=1 << 32),
             step=r.varint(bound=1 << 32),
-            delivered=r.varint(),
-            sent_remote=r.varint(),
-            pending_local=r.varint(),
+            delivered=r.varint(bound=_MAX_TALLY),
+            sent_remote=r.varint(bound=_MAX_TALLY),
+            pending_local=r.varint(bound=_MAX_TALLY),
         )
 
     return encode, decode
@@ -1158,7 +1210,7 @@ def _step_done():
 
 
 @_control(71, StepGo)
-def _step_go():
+def _step_go() -> Tuple[_EncodeFn, _DecodeFn]:
     def encode(w: _Writer, m: StepGo) -> None:
         w.varint(m.round_no)
         w.varint(m.step)
@@ -1176,7 +1228,7 @@ def _step_go():
 
 
 @_control(72, RoundDone)
-def _round_done():
+def _round_done() -> Tuple[_EncodeFn, _DecodeFn]:
     def encode(w: _Writer, m: RoundDone) -> None:
         w.varint(m.round_no)
 
@@ -1188,7 +1240,7 @@ def _round_done():
 
 
 @_control(73, CollectRequest)
-def _collect_request():
+def _collect_request() -> Tuple[_EncodeFn, _DecodeFn]:
     def encode(w: _Writer, m: CollectRequest) -> None:
         pass
 
@@ -1200,7 +1252,7 @@ def _collect_request():
 
 
 @_control(74, SessionReport)
-def _session_report():
+def _session_report() -> Tuple[_EncodeFn, _DecodeFn]:
     def encode(w: _Writer, m: SessionReport) -> None:
         w.blob(m.payload)
 
@@ -1212,7 +1264,7 @@ def _session_report():
 
 
 @_control(75, Shutdown)
-def _shutdown():
+def _shutdown() -> Tuple[_EncodeFn, _DecodeFn]:
     def encode(w: _Writer, m: Shutdown) -> None:
         pass
 
@@ -1236,7 +1288,25 @@ def registered_kinds() -> Dict[str, int]:
     }
 
 
-def encodable(message) -> bool:
+def schema_table() -> List[Tuple[int, type, bool]]:
+    """``(kind_byte, message class, is_control)`` per registered schema.
+
+    Ordered by kind byte then class name.  This is the coverage
+    contract the ``repro lint`` wire cross-check verifies: every row
+    must have a fixture in ``tests/net/fixtures.py`` and a pinned
+    frame in ``tests/net/golden_wire_v1.json``, and every message
+    class must appear here.
+    """
+    return sorted(
+        (
+            (schema.kind_byte, cls, schema.control)
+            for cls, schema in _BY_CLASS.items()
+        ),
+        key=lambda row: (row[0], row[1].__name__),
+    )
+
+
+def encodable(message: object) -> bool:
     """Does this message type have a wire schema?
 
     Baseline protocols (the AcTinG comparator, the push baseline)
@@ -1246,7 +1316,7 @@ def encodable(message) -> bool:
     return type(message) in _BY_CLASS
 
 
-def encode_message(message) -> bytes:
+def encode_message(message: Any) -> bytes:
     """Message -> payload bytes (``[version][kind][body]``, unframed)."""
     schema = _BY_CLASS.get(type(message))
     if schema is None:
@@ -1272,7 +1342,7 @@ def encode_message(message) -> bytes:
     return payload
 
 
-def decode_message(payload: bytes):
+def decode_message(payload: bytes) -> Any:
     """Payload bytes -> message object, fully validated.
 
     All structural and bounds validation happens here — before any

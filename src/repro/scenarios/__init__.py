@@ -11,6 +11,8 @@ measure them.  Start with::
     result.cdf()          # the Fig. 7 series
 """
 
+from __future__ import annotations
+
 from repro.scenarios.registry import (
     all_scenarios,
     get_scenario,
@@ -19,13 +21,13 @@ from repro.scenarios.registry import (
     scenario_names,
 )
 from repro.scenarios.spec import (
+    SELFISH_STRATEGIES,
     AdversaryGroup,
     ChurnEvent,
     JoinEvent,
     RateStep,
     ScenarioResult,
     ScenarioSpec,
-    SELFISH_STRATEGIES,
 )
 
 __all__ = [

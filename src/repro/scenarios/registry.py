@@ -16,7 +16,7 @@ override it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.scenarios.spec import (
     AdversaryGroup,
@@ -55,7 +55,7 @@ def register_scenario(
     return spec
 
 
-def get_scenario(name: str, **overrides) -> ScenarioSpec:
+def get_scenario(name: str, **overrides: Any) -> ScenarioSpec:
     """Look up a named spec, optionally overriding fields.
 
     ``None`` overrides are ignored (CLI flags pass through untouched).
@@ -80,7 +80,7 @@ def all_scenarios() -> List[ScenarioSpec]:
 def run_scenario(
     name: str,
     execution_policy: Optional[ExecutionPolicy] = None,
-    **overrides,
+    **overrides: Any,
 ) -> ScenarioResult:
     """Resolve, build, run, and measure a named scenario."""
     return get_scenario(name, **overrides).run(execution_policy)

@@ -14,10 +14,14 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.sim.execution import ExecutionPolicy, make_policy
 from repro.sim.metrics import cdf_points
+
+if TYPE_CHECKING:
+    from repro.core import PagSession
+    from repro.core.config import PagConfig
 
 __all__ = [
     "AdversaryGroup",
@@ -399,7 +403,7 @@ class ScenarioSpec:
 
     # -- derived construction ----------------------------------------------
 
-    def with_overrides(self, **overrides) -> "ScenarioSpec":
+    def with_overrides(self, **overrides: Any) -> "ScenarioSpec":
         """A copy with fields replaced (``nodes=240``, ``rounds=60``...).
 
         ``None`` values are ignored so CLI flags can be passed through
@@ -408,7 +412,7 @@ class ScenarioSpec:
         cleaned = {k: v for k, v in overrides.items() if v is not None}
         return dataclasses.replace(self, **cleaned) if cleaned else self
 
-    def build_config(self, **config_overrides):
+    def build_config(self, **config_overrides: Any) -> "PagConfig":
         """The :class:`~repro.core.config.PagConfig` this spec implies."""
         from repro.core.config import PagConfig
 
@@ -467,7 +471,9 @@ class ScenarioSpec:
                     candidate += 1
         return taken
 
-    def build(self, execution_policy: Optional[ExecutionPolicy] = None):
+    def build(
+        self, execution_policy: Optional[ExecutionPolicy] = None
+    ) -> Any:
         """Instantiate the session (PAG or AcTinG) this spec describes.
 
         Churn events are wired as round hooks on the simulator, so
@@ -480,8 +486,8 @@ class ScenarioSpec:
     def build_pag_with(
         self,
         execution_policy: Optional[ExecutionPolicy] = None,
-        **config_overrides,
-    ):
+        **config_overrides: Any,
+    ) -> "PagSession":
         """PAG session with extra :class:`PagConfig` overrides.
 
         For ablation sweeps over knobs the spec does not model
@@ -489,7 +495,11 @@ class ScenarioSpec:
         """
         return self._build_pag(execution_policy, **config_overrides)
 
-    def _build_pag(self, execution_policy, **config_overrides):
+    def _build_pag(
+        self,
+        execution_policy: Optional[ExecutionPolicy],
+        **config_overrides: Any,
+    ) -> "PagSession":
         import repro.adversary.selfish as selfish
         from repro.core import PagSession
 
@@ -516,7 +526,9 @@ class ScenarioSpec:
             wire_population(self, session)
         return session
 
-    def _build_acting(self, execution_policy):
+    def _build_acting(
+        self, execution_policy: Optional[ExecutionPolicy]
+    ) -> Any:
         import math
 
         from repro.baselines.acting import ActingConfig, ActingSession
@@ -572,7 +584,11 @@ class ScenarioSpec:
             fanout=fanout,
         )
 
-    def _bind_policy(self, execution_policy, session) -> None:
+    def _bind_policy(
+        self,
+        execution_policy: Optional[ExecutionPolicy],
+        session: Any,
+    ) -> None:
         """Hand a replica-capable policy its session bootstrap.
 
         Worker-backed policies rebuild the session inside each worker
@@ -584,7 +600,7 @@ class ScenarioSpec:
         if binder is not None:
             binder(self.cohort_equivalent(), session)
 
-    def _wire_faults(self, session) -> None:
+    def _wire_faults(self, session: Any) -> None:
         """Build the fault schedule onto the session's network.
 
         Each declaration gets its own rng stream, derived from the spec
@@ -611,7 +627,7 @@ class ScenarioSpec:
             )
             network.add_drop_rule(rule)
 
-    def _wire_membership(self, simulator, session) -> None:
+    def _wire_membership(self, simulator: Any, session: Any) -> None:
         """Round hooks replaying the spec's join/leave schedule.
 
         Admissions run before removals within one hook, in sorted id
@@ -723,7 +739,9 @@ class ScenarioResult:
     accusations: Dict[str, int] = field(default_factory=dict)
 
     @classmethod
-    def collect(cls, spec: ScenarioSpec, session) -> "ScenarioResult":
+    def collect(
+        cls, spec: ScenarioSpec, session: Any
+    ) -> "ScenarioResult":
         meter = session.simulator.network.meter
         node_ids = sorted(session.nodes)
         node_kbps = meter.all_node_kbps(

@@ -6,6 +6,8 @@ meters every byte (see DESIGN.md, section 4, for the substitution
 argument).
 """
 
+from __future__ import annotations
+
 from repro.sim.engine import Simulator
 from repro.sim.execution import (
     ExecutionPolicy,

@@ -47,12 +47,12 @@ import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import (
+    TYPE_CHECKING,
     Callable,
     Dict,
     List,
     Optional,
     Sequence,
-    TYPE_CHECKING,
 )
 
 from repro.sim.network import RemoteSend
@@ -634,7 +634,11 @@ class _ReplicaWorker:
 _PROCESS_REPLICA: Optional[_ReplicaWorker] = None
 
 
-def _init_process_replica(bootstrap, shard: int, workers: int) -> None:
+def _init_process_replica(  # lint: replica-scope
+    bootstrap, shard: int, workers: int
+) -> None:
+    # lint: allow[PAR302] pool initializer installing the per-process
+    # replica slot; runs only inside the worker process
     global _PROCESS_REPLICA
     _PROCESS_REPLICA = _ReplicaWorker(bootstrap, shard, workers)
 
@@ -654,6 +658,8 @@ def _process_phase(
 
 
 def _process_remove(node_id: int) -> None:
+    # lint: allow[PAR302] the slot holds this process's own replica;
+    # process workers never share the module with the parent
     _PROCESS_REPLICA.remove(node_id)
 
 
@@ -1130,6 +1136,8 @@ class ParallelShardedPolicy(ExecutionPolicy):
                 executor = handle._executor
                 if executor is None or id(executor) in seen:
                     continue
+                # lint: allow[DET105] in-process dedup of live
+                # executor objects during shutdown; never ordered
                 seen.add(id(executor))
                 executor.shutdown(wait=True)
         self._handles = None

@@ -1,5 +1,7 @@
 """Live-streaming application layer: quality ladder and playback metrics."""
 
+from __future__ import annotations
+
 from repro.streaming.player import PlaybackReport, evaluate_playback
 from repro.streaming.video import (
     LINK_CAPACITIES_KBPS,

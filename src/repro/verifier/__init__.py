@@ -7,6 +7,8 @@ PAG round model (:mod:`protocol`), and the paper's attack scenarios
 (:mod:`scenarios`).
 """
 
+from __future__ import annotations
+
 from repro.verifier.deduction import analyze, can_derive
 from repro.verifier.protocol import PagScenario, Role
 from repro.verifier.scenarios import (

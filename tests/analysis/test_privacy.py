@@ -99,7 +99,7 @@ class TestMonteCarloCrossValidation:
         )
         rng = SeedSequence(9).stream("coalition")
         rates = []
-        for trial in range(5):
+        for _trial in range(5):
             members = set(
                 rng.sample(list(views.directory.consumers()), int(n * c))
             )

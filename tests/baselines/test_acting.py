@@ -98,7 +98,7 @@ class TestPrivacyLeak:
         s.run(12)
         leaked = False
         for node in s.nodes.values():
-            for audited, entries in node.audited_knowledge.items():
+            for _audited, entries in node.audited_knowledge.items():
                 for entry in entries:
                     if entry.update_uids:
                         leaked = True

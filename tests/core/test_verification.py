@@ -1,5 +1,7 @@
 """Tests for the homomorphic bookkeeping helpers."""
 
+import random
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -16,8 +18,6 @@ from repro.core.verification import (
 from repro.crypto.homomorphic import fresh_hasher
 from repro.crypto.primes import generate_distinct_primes, product
 from repro.gossip.updates import Update
-
-import random
 
 
 def entry(uid, count=1, ack_only=False, payload=True):
@@ -151,7 +151,7 @@ class TestBatchVerifier:
         primes = generate_distinct_primes(k, 32, rng)
         key = product(primes)
         pairs = []
-        for i, p in enumerate(primes):
+        for _i, p in enumerate(primes):
             attested = hasher.hash(rng.getrandbits(200) + 2, p)
             pairs.append((attested, key // p))
         return pairs

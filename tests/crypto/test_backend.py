@@ -133,7 +133,7 @@ def _exercise(hasher, rng):
         # Repeat some hashes so the memo path is exercised too.
         outputs.append(hasher.hash(update, primes[i % 3]))
     attested = []
-    for i in range(10):
+    for _i in range(10):
         h = hasher.hash(rng.getrandbits(200) + 2, 65537)
         cofactor = rng.getrandbits(96) | 1
         # Lift twice: the second lift goes through the fixed-base table.

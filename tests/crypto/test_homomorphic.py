@@ -222,7 +222,7 @@ def test_repeated_rekey_uses_consistent_values(hasher):
     stays equal to pow even after the fixed-base table kicks in."""
     rng = random.Random(17)
     base = rng.getrandbits(200)
-    for i in range(12):
+    for _i in range(12):
         cofactor = rng.getrandbits(96) | 1
         assert hasher.rekey(base, cofactor) == pow(
             base, cofactor, hasher.modulus

@@ -79,3 +79,23 @@ class TestCryptoCounters:
         assert a.signatures == 5
         assert a.encryptions == 2
         assert a.decryptions == 5
+
+
+class TestDefaultRngIsSeeded:
+    """Regression: the default rng used to be an unseeded
+    ``random.Random()`` (caught by ``repro lint`` DET102), silently
+    breaking the documented two-runs-same-keys contract."""
+
+    def test_two_default_stores_generate_identical_keys(self):
+        a = KeyStore(key_bits=256)
+        b = KeyStore(key_bits=256)
+        assert a.register(1).public == b.register(1).public
+
+    def test_default_matches_explicit_seed(self):
+        from repro.crypto.keystore import DEFAULT_KEYSTORE_SEED
+
+        implicit = KeyStore(key_bits=256)
+        explicit = KeyStore(
+            key_bits=256, rng=random.Random(DEFAULT_KEYSTORE_SEED)
+        )
+        assert implicit.register(9).public == explicit.register(9).public

@@ -62,7 +62,7 @@ class TestAttackerInference:
     def test_uniform_posterior_is_one_over_k(self):
         plan = make_plan(cover=3)
         posteriors = interest_posterior(plan.observer_view())
-        for node, posterior in posteriors.items():
+        for _node, posterior in posteriors.items():
             assert all(
                 p == pytest.approx(1 / 3) for p in posterior.values()
             )

@@ -1,0 +1,84 @@
+"""Deliberately non-deterministic snippets for the DET1xx analyzer.
+
+Never imported, only parsed: tests/lint/test_determinism.py runs the
+linter over this file and asserts that every ``# expect[CODE]`` marker
+line yields exactly that diagnostic and nothing else.  This directory
+is excluded from ruff — the bad patterns are the point.
+"""
+
+import datetime
+import glob
+import os
+import random
+import secrets
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+def singleton_calls():
+    a = random.random()  # expect[DET101]
+    b = random.choice([1, 2])  # expect[DET101]
+    random.shuffle([3, 4])  # expect[DET101]
+    return a, b
+
+
+def unseeded_rngs():
+    r = random.Random()  # expect[DET102]
+    s = random.SystemRandom()  # expect[DET102]
+    return r, s
+
+
+@dataclass
+class BadDefault:
+    rng: random.Random = field(
+        default_factory=random.Random  # expect[DET102]
+    )
+
+
+def clocks():
+    t = time.time()  # expect[DET103]
+    n = time.time_ns()  # expect[DET103]
+    d = datetime.datetime.now()  # expect[DET103]
+    return t, n, d
+
+
+def entropy():
+    x = os.urandom(8)  # expect[DET104]
+    y = uuid.uuid4()  # expect[DET104]
+    z = secrets.token_bytes(4)  # expect[DET104]
+    return x, y, z
+
+
+def id_keyed(table, executor):
+    table[id(executor)] = 1  # expect[DET105]
+    table.get(id(executor))  # expect[DET105]
+    return {id(executor): 2}  # expect[DET105]
+
+
+def address_sort(items):
+    return sorted(items, key=id)  # expect[DET105]
+
+
+def set_into_sink(rows):
+    out = []
+    for item in {3, 1, 2}:  # expect[DET106]
+        out.append(item)
+    listed = list({9, 8})  # expect[DET106]
+    joined = ",".join({"b", "a"})  # expect[DET106]
+    return out, listed, joined
+
+
+def comp_over_set(values):
+    ordered = [v for v in set(values)]  # expect[DET106]
+    fine = sorted(v for v in set(values))
+    return ordered, fine
+
+
+def fs_order(base: Path):
+    names = list(os.listdir("."))  # expect[DET107]
+    for path in base.iterdir():  # expect[DET107]
+        names.append(path.name)
+    globbed = [p for p in glob.glob("*.py")]  # expect[DET107]
+    return names, globbed

@@ -1,0 +1,18 @@
+"""Pragma hygiene violations for the PRG9xx rules.
+
+Never imported, only parsed by tests/lint/test_pragmas.py.
+"""
+
+import random
+
+
+def missing_justification():
+    return random.random()  # lint: allow[DET101]
+
+
+def unknown_code(x):
+    return x + 1  # lint: allow[DET999] the code does not exist
+
+
+def unused_pragma(x):
+    return x * 2  # lint: allow[DET103] nothing here reads a clock

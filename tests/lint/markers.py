@@ -1,0 +1,35 @@
+"""Shared helpers for the lint-fixture tests.
+
+Fixture files under tests/lint/fixtures/ annotate each line that must
+produce a diagnostic with an end-of-line ``# expect[CODE]`` marker.
+The analyzer tests parse those markers and require an exact match:
+every marker yields its diagnostic, and no unmarked line yields any.
+"""
+
+import re
+from pathlib import Path
+from typing import List, Set, Tuple
+
+from repro.lint.runner import lint_source
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_MARKER = re.compile(r"#\s*expect\[([A-Z]+\d+)\]")
+
+
+def expected_markers(path: Path) -> Set[Tuple[int, str]]:
+    pairs: Set[Tuple[int, str]] = set()
+    text = path.read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in _MARKER.finditer(line):
+            pairs.add((lineno, match.group(1)))
+    return pairs
+
+
+def lint_fixture(path: Path) -> List:
+    return lint_source(str(path), path.read_text(encoding="utf-8"))
+
+
+def found_pairs(path: Path) -> Set[Tuple[int, str]]:
+    return {(d.line, d.code) for d in lint_fixture(path)}

@@ -1,0 +1,64 @@
+"""DET1xx analyzer: fixture markers and targeted unit cases."""
+
+import ast
+
+from repro.lint.determinism import analyze_determinism
+from tests.lint.markers import FIXTURES, expected_markers, found_pairs
+
+FIXTURE = FIXTURES / "det_bad.py"
+
+
+def _det(source: str):
+    tree = ast.parse(source)
+    return analyze_determinism("snippet.py", tree)
+
+
+class TestDetFixture:
+    def test_every_marker_fires(self):
+        expected = expected_markers(FIXTURE)
+        assert expected, "fixture lost its # expect[...] markers"
+        found = found_pairs(FIXTURE)
+        missing = expected - found
+        assert not missing, f"markers without diagnostics: {missing}"
+
+    def test_no_unmarked_diagnostics(self):
+        extra = found_pairs(FIXTURE) - expected_markers(FIXTURE)
+        assert not extra, f"diagnostics without markers: {extra}"
+
+    def test_only_det_codes(self):
+        codes = {code for _, code in found_pairs(FIXTURE)}
+        assert codes
+        assert all(code.startswith("DET") for code in codes)
+
+
+class TestDetUnits:
+    def test_seeded_rng_is_clean(self):
+        src = "import random\nr = random.Random(42)\n"
+        assert _det(src) == []
+
+    def test_perf_counter_is_clean(self):
+        src = "import time\nt = time.perf_counter()\n"
+        assert _det(src) == []
+
+    def test_sorted_discharges_set_iteration(self):
+        src = "out = [v for v in sorted({3, 1, 2})]\n"
+        assert _det(src) == []
+
+    def test_order_free_reducer_discharges_set(self):
+        src = "total = sum(v for v in {3, 1, 2})\n"
+        assert _det(src) == []
+
+    def test_set_loop_without_sink_is_clean(self):
+        src = "for v in {3, 1, 2}:\n    print(v)\n"
+        assert _det(src) == []
+
+    def test_sorted_listdir_is_clean(self):
+        src = "import os\nnames = sorted(os.listdir('.'))\n"
+        assert _det(src) == []
+
+    def test_diagnostic_columns_are_one_based(self):
+        src = "import random\nx = random.random()\n"
+        (diag,) = _det(src)
+        assert diag.code == "DET101"
+        assert diag.line == 2
+        assert diag.col == 5

@@ -1,0 +1,81 @@
+"""Pragma parsing, suppression, and PRG9xx hygiene rules."""
+
+from repro.lint.pragmas import scan_pragmas
+from repro.lint.runner import lint_source
+from tests.lint.markers import FIXTURES, lint_fixture
+
+FIXTURE = FIXTURES / "pragma_bad.py"
+
+
+class TestHygieneFixture:
+    def test_fixture_codes_and_lines(self):
+        rows = {(d.line, d.code) for d in lint_fixture(FIXTURE)}
+        assert rows == {
+            (10, "PRG901"),
+            (14, "PRG903"),
+            (18, "PRG902"),
+        }
+
+    def test_suppression_applies_despite_missing_reason(self):
+        # Line 10 carries allow[DET101] with no justification: the
+        # DET101 finding is still suppressed, PRG901 takes its place.
+        codes = {d.code for d in lint_fixture(FIXTURE)}
+        assert "DET101" not in codes
+
+
+class TestSuppression:
+    def test_inline_pragma_suppresses_same_line(self):
+        src = (
+            "import random\n"
+            "x = random.random()"
+            "  # lint: allow[DET101] fixture needs raw entropy\n"
+        )
+        assert lint_source("s.py", src) == []
+
+    def test_comment_only_pragma_covers_next_code_line(self):
+        src = (
+            "import random\n"
+            "# lint: allow[DET101] fixture needs raw entropy\n"
+            "x = random.random()\n"
+        )
+        assert lint_source("s.py", src) == []
+
+    def test_pragma_does_not_leak_past_next_line(self):
+        src = (
+            "import random\n"
+            "# lint: allow[DET101] only the first draw is exempt\n"
+            "x = random.random()\n"
+            "y = random.random()\n"
+        )
+        diags = lint_source("s.py", src)
+        assert [(d.line, d.code) for d in diags] == [(4, "DET101")]
+
+    def test_pragma_only_covers_listed_codes(self):
+        src = (
+            "import random\n"
+            "x = random.random()"
+            "  # lint: allow[DET103] wrong code listed\n"
+        )
+        codes = {d.code for d in lint_source("s.py", src)}
+        assert "DET101" in codes
+
+    def test_docstring_pragma_text_is_inert(self):
+        # Pragma syntax inside a string literal is not a pragma: it
+        # neither suppresses anything nor trips hygiene rules.
+        src = (
+            '"""Docs quoting # lint: allow[DET101] verbatim."""\n'
+            "import random\n"
+            "x = random.random()\n"
+        )
+        diags = lint_source("s.py", src)
+        assert [(d.line, d.code) for d in diags] == [(3, "DET101")]
+
+
+class TestScan:
+    def test_scan_parses_codes_and_justification(self):
+        src = "x = 1  # lint: allow[DET101,DET103] replayed fixture\n"
+        table = scan_pragmas(src)
+        assert table.suppresses(1, "DET101")
+        assert table.suppresses(1, "DET103")
+        assert not table.suppresses(1, "DET104")
+        assert not table.suppresses(2, "DET101")

@@ -1,0 +1,104 @@
+"""End-to-end ``repro lint``: clean tree, CLI wiring, mutations."""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+from repro.lint.diagnostics import RULES
+from repro.lint.runner import lint_source, main
+from tests.lint.markers import REPO_ROOT
+
+SRC_TREE = REPO_ROOT / "src" / "repro"
+
+
+def _cli(*argv, cwd=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *argv],
+        capture_output=True,
+        text=True,
+        cwd=str(cwd or REPO_ROOT),
+        env=env,
+    )
+
+
+class TestCleanTree:
+    def test_src_tree_is_clean(self, capsys):
+        code = main([str(SRC_TREE), "--root", str(REPO_ROOT)])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "repro lint: all clean" in out
+
+    def test_rules_listing(self, capsys):
+        assert main(["--rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in RULES:
+            assert rule in out
+
+    def test_missing_path_exits_2(self, capsys):
+        assert main(["no_such_file_xyz.py"]) == 2
+        err = capsys.readouterr().err
+        assert "no such path" in err
+
+    def test_cli_verb_lists_rules(self):
+        proc = _cli("--rules")
+        assert proc.returncode == 0, proc.stderr
+        assert "DET101" in proc.stdout
+        assert "WIRE205" in proc.stdout
+
+
+class TestMutations:
+    """Seed a defect, assert the gate goes red with the right code."""
+
+    def test_determinism_mutation_fails_cli(self, tmp_path):
+        bad = tmp_path / "mutated.py"
+        bad.write_text(
+            "import random\n\n\ndef jitter(scale):\n"
+            "    return scale * random.random()\n"
+        )
+        proc = _cli(str(bad), "--no-wire-check")
+        assert proc.returncode == 1, proc.stdout
+        assert "DET101" in proc.stdout
+        assert "Found 1 finding(s)" in proc.stdout
+
+    def test_parity_mutation_fails(self, tmp_path, capsys):
+        bad = tmp_path / "mutated.py"
+        bad.write_text(
+            "_SLOT = {}\n\n\ndef _process_batch(rows):\n"
+            "    _SLOT['last'] = rows\n"
+        )
+        code = main([str(bad), "--no-wire-check"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "PAR302" in out
+
+    def test_dropped_golden_frame_fails(self, tmp_path, capsys):
+        # A fake repo root whose golden file lost one pinned frame:
+        # the cross-check must notice the uncovered wire kind.
+        net_dir = tmp_path / "tests" / "net"
+        net_dir.mkdir(parents=True)
+        shutil.copy(
+            REPO_ROOT / "tests" / "net" / "fixtures.py",
+            net_dir / "fixtures.py",
+        )
+        golden_src = REPO_ROOT / "tests" / "net" / "golden_wire_v1.json"
+        golden = json.loads(golden_src.read_text())
+        frames = golden["frames"]
+        dropped = next(k for k in frames if k.endswith("-Serve"))
+        del frames[dropped]
+        (net_dir / "golden_wire_v1.json").write_text(json.dumps(golden))
+        clean = tmp_path / "clean.py"
+        clean.write_text("VALUE = 1\n")
+        code = main([str(clean), "--root", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "WIRE204" in out
+        assert "'Serve'" in out
+
+    def test_unparseable_file_reports_prg903(self):
+        diags = lint_source("broken.py", "def f(:\n")
+        assert [d.code for d in diags] == ["PRG903"]
+        assert "does not parse" in diags[0].message

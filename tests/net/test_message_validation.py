@@ -336,3 +336,48 @@ def test_boolean_byte_must_be_zero_or_one():
 
     with pytest.raises(WireValidationError, match="boolean"):
         decode_message(_craft(18, body))  # investigate_response
+
+
+# ---------------------------------------------------------------------------
+# Envelope ids, update sessions, barrier tallies: varint bounds added
+# after `repro lint` WIRE202 flagged these reads as unbounded
+# ---------------------------------------------------------------------------
+
+
+def test_oversized_sender_id_rejected():
+    def body(w):
+        w.varint(1 << 50)  # raw zigzag id above _MAX_ID_RAW
+        w.id(11)
+        w.id(4)
+        w.bigint(0x77)
+
+    with pytest.raises(WireValidationError, match="exceeds bound"):
+        decode_message(_craft(1, body))
+
+
+def test_oversized_update_session_rejected():
+    def body(w):
+        w.id(7)
+        w.id(11)
+        w.id(4)
+        w.bigint(5)        # key_prev
+        w.varint(1)        # key_prime_count
+        w.varint(1)        # one serve entry
+        w.id(1)            # update uid
+        w.id(0)            # round_created
+        w.id(10)           # expiry_round
+        w.varint(100)      # payload_bytes
+        w.varint(1 << 17)  # session, above _MAX_SESSION
+
+    with pytest.raises(WireValidationError, match="exceeds bound"):
+        decode_message(_craft(3, body))  # serve
+
+
+def test_oversized_step_done_tally_rejected():
+    def body(w):
+        w.varint(1)         # round_no
+        w.varint(2)         # step
+        w.varint(1 << 33)   # delivered, above _MAX_TALLY
+
+    with pytest.raises(WireValidationError, match="exceeds bound"):
+        decode_message(_craft(70, body))  # step_done (control)

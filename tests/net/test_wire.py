@@ -17,8 +17,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.messages import (
-    Ack,
     Accusation,
+    Ack,
     AttestationRelay,
     AttestationRelayBatch,
     InvestigateResponse,
