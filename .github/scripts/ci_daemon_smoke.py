@@ -41,7 +41,7 @@ def run_case(flags):
                 [
                     sys.executable,
                     "-m",
-                    "repro.cli",
+                    "repro",
                     "daemon",
                     "--listen",
                     "tcp://127.0.0.1:0",
@@ -57,7 +57,7 @@ def run_case(flags):
             [
                 sys.executable,
                 "-m",
-                "repro.cli",
+                "repro",
                 "session",
                 *flags,
                 "--daemons",

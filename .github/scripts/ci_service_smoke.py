@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""End-to-end service-mode smoke for CI.
+
+Starts a real ``repro serve`` process on localhost TCP, then drives it
+exactly the way an operator would: poll health with ``repro ctl``
+until the session is running, stream a handful of NDJSON events with
+``repro watch --raw --max-events``, churn a node through the control
+channel, and drain.  The serve process must exit 0 with its
+"session complete" summary, having stopped before its declared round
+budget (proof the drain, not the round counter, ended the run).
+Results land in a junit XML artifact.
+
+Usage: PYTHONPATH=src python .github/scripts/ci_service_smoke.py out.xml
+"""
+
+import json
+import subprocess
+import sys
+import time
+from xml.sax.saxutils import escape
+
+SCENARIO = "fig7"
+NODES = 20
+# A generous round budget plus a per-round delay keeps the session
+# alive while the smoke pokes at it; the drain ends it early.
+ROUNDS = 60
+ROUND_DELAY = 0.1
+STREAMED_EVENTS = 8
+EVENT_KINDS = {"state", "round", "meter", "counters", "verdict"}
+POLL_DEADLINE_S = 30.0
+
+
+def _ctl(endpoint, *argv):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "ctl", endpoint, *argv],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+
+
+def poll_until_running(endpoint):
+    deadline = time.monotonic() + POLL_DEADLINE_S
+    last = ""
+    while time.monotonic() < deadline:
+        proc = _ctl(endpoint, "health")
+        last = proc.stdout + proc.stderr
+        if proc.returncode == 0:
+            health = json.loads(proc.stdout)
+            if health["state"] == "running":
+                return True, json.dumps(health, sort_keys=True)
+        time.sleep(0.2)
+    return False, f"health never reached running; last reply:\n{last}"
+
+
+def stream_events(endpoint):
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "watch", endpoint,
+            "--raw", "--max-events", str(STREAMED_EVENTS),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    if proc.returncode != 0:
+        return False, f"watch rc={proc.returncode}\n{proc.stderr}"
+    lines = [ln for ln in proc.stdout.splitlines() if ln.strip()]
+    if len(lines) != STREAMED_EVENTS:
+        return False, f"expected {STREAMED_EVENTS} events:\n{proc.stdout}"
+    kinds = [json.loads(line)["kind"] for line in lines]
+    if not all(kind in EVENT_KINDS for kind in kinds):
+        return False, f"unknown event kind in stream: {kinds}"
+    return True, f"streamed kinds: {kinds}"
+
+
+def churn_node(endpoint, node_id):
+    proc = _ctl(endpoint, "churn", "--node", str(node_id))
+    ok = proc.returncode == 0 and proc.stdout.startswith("ok:")
+    return ok, proc.stdout + proc.stderr
+
+
+def drain(endpoint):
+    proc = _ctl(endpoint, "drain")
+    ok = proc.returncode == 0 and proc.stdout.startswith("ok:")
+    return ok, proc.stdout + proc.stderr
+
+
+def finish(serve):
+    try:
+        stdout, stderr = serve.communicate(timeout=120)
+    except subprocess.TimeoutExpired:
+        serve.kill()
+        stdout, stderr = serve.communicate()
+        return False, "serve did not exit after drain\n" + stdout + stderr
+    detail = (
+        f"serve rc={serve.returncode}\n"
+        f"--- serve stdout ---\n{stdout}\n"
+        f"--- serve stderr ---\n{stderr}"
+    )
+    if serve.returncode != 0 or "session complete:" not in stdout:
+        return False, detail
+    rounds_completed = int(
+        stdout.split("session complete:", 1)[1].split()[0]
+    )
+    if not 0 < rounds_completed < ROUNDS:
+        return False, f"drain did not end the run early\n{detail}"
+    return True, detail
+
+
+def main() -> int:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "junit-service.xml"
+    started = time.perf_counter()
+    serve = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--scenario", SCENARIO,
+            "--nodes", str(NODES),
+            "--rounds", str(ROUNDS),
+            "--round-delay", str(ROUND_DELAY),
+            "--listen", "tcp://127.0.0.1:0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    rows = []
+    try:
+        # First stdout line: "service listening on tcp://host:port"
+        endpoint = serve.stdout.readline().split()[-1]
+        rows.append(
+            ("serve-endpoint", True, f"listening on {endpoint}")
+        )
+        steps = [
+            ("health-reaches-running",
+             lambda: poll_until_running(endpoint)),
+            ("event-stream-ndjson", lambda: stream_events(endpoint)),
+            ("ctl-churn-node", lambda: churn_node(endpoint, 5)),
+            ("ctl-drain", lambda: drain(endpoint)),
+            ("serve-clean-exit", lambda: finish(serve)),
+        ]
+        for name, step in steps:
+            ok, detail = step()
+            rows.append((name, ok, detail))
+            if not ok:
+                break
+    finally:
+        if serve.poll() is None:
+            serve.kill()
+            serve.wait()
+    total_wall = time.perf_counter() - started
+
+    failures = 0
+    for name, ok, detail in rows:
+        print(f"[{'PASS' if ok else 'FAIL'}] {name}")
+        sys.stdout.write(detail.rstrip() + "\n")
+        if not ok:
+            failures += 1
+    with open(out_path, "w", encoding="utf-8") as fh:
+        fh.write('<?xml version="1.0" encoding="utf-8"?>\n')
+        fh.write(
+            f'<testsuite name="service-smoke" tests="{len(rows)}" '
+            f'failures="{failures}" time="{total_wall:.1f}">\n'
+        )
+        for name, ok, detail in rows:
+            fh.write(
+                f'  <testcase classname="service-smoke" name="{name}"'
+            )
+            if ok:
+                fh.write("/>\n")
+            else:
+                fh.write(
+                    f'><failure message="service smoke step failed">'
+                    f"{escape(detail)}</failure></testcase>\n"
+                )
+        fh.write("</testsuite>\n")
+    print(f"junit written to {out_path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,7 @@ Two claims from the paper, benched together:
 
 from benchmarks.conftest import print_header
 from repro.analysis.privacy import pag_discovery_probability
+from repro import api
 from repro.scenarios import ScenarioSpec
 
 BASE = ScenarioSpec(
@@ -31,7 +32,7 @@ def test_monitor_count_bandwidth_ablation(benchmark):
     def sweep():
         out = []
         for monitors in (3, 4, 5):
-            result = BASE.with_overrides(monitors_per_node=monitors).run()
+            result = api.run_scenario(BASE, monitors_per_node=monitors)
             out.append((monitors, result.mean_kbps, result.verdicts))
         return out
 

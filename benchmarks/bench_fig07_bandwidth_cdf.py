@@ -12,7 +12,7 @@ well above the 300 Kbps payload floor, tight distributions.
 
 
 from benchmarks.conftest import print_header
-from repro.scenarios import get_scenario
+from repro import api
 from repro.sim.metrics import cdf_points
 
 _cache = {}
@@ -23,15 +23,15 @@ def _run_sessions(scale):
     key = (scale["nodes"], scale["rounds"])
     if key not in _cache:
         n, rounds = key
-        pag = get_scenario(
+        pag = api.run_scenario(
             "fig7", nodes=n, rounds=rounds, warmup_rounds=scale["warmup"]
-        ).run()
-        acting = get_scenario(
+        )
+        acting = api.run_scenario(
             "fig7-acting",
             nodes=n,
             rounds=rounds,
             warmup_rounds=scale["warmup"],
-        ).run()
+        )
         _cache[key] = (pag.session, acting.session)
     return _cache[key]
 

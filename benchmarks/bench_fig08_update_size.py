@@ -16,6 +16,7 @@ simulator).
 from benchmarks.conftest import print_header
 from repro.analysis.bandwidth import PagBandwidthModel
 from repro.core import PagConfig
+from repro import api
 from repro.scenarios import get_scenario
 
 SIZES_KBIT = [1, 2, 5, 10, 20, 50, 100]
@@ -62,9 +63,9 @@ def test_fig08_simulator_spot_check():
     """The packet simulator confirms the direction at small scale."""
     results = {}
     for update_bytes in (500, 4000):
-        result = get_scenario(
+        result = api.run_scenario(
             "fig8", stream_rate_kbps=150.0, update_bytes=update_bytes
-        ).run()
+        )
         results[update_bytes] = result.mean_kbps
     print(
         f"\nsimulator: 500 B updates -> {results[500]:.0f} Kbps, "

@@ -15,6 +15,7 @@ tests/analysis/test_bandwidth_model.py).
 import pytest
 
 from benchmarks.conftest import print_header
+from repro import api
 from repro.analysis.bandwidth import ActingBandwidthModel, PagBandwidthModel
 from repro.scenarios import get_scenario
 
@@ -64,7 +65,7 @@ def test_fig09_model_validated_by_simulator(scale):
         rounds=scale["rounds"],
         warmup_rounds=scale["warmup"],
     )
-    result = spec.run()
+    result = api.run_scenario(spec)
     simulated = result.mean_kbps
     modelled = PagBandwidthModel(config=spec.build_config()).total_kbps()
     print(

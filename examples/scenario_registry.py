@@ -2,36 +2,34 @@
 
 Runs three registered scenarios — the honest Fig. 7 workload, a
 free-rider conviction, and mid-stream churn — then declares and runs a
-custom scenario, all through the same declarative interface the CLI
-and benchmarks use.  Run with::
+custom scenario, all through the repro.api facade the CLI and
+benchmarks are built on.  Run with::
 
     PYTHONPATH=src python examples/scenario_registry.py
 """
 
+from repro import api
 from repro.scenarios import (
     AdversaryGroup,
     ChurnEvent,
     ScenarioSpec,
     register_scenario,
-    run_scenario,
     scenario_names,
 )
-from repro.sim.execution import ShardedPolicy
 
 
 def main() -> None:
     print("registered scenarios:", ", ".join(scenario_names()))
 
     print("\n-- fig7 (scaled down), sharded execution --")
-    result = run_scenario(
-        "fig7", nodes=24, rounds=10,
-        execution_policy=ShardedPolicy(shards=4),
+    result = api.run_scenario(
+        "fig7", nodes=24, rounds=10, policy="sharded", shards=4,
     )
     for key, value in result.summary().items():
         print(f"  {key:<16}: {value}")
 
     print("\n-- selfish: one free-rider, convicted --")
-    result = run_scenario("selfish")
+    result = api.run_scenario("selfish")
     print(f"  convicted {list(result.convicted)} "
           f"(deviants were {sorted(result.spec.deviant_nodes())})")
 
@@ -45,7 +43,7 @@ def main() -> None:
         adversaries=(AdversaryGroup(strategy="free-rider", fraction=0.2),),
         churn=(ChurnEvent(after_round=6, node_id=9),),
     ))
-    result = run_scenario("flash-crowd")
+    result = api.run_scenario("flash-crowd")
     print(f"  mean download : {result.mean_kbps:.0f} Kbps")
     print(f"  continuity    : {result.continuity:.1%}")
     print(f"  convicted     : {list(result.convicted)}")

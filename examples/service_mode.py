@@ -1,0 +1,89 @@
+"""Drive a session through the service supervisor and a live endpoint.
+
+Two views of the same machinery behind ``repro serve``:
+
+1. ``api.supervise`` — run a scenario under the supervisor with a
+   *scripted* operator schedule (the library form of ``repro ctl``),
+   and show that it collects the same ScenarioResult a plain run does.
+2. ``api.serve`` over an in-process ``mem://`` endpoint — poll health,
+   stream a few NDJSON events and inject churn through the control
+   channel while the session runs.
+
+Run with::
+
+    PYTHONPATH=src python examples/service_mode.py
+"""
+
+import asyncio
+import threading
+
+from repro import api
+from repro.service import ControlOp, ServiceClient, render_event
+
+
+def scripted_supervision() -> None:
+    print("-- supervised run with a scripted operator schedule --")
+    schedule = (
+        # Flip node 7 deviant before round 0, crash node 5 after
+        # round 3 — same semantics as live `repro ctl` ops.
+        ControlOp("strategy", node_id=7, arg="free-rider", after_round=-1),
+        ControlOp("churn", node_id=5, after_round=3),
+    )
+    result = api.supervise(
+        "fig7", nodes=24, rounds=8, schedule=schedule,
+    )
+    print(f"  rounds run : {result.spec.rounds}")
+    print(f"  verdicts   : {result.verdicts}")
+    print(f"  convicted  : {sorted(set(result.convicted))}")
+
+
+async def observe(endpoint: str) -> None:
+    async with ServiceClient(endpoint) as client:
+        report = await client.health()
+        print(f"  health     : state={report.state} "
+              f"nodes={report.nodes} rounds={report.total_rounds}")
+        response = await client.control("churn", node_id=5)
+        print(f"  control    : churn node 5 -> "
+              f"{'ok' if response.ok else 'error'} ({response.detail})")
+    async with ServiceClient(endpoint) as client:
+        shown = 0
+        async for event in client.subscribe(kinds=("round", "verdict")):
+            print("  " + render_event(event))
+            shown += 1
+            if shown >= 6:
+                break
+
+
+def live_service() -> None:
+    print("\n-- live service over mem:// --")
+    listening = threading.Event()
+    resolved = []
+
+    def on_listening(endpoint: str) -> None:
+        resolved.append(endpoint)
+        listening.set()
+
+    server = threading.Thread(
+        target=lambda: api.serve(
+            "fig7",
+            "mem://service-mode-example",
+            nodes=24,
+            rounds=8,
+            round_delay=0.02,
+            on_listening=on_listening,
+        ),
+    )
+    server.start()
+    listening.wait(timeout=10)
+    asyncio.run(observe(resolved[0]))
+    server.join()
+    print("  session drained; server thread exited")
+
+
+def main() -> None:
+    scripted_supervision()
+    live_service()
+
+
+if __name__ == "__main__":
+    main()

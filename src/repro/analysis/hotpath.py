@@ -40,6 +40,7 @@ __all__ = [
     "measure_batch_verify",
     "measure_shared_ladder",
     "measure_population_throughput",
+    "measure_service_hooks",
     "run_hotpath_bench",
     "SCHEMA_VERSION",
 ]
@@ -64,7 +65,11 @@ __all__ = [
 #: spill, memoised class crypto) with nodes/sec and peak RSS; and the
 #: section selector (``repro bench --section NAME``) that re-times one
 #: section and merges it into the existing report file.
-SCHEMA_VERSION = 6
+#: 7: added ``service_hooks`` — per-round cost of the service-mode
+#: observability hooks (no tap, tap with no subscriber, tap with one
+#: draining subscriber); the idle-tap fraction is the "zero cost
+#: without subscribers" number service mode promises.
+SCHEMA_VERSION = 7
 
 _BENCH_SEED = 0x9A6
 
@@ -658,6 +663,96 @@ def measure_population_throughput(
     }
 
 
+def measure_service_hooks(
+    nodes: int = 40, rounds: int = 10, repeats: int = 3
+) -> Dict:
+    """Per-round cost of the service-mode observability hooks.
+
+    The hook cost is microseconds against rounds that take tens of
+    milliseconds, so end-to-end wall deltas are scheduler noise.  The
+    section therefore times the hooks *directly*: the per-tick cost of
+    the attached round hook with no bus subscriber (the idle ``repro
+    serve`` contract — one attribute check) and with one bounded
+    subscriber (full event assembly and fan-out).  The overhead
+    fractions scale those tick costs against the measured untapped
+    round wall — that ratio is the number PERFORMANCE.md quotes
+    against the < 2% service-mode bar.  Median-of-``repeats``
+    end-to-end rounds/s for the three variants ride along as context.
+    """
+    from repro.scenarios.spec import ScenarioSpec
+    from repro.service.events import EventBus
+    from repro.service.hooks import SessionTap
+
+    spec = ScenarioSpec(
+        name="bench-service-hooks",
+        nodes=nodes,
+        rounds=rounds,
+        warmup_rounds=2,
+    )
+    seconds = 0.1
+
+    def wall(mode: str) -> float:
+        session = spec.build(None)
+        bus = EventBus()
+        subscription = None
+        if mode != "untapped":
+            SessionTap(session, bus).attach()
+        if mode == "subscribed":
+            subscription = bus.subscribe()
+        start = time.perf_counter()
+        session.run(spec.rounds)
+        elapsed = time.perf_counter() - start
+        if subscription is not None:
+            subscription.drain()
+            subscription.close()
+        return elapsed
+
+    # Interleave the variants so machine noise hits all three alike.
+    walls: Dict[str, list] = {
+        "untapped": [], "idle": [], "subscribed": [],
+    }
+    for _ in range(repeats):
+        for mode in walls:
+            walls[mode].append(wall(mode))
+    medians = {
+        mode: sorted(samples)[len(samples) // 2]
+        for mode, samples in walls.items()
+    }
+
+    # Direct per-tick hook cost on a finished session.
+    session = spec.build(None)
+    bus = EventBus()
+    tap = SessionTap(session, bus)
+    tap.attach()
+    session.run(spec.rounds)
+    sink = session.simulator.event_sink
+    idle_ticks_per_s = _timebox(lambda i: sink(i % rounds), seconds)
+    subscription = bus.subscribe(maxlen=64)
+    subscribed_ticks_per_s = _timebox(
+        lambda i: sink(i % rounds), seconds
+    )
+    subscription.close()
+
+    round_wall = medians["untapped"] / rounds
+    return {
+        "nodes": nodes,
+        "rounds": rounds,
+        "untapped_rounds_per_s": round(rounds / medians["untapped"], 2),
+        "idle_tap_rounds_per_s": round(rounds / medians["idle"], 2),
+        "subscribed_rounds_per_s": round(
+            rounds / medians["subscribed"], 2
+        ),
+        "idle_tick_ns": round(1e9 / idle_ticks_per_s, 1),
+        "subscribed_tick_us": round(1e6 / subscribed_ticks_per_s, 2),
+        "idle_overhead_fraction": round(
+            (1.0 / idle_ticks_per_s) / round_wall, 6
+        ),
+        "subscribed_overhead_fraction": round(
+            (1.0 / subscribed_ticks_per_s) / round_wall, 6
+        ),
+    }
+
+
 def run_hotpath_bench(
     out_path: Optional[str] = "BENCH_hotpath.json",
     quick: bool = False,
@@ -716,6 +811,11 @@ def run_hotpath_bench(
             workers=4, quick=quick
         ),
         "population": lambda: measure_population_throughput(quick=quick),
+        "service_hooks": lambda: measure_service_hooks(
+            nodes=16 if quick else 40,
+            rounds=5 if quick else 10,
+            repeats=2 if quick else 3,
+        ),
     }
     if sections is None:
         selected = list(builders)

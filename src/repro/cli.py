@@ -4,17 +4,23 @@ Usage::
 
     python -m repro run [--nodes N] [--rounds R] [--rate KBPS]
     python -m repro run --scenario fig9 [--nodes 240] [--policy sharded]
-    python -m repro run --scenario fig9 --policy parallel --workers 4
+    python -m repro run --scenario detect --strategy silent-receiver
     python -m repro scenarios
-    python -m repro detect [--strategy free-rider] [--nodes N]
-    python -m repro fig7 | fig8 | fig9 | fig10 | table1 | table2
+    python -m repro serve --scenario fig7 --listen tcp://127.0.0.1:0
+    python -m repro watch tcp://127.0.0.1:PORT [--raw]
+    python -m repro ctl tcp://127.0.0.1:PORT churn --node 5
     python -m repro verify [--fanout F]
     python -m repro bench [--out BENCH_hotpath.json] [--quick]
     python -m repro lint [PATHS ...] [--rules] [--no-wire-check]
 
-Each figure/table subcommand prints the regenerated series next to the
-paper's reference values; the workloads themselves are declared once in
-:mod:`repro.scenarios` (``repro scenarios`` lists them).
+``run --scenario NAME`` dispatches through the scenario registry; when
+the name has a registered paper renderer (``fig7``..``table2``,
+``detect``) the figure/table is printed next to the paper's reference
+values.  The legacy verbs (``repro fig7`` etc.) remain as thin
+deprecated aliases: identical stdout, plus a pointer on stderr.
+``serve``/``watch``/``ctl`` expose the supervised service mode — a
+live session with health, an NDJSON event stream, and operator control
+applied at round boundaries (see repro.service).
 """
 
 from __future__ import annotations
@@ -143,6 +149,15 @@ def build_parser() -> argparse.ArgumentParser:
             "bytes, CDF) as JSON to PATH"
         ),
     )
+    run.add_argument(
+        "--strategy",
+        choices=sorted(_STRATEGIES),
+        default=None,
+        help=(
+            "deviant strategy override for renderer scenarios that "
+            "take one (--scenario detect)"
+        ),
+    )
     _add_policy_flags(run)
 
     scenarios = sub.add_parser(
@@ -152,14 +167,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="include paper references"
     )
 
-    detect = sub.add_parser("detect", help="inject a selfish node")
+    detect = sub.add_parser(
+        "detect",
+        help="deprecated alias for 'run --scenario detect'",
+    )
     detect.add_argument(
         "--strategy",
         choices=sorted(_STRATEGIES),
-        default="free-rider",
+        default=None,
     )
-    detect.add_argument("--nodes", type=int, default=20)
-    detect.add_argument("--rounds", type=int, default=12)
+    detect.add_argument("--nodes", type=int, default=None)
+    detect.add_argument("--rounds", type=int, default=None)
 
     for name, help_text in [
         ("fig7", "bandwidth CDF, PAG vs AcTinG"),
@@ -169,7 +187,11 @@ def build_parser() -> argparse.ArgumentParser:
         ("table1", "crypto operations per second"),
         ("table2", "sustainable video quality per link"),
     ]:
-        p = sub.add_parser(name, help=help_text)
+        p = sub.add_parser(
+            name,
+            help=f"deprecated alias for 'run --scenario {name}': "
+            f"{help_text}",
+        )
         if name == "fig7":
             p.add_argument("--nodes", type=int, default=None)
             p.add_argument("--rounds", type=int, default=None)
@@ -351,6 +373,110 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-shrink", action="store_true",
         help="report violating specs as drawn, without shrinking",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "run a scenario under the service supervisor: health "
+            "endpoint, live event stream, operator control "
+            "(tcp://host:port, unix:///path, mem://name)"
+        ),
+    )
+    serve.add_argument(
+        "--scenario",
+        required=True,
+        help="named scenario from the registry (see 'repro scenarios')",
+    )
+    serve.add_argument(
+        "--listen",
+        required=True,
+        metavar="ENDPOINT",
+        help="endpoint to serve health/events/control on",
+    )
+    serve.add_argument("--nodes", type=int, default=None)
+    serve.add_argument("--rounds", type=int, default=None)
+    serve.add_argument(
+        "--policy",
+        choices=("serial", "daemon"),
+        default=None,
+        help=(
+            "serial-schedule execution policy for the supervised run "
+            "(default serial; worker-replica policies are rejected)"
+        ),
+    )
+    serve.add_argument(
+        "--round-delay",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="sleep between rounds so observers can watch live",
+    )
+    serve.add_argument(
+        "--max-restarts",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "crash-containment budget: rebuild the session and replay "
+            "the operator journal up to N times (default 0: fail fast)"
+        ),
+    )
+
+    watch = sub.add_parser(
+        "watch",
+        help="terminal dashboard: stream events from a 'repro serve'",
+    )
+    watch.add_argument(
+        "endpoint", help="the serve endpoint (printed by 'repro serve')"
+    )
+    watch.add_argument(
+        "--kinds",
+        default=None,
+        metavar="K1,K2,...",
+        help=(
+            "comma-separated event kinds to stream (state, round, "
+            "meter, counters, verdict); default all"
+        ),
+    )
+    watch.add_argument(
+        "--raw", action="store_true",
+        help="print NDJSON events instead of the human layout",
+    )
+    watch.add_argument(
+        "--max-events",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="detach after N events (CI smoke hook)",
+    )
+
+    ctl = sub.add_parser(
+        "ctl",
+        help="operator control against a 'repro serve' endpoint",
+    )
+    ctl.add_argument(
+        "endpoint", help="the serve endpoint (printed by 'repro serve')"
+    )
+    ctl.add_argument(
+        "op",
+        choices=(
+            "health", "pause", "resume", "churn", "admit", "strategy",
+            "snapshot", "drain",
+        ),
+        help=(
+            "health: liveness poll; pause/resume/drain: lifecycle; "
+            "churn/admit: remove or admit --node at the next boundary; "
+            "strategy: flip --node to --arg; snapshot: state dump"
+        ),
+    )
+    ctl.add_argument(
+        "--node", type=int, default=None, metavar="ID",
+        help="target node id (churn, admit, strategy)",
+    )
+    ctl.add_argument(
+        "--arg", default="", metavar="VALUE",
+        help="op argument (strategy name for 'strategy')",
+    )
     return parser
 
 
@@ -366,11 +492,14 @@ def _cmd_run(args) -> int:
             execution_policy=_policy_from(args),
             json_out=args.json,
             population=args.population,
+            strategy=args.strategy,
         )
     if args.json is not None:
         raise SystemExit("error: --json requires --scenario")
     if args.population is not None:
         raise SystemExit("error: --population requires --scenario")
+    if args.strategy is not None:
+        raise SystemExit("error: --strategy requires --scenario")
 
     from repro.core import PagConfig, PagSession
 
@@ -413,69 +542,55 @@ def _cmd_scenarios(args) -> int:
     return 0
 
 
-def _cmd_detect(args) -> int:
-    import repro.adversary.selfish as selfish
-    from repro.core import PagSession
-
-    behavior = getattr(selfish, _STRATEGIES[args.strategy])()
-    deviant = args.nodes // 2
-    session = PagSession.create(
-        args.nodes, behaviors={deviant: behavior}
-    )
-    session.run(args.rounds)
+def _deprecated_alias(alias: str, scenario: str) -> None:
+    """Point the operator at the registry verb (on stderr, so alias
+    stdout stays byte-identical to ``run --scenario``)."""
     print(
-        f"deviant node {deviant} runs {type(behavior).__name__} among "
-        f"{args.nodes - 1} correct nodes"
+        f"note: 'repro {alias}' is a deprecated alias; use "
+        f"'repro run --scenario {scenario}'",
+        file=sys.stderr,
     )
-    verdicts = session.all_verdicts()
-    for verdict in verdicts[:8]:
-        print(
-            f"  round {verdict.exchange_round:>2}: node {verdict.node} "
-            f"GUILTY of {verdict.reason.value} — {verdict.evidence[:70]}"
-        )
-    convicted = session.convicted_nodes()
-    print(f"convicted: {sorted(convicted)} (expected: [{deviant}])")
-    return 0 if convicted == {deviant} else 1
+
+
+def _cmd_detect(args) -> int:
+    _deprecated_alias("detect", "detect")
+    from repro.scenarios.figures import render_scenario_run
+
+    return render_scenario_run(
+        "detect",
+        nodes=args.nodes,
+        rounds=args.rounds,
+        strategy=args.strategy,
+    )
 
 
 def _cmd_fig7(args) -> int:
-    from repro.scenarios.figures import render_fig7
+    _deprecated_alias("fig7", "fig7")
+    from repro.scenarios.figures import render_scenario_run
 
-    return render_fig7(
+    return render_scenario_run(
+        "fig7",
         nodes=args.nodes,
         rounds=args.rounds,
         execution_policy=_policy_from(args),
     )
 
 
-def _cmd_fig8(args) -> int:
-    from repro.scenarios.figures import render_fig8
+def _make_alias_cmd(name: str):
+    def handler(args) -> int:
+        _deprecated_alias(name, name)
+        from repro.scenarios.figures import render_scenario_run
 
-    return render_fig8()
+        return render_scenario_run(name)
 
-
-def _cmd_fig9(args) -> int:
-    from repro.scenarios.figures import render_fig9
-
-    return render_fig9()
+    return handler
 
 
-def _cmd_fig10(args) -> int:
-    from repro.scenarios.figures import render_fig10
-
-    return render_fig10()
-
-
-def _cmd_table1(args) -> int:
-    from repro.scenarios.figures import render_table1
-
-    return render_table1()
-
-
-def _cmd_table2(args) -> int:
-    from repro.scenarios.figures import render_table2
-
-    return render_table2()
+_cmd_fig8 = _make_alias_cmd("fig8")
+_cmd_fig9 = _make_alias_cmd("fig9")
+_cmd_fig10 = _make_alias_cmd("fig10")
+_cmd_table1 = _make_alias_cmd("table1")
+_cmd_table2 = _make_alias_cmd("table2")
 
 
 def _cmd_verify(args) -> int:
@@ -580,6 +695,15 @@ def _cmd_bench(args) -> int:
             f"nodes/s ({population['population']:,} nodes, "
             f"{population['rounds']} rounds, "
             f"{population['peak_rss_mb']:.0f} MiB peak RSS)"
+        )
+    if "service_hooks" in report:
+        hooks = report["service_hooks"]
+        print(
+            "  service hooks    : "
+            f"{hooks['idle_tick_ns']:,.0f} ns idle tick "
+            f"({hooks['idle_overhead_fraction']:.4%} of a round; "
+            f"{hooks['subscribed_overhead_fraction']:.4%} with a "
+            "subscriber)"
         )
     print(f"  written          : {args.out}")
     return 0
@@ -773,6 +897,93 @@ def _cmd_export(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import dataclasses
+
+    from repro.scenarios import get_scenario
+    from repro.service import ServiceServer, SessionSupervisor
+
+    spec = get_scenario(
+        args.scenario, nodes=args.nodes, rounds=args.rounds
+    )
+    # The supervisor needs a serial-schedule policy; the spec's own
+    # knob (e.g. fig9-parallel) is replaced by the --policy choice.
+    policy = args.policy if args.policy == "daemon" else None
+    spec = dataclasses.replace(spec, policy=policy)
+
+    async def serve() -> int:
+        supervisor = SessionSupervisor(
+            spec,
+            max_restarts=args.max_restarts,
+            round_delay=args.round_delay,
+        )
+        server = ServiceServer(supervisor, args.listen)
+        endpoint = await server.start()
+        print(f"service listening on {endpoint}", flush=True)
+        code = await server.wait()
+        if server.run_error is not None:
+            print(f"error: {server.run_error}", file=sys.stderr)
+        elif supervisor.error is not None:
+            print(f"error: {supervisor.error}", file=sys.stderr)
+        else:
+            result = supervisor.result
+            print(
+                f"session complete: {supervisor.rounds_completed} "
+                f"rounds, {result.verdicts} verdicts "
+                f"(convicted: {list(result.convicted)}), "
+                f"{supervisor.bus.published} events published"
+            )
+        return code
+
+    try:
+        return asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+
+
+def _cmd_watch(args) -> int:
+    from repro.service import run_watch
+
+    kinds = ()
+    if args.kinds:
+        kinds = tuple(
+            item.strip() for item in args.kinds.split(",") if item.strip()
+        )
+    try:
+        return run_watch(
+            args.endpoint,
+            kinds=kinds,
+            raw=args.raw,
+            max_events=args.max_events,
+        )
+    except KeyboardInterrupt:
+        return 130
+
+
+def _cmd_ctl(args) -> int:
+    import json
+
+    from repro.service import request_control, request_health
+
+    if args.op == "health":
+        print(
+            json.dumps(
+                request_health(args.endpoint), indent=2, sort_keys=True
+            )
+        )
+        return 0
+    ok, detail, state = request_control(
+        args.endpoint, args.op, node_id=args.node, arg=args.arg
+    )
+    if ok and args.op == "snapshot":
+        print(detail)
+    else:
+        print(f"{'ok' if ok else 'error'}: {detail} (state: {state})")
+    return 0 if ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -792,6 +1003,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "lint": _cmd_lint,
         "daemon": _cmd_daemon,
         "session": _cmd_session,
+        "serve": _cmd_serve,
+        "watch": _cmd_watch,
+        "ctl": _cmd_ctl,
     }[args.command]
     return handler(args)
 

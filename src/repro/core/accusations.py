@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterator, List, Set, Tuple
+from typing import Callable, Iterator, List, Optional, Set, Tuple
 
 __all__ = ["FaultReason", "Verdict", "VerdictLog", "CaseFile"]
 
@@ -75,6 +75,13 @@ class VerdictLog:
 
     verdicts: List[Verdict] = field(default_factory=list)
     _seen: Set[Tuple[int, FaultReason, int]] = field(default_factory=set)
+    #: observability tap, fired once per *new* verdict (duplicates never
+    #: reach it).  ``None`` by default so the conviction path costs one
+    #: pointer check when no service subscriber is attached; the sink
+    #: must not mutate protocol state.
+    sink: Optional[Callable[[Verdict], None]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def record(self, verdict: Verdict) -> bool:
         """Add a verdict; returns False if it duplicates an earlier one."""
@@ -83,6 +90,8 @@ class VerdictLog:
             return False
         self._seen.add(key)
         self.verdicts.append(verdict)
+        if self.sink is not None:
+            self.sink(verdict)
         return True
 
     def against(self, node: int) -> List[Verdict]:

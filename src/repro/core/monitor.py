@@ -63,11 +63,29 @@ from repro.core.verification import (
 )
 from repro.sim.message import Message
 
-__all__ = ["MonitorEngine"]
+__all__ = ["MonitorEngine", "MONITOR_COUNTER_KEYS"]
 
 #: Rounds granted to resolve a dispute before conviction at the deadline
 #: (accusation + probe + nack travel takes two rounds in the simulator).
 _CASE_DEADLINE_ROUNDS = 2
+
+#: The fixed accusation-path counter schema every engine carries, in
+#: canonical order.  Parallel shard merges, JSON summaries and the
+#: service layer's per-round counter deltas all iterate this tuple, so
+#: adding a counter here is the single schema change.
+MONITOR_COUNTER_KEYS: Tuple[str, ...] = (
+    "declarations_processed",
+    "declarations_rejected",
+    "accusations_received",
+    "accusation_claims",
+    "probes_sent",
+    "probe_acks_accepted",
+    "confirms_sent",
+    "nacks_sent",
+    "cases_opened",
+    "cases_resolved",
+    "deadline_convictions",
+)
 
 
 @dataclass
@@ -181,21 +199,33 @@ class MonitorEngine:
         self._outbox_next_round: List[Callable[[int], Message]] = []
         #: accusation-path and declaration-seam tallies, surfaced via
         #: ``PagSession.accusation_report`` and the run summaries.  Keys
-        #: are fixed at construction so parallel shard merges and JSON
-        #: reports see a stable schema.
+        #: are fixed at construction (:data:`MONITOR_COUNTER_KEYS`) so
+        #: parallel shard merges, JSON reports and the service layer's
+        #: counter deltas see a stable schema.
         self.counters: Dict[str, int] = {
-            "declarations_processed": 0,
-            "declarations_rejected": 0,
-            "accusations_received": 0,
-            "accusation_claims": 0,
-            "probes_sent": 0,
-            "probe_acks_accepted": 0,
-            "confirms_sent": 0,
-            "nacks_sent": 0,
-            "cases_opened": 0,
-            "cases_resolved": 0,
-            "deadline_convictions": 0,
+            key: 0 for key in MONITOR_COUNTER_KEYS
         }
+
+    def set_behavior_hooks(
+        self, active: bool, lift_transform: Optional[Callable]
+    ) -> None:
+        """Re-derive the behaviour-dependent wiring after a strategy
+        swap (operator control).
+
+        Mirrors the constructor's derivation exactly, so a node whose
+        behaviour is flipped between rounds is indistinguishable from
+        one built with the new behaviour — the property the service
+        layer's static/dynamic differential test pins down.
+        """
+        config = self.context.config
+        self.active = active
+        self.lift_transform = lift_transform
+        self._fold_batched = lift_transform is None and not getattr(
+            config, "monitor_cross_checks", False
+        )
+        self._defer_lifts = (
+            getattr(config, "batch_verify", True) and self._fold_batched
+        )
 
     # ------------------------------------------------------------------
     # Round lifecycle

@@ -10,7 +10,15 @@ playback quality).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Set
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Set,
+)
 
 from repro.core.accusations import Verdict
 from repro.core.behavior import Behavior
@@ -235,6 +243,50 @@ class PagSession:
             raise ValueError(f"cannot remove unknown node id {node_id}")
         del self.nodes[node_id]
         self.simulator.remove_node(node_id)
+
+    def set_behavior(self, node_id: int, behavior: Behavior) -> None:
+        """Operator control: swap a consumer's behaviour between rounds.
+
+        Replicates the behaviour-dependent monitor wiring of
+        :class:`~repro.core.node.PagNode` construction (active flag,
+        lift-transform hook and the derived batching flags), so a flip
+        applied before the node's first round is bit-identical to
+        building the session with the new strategy in
+        ``node_strategies`` — the service layer's differential test
+        relies on exactly this equivalence.
+        """
+        node = self.nodes.get(node_id) or self.pending.get(node_id)
+        if node is None:
+            raise ValueError(
+                f"cannot set behavior of unknown node id {node_id}"
+            )
+        node.behavior = behavior
+        node.monitor.set_behavior_hooks(
+            active=(
+                self.context.config.detection_enabled
+                and behavior.performs_monitoring()
+            ),
+            lift_transform=(
+                behavior.transform_lifted
+                if behavior.transforms_lifted()
+                else None
+            ),
+        )
+
+    def attach_verdict_sink(
+        self, sink: Optional[Callable[[Verdict], None]]
+    ) -> None:
+        """Tap every consumer monitor's verdict log (service layer).
+
+        The sink fires once per *new* verdict, at the moment the
+        monitor records it; pass ``None`` to detach.  Pending arrivals
+        are tapped too, so a node admitted mid-run streams its verdicts
+        without re-wiring.
+        """
+        for node in self.nodes.values():
+            node.monitor.verdicts.sink = sink
+        for node in self.pending.values():
+            node.monitor.verdicts.sink = sink
 
     @property
     def current_round(self) -> int:

@@ -73,6 +73,8 @@ __all__ = [
     "NodeDaemon",
     "SessionCoordinator",
     "run_coordinated_session",
+    "recv_message",
+    "send_message",
     "spec_to_json",
     "spec_from_json",
     "spec_digest",
@@ -82,6 +84,26 @@ __all__ = [
 
 class DaemonError(Exception):
     """Protocol violation or unsupported scenario on the daemon path."""
+
+
+async def recv_message(conn: Connection) -> Any:
+    """Receive and decode one wire message; ``None`` on clean EOF.
+
+    The shared inbound seam of every control link — coordinator,
+    daemon, and the supervised-service runtime all speak the same
+    framed v1 payloads, so decode happens exactly once, here.
+    """
+    payload = await conn.recv()
+    if payload is None:
+        return None
+    return wire.decode_message(payload)
+
+
+async def send_message(conn: Connection, message: Any) -> int:
+    """Encode and send one wire message; returns the payload length."""
+    payload = wire.encode_message(message)
+    await conn.send(payload)
+    return len(payload)
 
 
 # ---------------------------------------------------------------------------
@@ -220,12 +242,11 @@ class _PeerLink:
     async def _read(self) -> None:
         while True:
             try:
-                payload = await self.conn.recv()
+                message = await recv_message(self.conn)
             except (TransportError, asyncio.CancelledError):
                 return
-            if payload is None:
+            if message is None:
                 return
-            message = wire.decode_message(payload)
             if isinstance(message, wire.StepMark):
                 await self.marks.put(message)
             else:
@@ -295,12 +316,11 @@ class NodeDaemon:
         """First frame decides the link type: coordinator or peer."""
         self._conns.append(conn)
         try:
-            payload = await conn.recv()
+            message = await recv_message(conn)
         except TransportError:
             return
-        if payload is None:
+        if message is None:
             return
-        message = wire.decode_message(payload)
         if isinstance(message, wire.JoinRequest):
             if self._join is not None:
                 await self._send(conn, wire.JoinReject(
@@ -322,10 +342,9 @@ class NodeDaemon:
             )
 
     async def _send(self, conn: Connection, message: Any) -> None:
-        payload = wire.encode_message(message)
+        sent = await send_message(conn, message)
         self.frames_sent += 1
-        self.bytes_sent += len(payload) + 4
-        await conn.send(payload)
+        self.bytes_sent += sent + 4
 
     # -- session ------------------------------------------------------------
 
@@ -361,10 +380,9 @@ class NodeDaemon:
         ))
 
         while True:
-            payload = await control.recv()
-            if payload is None:
+            message = await recv_message(control)
+            if message is None:
                 return
-            message = wire.decode_message(payload)
             if isinstance(message, wire.RoundStart):
                 await self._run_round(message.round_no)
             elif isinstance(message, wire.CollectRequest):
@@ -454,10 +472,9 @@ class NodeDaemon:
                 sent_remote=sent_remote,
                 pending_local=network.pending(),
             ))
-            payload = await control.recv()
-            if payload is None:
+            go = await recv_message(control)
+            if go is None:
                 raise DaemonError("coordinator vanished mid-round")
-            go = wire.decode_message(payload)
             if not isinstance(go, wire.StepGo):
                 raise DaemonError(
                     f"expected StepGo, got {type(go).__name__}"
@@ -642,13 +659,13 @@ class SessionCoordinator:
                 await conn.close()
 
     async def _send(self, conn: Connection, message: Any) -> None:
-        await conn.send(wire.encode_message(message))
+        await send_message(conn, message)
 
     async def _recv(self, conn: Connection) -> Any:
-        payload = await conn.recv()
-        if payload is None:
+        message = await recv_message(conn)
+        if message is None:
             raise DaemonError("a daemon hung up mid-session")
-        return wire.decode_message(payload)
+        return message
 
     async def _run_round(
         self, conns: List[Connection], round_no: int

@@ -30,8 +30,9 @@ decode to an :class:`AttestationRelayBatch` — the signed
 signature, one wire message, one multi-exponentiation at the monitor).
 
 Kind bytes < 64 are session traffic (:mod:`repro.core.messages`);
-bytes >= 64 are daemon control frames (join handshake, round barriers)
-defined at the bottom of this module.
+bytes >= 64 are control frames defined at the bottom of this module:
+64-75 the daemon runtime (join handshake, round barriers), 76-81 the
+supervised service (health, event stream, operator control).
 """
 
 from __future__ import annotations
@@ -93,6 +94,12 @@ __all__ = [
     "CollectRequest",
     "SessionReport",
     "Shutdown",
+    "HealthRequest",
+    "HealthReport",
+    "SubscribeRequest",
+    "EventFrame",
+    "ControlRequest",
+    "ControlResponse",
 ]
 
 #: Protocol version byte; frames from any other version are rejected.
@@ -1074,6 +1081,91 @@ class Shutdown:
     kind = "shutdown"
 
 
+# ---------------------------------------------------------------------------
+# Service frames (kinds 76-81): health, event stream, operator control
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HealthRequest:
+    """Observer -> service: report the supervised session's state."""
+
+    kind = "health_request"
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """Service -> observer: liveness snapshot of the supervised run."""
+
+    state: str
+    scenario: str
+    current_round: int
+    total_rounds: int
+    nodes: int
+    subscribers: int
+    events_published: int
+    restarts: int
+    kind = "health_report"
+
+
+@dataclass(frozen=True)
+class SubscribeRequest:
+    """Observer -> service: switch this link to the event stream.
+
+    ``kinds`` filters by event kind (``round``, ``meter``, ``counters``,
+    ``verdict``, ``state``); an empty tuple subscribes to everything.
+    """
+
+    kinds: Tuple[str, ...] = ()
+    kind = "subscribe"
+
+
+@dataclass(frozen=True)
+class EventFrame:
+    """Service -> observer: one NDJSON event, sequence-numbered.
+
+    ``dropped`` counts events this subscriber lost to backpressure
+    since the previous delivered frame (bounded queue, drop-oldest), so
+    a slow consumer can tell its view has gaps.
+    """
+
+    seq: int
+    payload: bytes
+    dropped: int = 0
+    kind = "event"
+
+
+@dataclass(frozen=True)
+class ControlRequest:
+    """Operator -> service: one mid-run control operation.
+
+    ``op`` names the operation (``pause``, ``resume``, ``churn``,
+    ``admit``, ``strategy``, ``snapshot``, ``drain``); ``node_id``
+    targets a node for the membership/strategy ops (``None``
+    otherwise) and ``arg`` carries the strategy name.
+    """
+
+    op: str
+    node_id: Optional[int] = None
+    arg: str = ""
+    kind = "control_request"
+
+
+@dataclass(frozen=True)
+class ControlResponse:
+    """Service -> operator: outcome of one control operation.
+
+    ``detail`` is a human-readable note (or the snapshot JSON for the
+    ``snapshot`` op); ``state`` reports the supervisor state after the
+    operation was applied.
+    """
+
+    ok: bool
+    detail: str
+    state: str
+    kind = "control_response"
+
+
 def _control(
     kind_byte: int, cls: Type
 ) -> Callable[[_BuildFn], _BuildFn]:
@@ -1270,6 +1362,120 @@ def _shutdown() -> Tuple[_EncodeFn, _DecodeFn]:
 
     def decode(r: _Reader) -> Shutdown:
         return Shutdown()
+
+    return encode, decode
+
+
+
+@_control(76, HealthRequest)
+def _health_request() -> Tuple[_EncodeFn, _DecodeFn]:
+    def encode(w: _Writer, m: HealthRequest) -> None:
+        pass
+
+    def decode(r: _Reader) -> HealthRequest:
+        return HealthRequest()
+
+    return encode, decode
+
+
+
+@_control(77, HealthReport)
+def _health_report() -> Tuple[_EncodeFn, _DecodeFn]:
+    def encode(w: _Writer, m: HealthReport) -> None:
+        w.string(m.state)
+        w.string(m.scenario)
+        w.varint(m.current_round)
+        w.varint(m.total_rounds)
+        w.varint(m.nodes)
+        w.varint(m.subscribers)
+        w.varint(m.events_published)
+        w.varint(m.restarts)
+
+    def decode(r: _Reader) -> HealthReport:
+        return HealthReport(
+            state=r.string(),
+            scenario=r.string(),
+            current_round=r.varint(bound=1 << 32),
+            total_rounds=r.varint(bound=1 << 32),
+            nodes=r.varint(bound=1 << 32),
+            subscribers=r.varint(bound=1 << 16),
+            events_published=r.varint(bound=_MAX_TALLY),
+            restarts=r.varint(bound=1 << 16),
+        )
+
+    return encode, decode
+
+
+
+@_control(78, SubscribeRequest)
+def _subscribe_request() -> Tuple[_EncodeFn, _DecodeFn]:
+    def encode(w: _Writer, m: SubscribeRequest) -> None:
+        w.varint(len(m.kinds))
+        for name in m.kinds:
+            w.string(name)
+
+    def decode(r: _Reader) -> SubscribeRequest:
+        return SubscribeRequest(
+            kinds=tuple(
+                r.string() for _ in range(r.varint(bound=1 << 8))
+            ),
+        )
+
+    return encode, decode
+
+
+
+@_control(79, EventFrame)
+def _event_frame() -> Tuple[_EncodeFn, _DecodeFn]:
+    def encode(w: _Writer, m: EventFrame) -> None:
+        w.varint(m.seq)
+        w.blob(m.payload)
+        w.varint(m.dropped)
+
+    def decode(r: _Reader) -> EventFrame:
+        return EventFrame(
+            seq=r.varint(bound=_MAX_TALLY),
+            payload=r.blob(),
+            dropped=r.varint(bound=_MAX_TALLY),
+        )
+
+    return encode, decode
+
+
+
+@_control(80, ControlRequest)
+def _control_request() -> Tuple[_EncodeFn, _DecodeFn]:
+    def encode(w: _Writer, m: ControlRequest) -> None:
+        w.string(m.op)
+        w.bool(m.node_id is not None)
+        if m.node_id is not None:
+            w.id(m.node_id)
+        w.string(m.arg)
+
+    def decode(r: _Reader) -> ControlRequest:
+        return ControlRequest(
+            op=r.string(),
+            node_id=r.id() if r.bool() else None,
+            arg=r.string(),
+        )
+
+    return encode, decode
+
+
+
+@_control(81, ControlResponse)
+def _control_response() -> Tuple[_EncodeFn, _DecodeFn]:
+    def encode(w: _Writer, m: ControlResponse) -> None:
+        w.bool(m.ok)
+        w.string(m.detail)
+        w.string(m.state)
+
+    def decode(r: _Reader) -> ControlResponse:
+        return ControlResponse(
+            ok=r.bool(),
+            detail=r.string(),
+            state=r.string(),
+        )
 
     return encode, decode
 

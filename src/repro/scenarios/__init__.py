@@ -21,6 +21,7 @@ from repro.scenarios.registry import (
     scenario_names,
 )
 from repro.scenarios.spec import (
+    RESULT_SCHEMA_VERSION,
     SELFISH_STRATEGIES,
     AdversaryGroup,
     ChurnEvent,
@@ -32,6 +33,7 @@ from repro.scenarios.spec import (
 
 __all__ = [
     "AdversaryGroup",
+    "RESULT_SCHEMA_VERSION",
     "ChurnEvent",
     "JoinEvent",
     "RateStep",

@@ -3,18 +3,30 @@
 Each ``render_*`` regenerates one figure or table of the paper and
 prints the series next to the paper's reference values.  Simulation
 workloads come from the registry (``fig7``, ``fig9``, ...), closed-form
-sweeps from :mod:`repro.analysis`; the CLI subcommands are thin
-wrappers over these functions.
+sweeps from :mod:`repro.analysis`.
+
+Renderers register themselves against their scenario name in
+:data:`PAPER_RENDERERS`; :func:`render_scenario_run` — the engine
+behind ``repro run --scenario NAME`` — consults the registry, so
+``repro run --scenario fig8`` prints the paper figure while unknown or
+override-heavy invocations fall back to the generic measurement
+summary.  The legacy verbs (``repro fig8`` etc.) are deprecated
+aliases over the same dispatch.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import dataclasses
+import inspect
+from typing import Callable, Dict, Optional
 
 from repro.scenarios.registry import get_scenario
 from repro.sim.execution import ExecutionPolicy
 
 __all__ = [
+    "PAPER_RENDERERS",
+    "paper_renderer",
+    "render_detect",
     "render_fig7",
     "render_fig8",
     "render_fig9",
@@ -24,7 +36,27 @@ __all__ = [
     "render_scenario_run",
 ]
 
+#: Scenario name -> paper renderer.  A renderer declares the override
+#: keywords it supports (``nodes``, ``rounds``, ``strategy``,
+#: ``execution_policy``) in its signature; :func:`render_scenario_run`
+#: passes through only what fits and falls back to the generic summary
+#: when an unsupported override was requested.
+PAPER_RENDERERS: Dict[str, Callable[..., int]] = {}
 
+
+def paper_renderer(name: str) -> Callable[
+    [Callable[..., int]], Callable[..., int]
+]:
+    """Register a figure/table renderer for a scenario name."""
+
+    def register(fn: Callable[..., int]) -> Callable[..., int]:
+        PAPER_RENDERERS[name] = fn
+        return fn
+
+    return register
+
+
+@paper_renderer("fig7")
 def render_fig7(
     nodes: Optional[int] = None,
     rounds: Optional[int] = None,
@@ -52,6 +84,7 @@ def render_fig7(
     return 0
 
 
+@paper_renderer("fig8")
 def render_fig8() -> int:
     from repro.analysis.bandwidth import PagBandwidthModel
     from repro.core import PagConfig
@@ -69,6 +102,7 @@ def render_fig8() -> int:
     return 0
 
 
+@paper_renderer("fig9")
 def render_fig9() -> int:
     from repro.analysis.bandwidth import (
         ActingBandwidthModel,
@@ -85,6 +119,7 @@ def render_fig9() -> int:
     return 0
 
 
+@paper_renderer("fig10")
 def render_fig10() -> int:
     from repro.analysis.privacy import figure10_series
 
@@ -102,6 +137,7 @@ def render_fig10() -> int:
     return 0
 
 
+@paper_renderer("table1")
 def render_table1() -> int:
     from repro.analysis.costs import table1_rows
 
@@ -116,6 +152,7 @@ def render_table1() -> int:
     return 0
 
 
+@paper_renderer("table2")
 def render_table2() -> int:
     from repro.analysis.quality import table2
 
@@ -128,6 +165,41 @@ def render_table2() -> int:
     return 0
 
 
+@paper_renderer("detect")
+def render_detect(
+    nodes: Optional[int] = None,
+    rounds: Optional[int] = None,
+    strategy: Optional[str] = None,
+    execution_policy: Optional[ExecutionPolicy] = None,
+) -> int:
+    """Run the detection demo: one deviant mid-ring, print verdicts.
+
+    Exit status is conviction-based: 0 when exactly the deviant is
+    convicted, 1 otherwise (the old ``repro detect`` contract).
+    """
+    from repro.scenarios.spec import SELFISH_STRATEGIES
+
+    spec = get_scenario("detect", nodes=nodes, rounds=rounds)
+    chosen = strategy if strategy is not None else "free-rider"
+    deviant = spec.nodes // 2
+    spec = dataclasses.replace(
+        spec, node_strategies=((deviant, chosen),)
+    )
+    result = spec.run(execution_policy)
+    print(
+        f"deviant node {deviant} runs {SELFISH_STRATEGIES[chosen]} among "
+        f"{spec.nodes - 1} correct nodes"
+    )
+    for verdict in result.session.all_verdicts()[:8]:
+        print(
+            f"  round {verdict.exchange_round:>2}: node {verdict.node} "
+            f"GUILTY of {verdict.reason.value} — {verdict.evidence[:70]}"
+        )
+    convicted = set(result.convicted)
+    print(f"convicted: {sorted(convicted)} (expected: [{deviant}])")
+    return 0 if convicted == {deviant} else 1
+
+
 def render_scenario_run(
     name: str,
     nodes: Optional[int] = None,
@@ -136,8 +208,17 @@ def render_scenario_run(
     execution_policy: Optional[ExecutionPolicy] = None,
     json_out: Optional[str] = None,
     population: Optional[int] = None,
+    strategy: Optional[str] = None,
 ) -> int:
     """Run any registered scenario and print its measurement summary.
+
+    When ``name`` has a registered paper renderer and every supplied
+    override fits that renderer's signature, the renderer is
+    dispatched instead — ``repro run --scenario fig8`` prints the
+    paper's update-size sweep, exactly like the deprecated ``repro
+    fig8`` verb.  ``--json``/``--population`` (and any override the
+    renderer doesn't take) force the generic measurement path, which
+    is what the CI scenario matrix records.
 
     Args:
         json_out: optional path; writes the machine-readable summary
@@ -146,9 +227,36 @@ def render_scenario_run(
             ``BENCH_ci_scenarios.json`` artifact.
         population: population-tier override (see ``ScenarioSpec``);
             lets CI cap a million-node scenario to smoke scale.
+        strategy: deviant strategy pass-through for renderers that
+            accept one (the ``detect`` scenario).
     """
     import json
     import time
+
+    renderer = PAPER_RENDERERS.get(name)
+    if renderer is not None and json_out is None and population is None:
+        supplied = {
+            "nodes": nodes,
+            "rounds": rounds,
+            "rate": rate,
+            "strategy": strategy,
+            "execution_policy": execution_policy,
+        }
+        accepted = inspect.signature(renderer).parameters
+        if all(
+            value is None or key in accepted
+            for key, value in supplied.items()
+        ):
+            return renderer(**{
+                key: value
+                for key, value in supplied.items()
+                if key in accepted
+            })
+    if strategy is not None:
+        raise SystemExit(
+            f"error: --strategy does not apply to scenario {name!r} "
+            "with these flags (it is a paper-renderer override)"
+        )
 
     spec = get_scenario(
         name,

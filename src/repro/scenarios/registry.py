@@ -223,6 +223,20 @@ register_scenario(ScenarioSpec(
 ))
 
 register_scenario(ScenarioSpec(
+    name="detect",
+    description="one mid-ring deviant node (the CLI detection demo)",
+    paper_reference=(
+        "Section VI: a deviant consumer is convicted by its monitors; "
+        "the strategy is swappable (repro run --scenario detect "
+        "--strategy silent-receiver)"
+    ),
+    nodes=20,
+    rounds=12,
+    warmup_rounds=2,
+    node_strategies=((10, "free-rider"),),
+))
+
+register_scenario(ScenarioSpec(
     name="coalition-third",
     description="a third of the consumers free-ride in concert",
     paper_reference=(

@@ -28,10 +28,18 @@ __all__ = [
     "ChurnEvent",
     "JoinEvent",
     "RateStep",
+    "RESULT_SCHEMA_VERSION",
     "ScenarioSpec",
     "ScenarioResult",
     "SELFISH_STRATEGIES",
 ]
+
+#: Version stamp of the :meth:`ScenarioResult.summary` payload (the
+#: ``repro run --json`` output).  Consumers branch on this, so it is
+#: golden-locked (``tests/scenarios/test_result_schema.py``): bump it
+#: whenever a key is added, removed or changes meaning, and document
+#: the change in ``docs/RESULTS.md``.
+RESULT_SCHEMA_VERSION = 1
 
 #: CLI-friendly name -> class name in :mod:`repro.adversary.selfish`.
 SELFISH_STRATEGIES = {
@@ -661,6 +669,10 @@ class ScenarioSpec:
                     simulator.remove_node(node_id)
                     session.nodes.pop(node_id, None)
 
+        # Tagged so the service supervisor's manual-membership mode can
+        # strip this hook and replay the same schedule through operator
+        # control ops (the differential oracle for `repro ctl`).
+        setattr(on_round, "membership_hook", True)
         simulator.add_round_hook(on_round)
 
     def make_policy(self) -> Optional[ExecutionPolicy]:
@@ -792,6 +804,7 @@ class ScenarioResult:
     def summary(self) -> Dict[str, object]:
         """Flat dict for printing/JSON export."""
         out: Dict[str, object] = {
+            "schema": RESULT_SCHEMA_VERSION,
             "scenario": self.spec.name,
             "protocol": self.spec.protocol,
             "nodes": self.spec.nodes,

@@ -1,0 +1,55 @@
+"""Supervised service mode: live observability over running sessions.
+
+The package splits into five small layers:
+
+* :mod:`repro.service.events` — thread-safe bounded event bus.
+* :mod:`repro.service.hooks` — :class:`SessionTap`, bridging the
+  engine/monitor hooks onto the bus.
+* :mod:`repro.service.supervisor` — session lifecycle, operator
+  control at round boundaries, crash containment.
+* :mod:`repro.service.server` / :mod:`repro.service.client` — the
+  wire endpoint (kinds 76-81 in :mod:`repro.net.wire`) over
+  ``tcp://``, ``unix://`` and ``mem://`` transports.
+* :mod:`repro.service.dashboard` — the ``repro watch`` terminal view.
+"""
+
+from repro.service.events import (
+    EVENT_KINDS,
+    Event,
+    EventBus,
+    Subscription,
+)
+from repro.service.hooks import SessionTap
+from repro.service.supervisor import (
+    STATES,
+    ControlOp,
+    SessionSupervisor,
+    SupervisorError,
+)
+from repro.service.server import ServiceServer
+from repro.service.client import (
+    ServiceClient,
+    ServiceProtocolError,
+    request_control,
+    request_health,
+)
+from repro.service.dashboard import render_event, run_watch
+
+__all__ = [
+    "EVENT_KINDS",
+    "STATES",
+    "ControlOp",
+    "Event",
+    "EventBus",
+    "ServiceClient",
+    "ServiceProtocolError",
+    "ServiceServer",
+    "SessionSupervisor",
+    "SessionTap",
+    "Subscription",
+    "SupervisorError",
+    "render_event",
+    "request_control",
+    "request_health",
+    "run_watch",
+]

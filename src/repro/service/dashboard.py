@@ -1,0 +1,126 @@
+"""Terminal dashboard for ``repro watch``.
+
+The formatting core is :func:`render_event` — a pure function from one
+decoded event dict to one output line — so the dashboard's look is
+unit-testable without a server.  :func:`run_watch` wires it to a live
+subscription.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from typing import Any, Dict, IO, Optional, Tuple
+
+from repro.service.client import ServiceClient
+
+__all__ = ["render_event", "run_watch"]
+
+
+def _kib(value: Any) -> str:
+    return f"{int(value) / 1024:.1f}"
+
+
+def _signed(value: Any) -> str:
+    return f"{int(value):+d}"
+
+
+def render_event(event: Dict[str, Any]) -> str:
+    """One human-readable line for one decoded event."""
+    kind = event.get("kind", "?")
+    round_no = event.get("round", "?")
+    if kind == "state":
+        line = (
+            f"state    {event.get('state', '?')}"
+            f" | scenario {event.get('scenario', '?')}"
+        )
+        if event.get("restarts"):
+            line += f" | restarts {event['restarts']}"
+        if "error" in event:
+            line += f" | error: {event['error']}"
+    elif kind == "round":
+        line = (
+            f"round {round_no:>4} | nodes {event.get('nodes', '?')}"
+            f" | pending {event.get('pending', 0)}"
+            f" | msgs {event.get('messages', '?')}"
+            f" ({_signed(event.get('messages_delta', 0))})"
+        )
+    elif kind == "meter":
+        line = (
+            f"meter {round_no:>4}"
+            f" | up {_kib(event.get('bytes_up', 0))} KiB"
+            f" ({_signed(event.get('bytes_up_delta', 0))} B)"
+            f" | down {_kib(event.get('bytes_down', 0))} KiB"
+            f" ({_signed(event.get('bytes_down_delta', 0))} B)"
+        )
+    elif kind == "counters":
+        deltas = ", ".join(
+            f"{key} {_signed(value)}"
+            for key, value in sorted(event.items())
+            if key not in ("kind", "round", "seq", "dropped")
+        )
+        line = f"count {round_no:>4} | {deltas}"
+    elif kind == "verdict":
+        line = (
+            f"VERDICT  node {event.get('node', '?')}"
+            f" ({event.get('reason', '?')})"
+            f" detected by {event.get('detected_by', '?')}"
+            f" at round {round_no}"
+            f" | total {event.get('total_verdicts', '?')}"
+        )
+    else:
+        line = json.dumps(event, sort_keys=True)
+    if event.get("dropped"):
+        line = f"[dropped {event['dropped']} events]\n{line}"
+    return line
+
+
+async def _watch(
+    endpoint: str,
+    kinds: Tuple[str, ...],
+    raw: bool,
+    out: IO[str],
+    max_events: Optional[int],
+) -> int:
+    seen = 0
+    async with ServiceClient(endpoint) as client:
+        async for event in client.subscribe(kinds):
+            if raw:
+                out.write(
+                    json.dumps(
+                        event, sort_keys=True, separators=(",", ":")
+                    )
+                    + "\n"
+                )
+            else:
+                out.write(render_event(event) + "\n")
+            out.flush()
+            seen += 1
+            if max_events is not None and seen >= max_events:
+                break
+    return 0
+
+
+def run_watch(
+    endpoint: str,
+    kinds: Tuple[str, ...] = (),
+    raw: bool = False,
+    out: Optional[IO[str]] = None,
+    max_events: Optional[int] = None,
+) -> int:
+    """Stream events from ``endpoint`` and print one line per event.
+
+    ``raw`` prints NDJSON instead of the human layout; ``max_events``
+    detaches after that many events (the CI smoke hook).  Returns a
+    process exit code.
+    """
+    return asyncio.run(
+        _watch(
+            endpoint,
+            tuple(kinds),
+            raw,
+            out if out is not None else sys.stdout,
+            max_events,
+        )
+    )

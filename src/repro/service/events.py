@@ -1,0 +1,215 @@
+"""In-process event bus for the supervised service mode.
+
+The engine and monitor layers publish through lightweight hooks
+(:attr:`Simulator.event_sink <repro.sim.engine.Simulator.event_sink>`,
+:attr:`VerdictLog.sink <repro.core.accusations.VerdictLog.sink>`); the
+service server subscribes and streams the events to observers as
+NDJSON frames.  Two properties drive the design:
+
+* **Zero cost without subscribers** — :attr:`EventBus.active` is one
+  attribute read; the hook layer checks it before assembling any event
+  payload, so an unobserved run pays a pointer check per round.
+* **Backpressure never blocks the engine** — each subscriber owns a
+  bounded deque; when a slow consumer falls behind, its *oldest*
+  queued events are dropped (and counted), and :meth:`EventBus.publish`
+  returns without ever waiting.
+
+The bus is thread-safe: the supervisor publishes from its round-loop
+thread while the asyncio server drains subscriptions on the event
+loop.  A subscriber may hand over a ``waker`` callback, invoked after
+a publish *outside* the bus lock (the server passes
+``loop.call_soon_threadsafe``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+__all__ = ["Event", "EventBus", "Subscription", "EVENT_KINDS"]
+
+#: The event vocabulary, in the order the hook layer emits per round.
+EVENT_KINDS: Tuple[str, ...] = (
+    "state", "round", "meter", "counters", "verdict",
+)
+
+#: Default per-subscriber queue bound.  Small enough that a stalled
+#: observer cannot hold a long run's full event history in memory.
+DEFAULT_QUEUE_BOUND = 1024
+
+
+class Event:
+    """One published event: a kind, a round, and a flat payload."""
+
+    __slots__ = ("seq", "kind", "round_no", "data")
+
+    def __init__(
+        self,
+        seq: int,
+        kind: str,
+        round_no: int,
+        data: Dict[str, object],
+    ) -> None:
+        self.seq = seq
+        self.kind = kind
+        self.round_no = round_no
+        self.data = data
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "seq": self.seq,
+            "kind": self.kind,
+            "round": self.round_no,
+        }
+        out.update(self.data)
+        return out
+
+    def to_json(self) -> bytes:
+        """Canonical single-line JSON (the NDJSON stream payload)."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        ).encode()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Event(seq={self.seq}, kind={self.kind!r}, "
+            f"round={self.round_no})"
+        )
+
+
+class Subscription:
+    """One subscriber's bounded view of the event stream.
+
+    Created via :meth:`EventBus.subscribe`; drained with
+    :meth:`drain`; detached with :meth:`close`.  All mutation happens
+    under the owning bus's lock.
+    """
+
+    def __init__(
+        self,
+        bus: "EventBus",
+        kinds: Tuple[str, ...],
+        maxlen: int,
+        waker: Optional[Callable[[], None]],
+    ) -> None:
+        self._bus = bus
+        self.kinds = kinds
+        self._queue: Deque[Event] = deque()
+        self._maxlen = maxlen
+        self._waker = waker
+        #: events dropped since the last drain (reported to the
+        #: consumer so it can tell its view has gaps).
+        self._dropped_pending = 0
+        #: lifetime drop count (surfaced in tests and health output).
+        self.dropped_total = 0
+        self.delivered_total = 0
+        self.closed = False
+
+    def _offer(self, event: Event) -> None:
+        """Enqueue under the bus lock; drop-oldest when full."""
+        if self.kinds and event.kind not in self.kinds:
+            return
+        if len(self._queue) >= self._maxlen:
+            self._queue.popleft()
+            self._dropped_pending += 1
+            self.dropped_total += 1
+        self._queue.append(event)
+
+    def drain(self) -> Tuple[List[Event], int]:
+        """Take every queued event plus the drop count since last time."""
+        with self._bus._lock:
+            events = list(self._queue)
+            self._queue.clear()
+            dropped = self._dropped_pending
+            self._dropped_pending = 0
+            self.delivered_total += len(events)
+        return events, dropped
+
+    def close(self) -> None:
+        self._bus.unsubscribe(self)
+
+
+class EventBus:
+    """Thread-safe fan-out of session events to bounded subscribers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._subscribers: List[Subscription] = []
+        self._seq = 0
+        self.published = 0
+
+    @property
+    def active(self) -> bool:
+        """True when at least one subscriber is attached.
+
+        The hook layer's cheap guard: no subscriber, no event
+        assembly.  Reading a list's truthiness is atomic under the
+        GIL, so this needs no lock.
+        """
+        return bool(self._subscribers)
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)
+
+    def subscribe(
+        self,
+        kinds: Tuple[str, ...] = (),
+        maxlen: int = DEFAULT_QUEUE_BOUND,
+        waker: Optional[Callable[[], None]] = None,
+    ) -> Subscription:
+        """Attach a subscriber; ``kinds`` empty means every kind.
+
+        ``maxlen`` bounds the queue (drop-oldest beyond it); ``waker``
+        is called after each publish that enqueued something for this
+        subscriber, outside the bus lock.
+        """
+        if maxlen < 1:
+            raise ValueError("subscription queue bound must be >= 1")
+        unknown = set(kinds) - set(EVENT_KINDS)
+        if unknown:
+            raise ValueError(
+                f"unknown event kinds {sorted(unknown)}; expected a "
+                f"subset of {list(EVENT_KINDS)}"
+            )
+        sub = Subscription(self, tuple(kinds), maxlen, waker)
+        with self._lock:
+            self._subscribers.append(sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        """Detach; safe to call twice and from any thread."""
+        with self._lock:
+            sub.closed = True
+            try:
+                self._subscribers.remove(sub)
+            except ValueError:
+                pass
+
+    def publish(
+        self, kind: str, round_no: int, data: Dict[str, object]
+    ) -> Optional[Event]:
+        """Fan one event out to every matching subscriber.
+
+        Never blocks: a full subscriber queue drops its oldest entry.
+        Returns the event (or ``None`` when no subscriber existed, in
+        which case nothing was assembled or sequenced).
+        """
+        wakers: List[Callable[[], None]] = []
+        with self._lock:
+            if not self._subscribers:
+                return None
+            event = Event(self._seq, kind, round_no, data)
+            self._seq += 1
+            self.published += 1
+            for sub in self._subscribers:
+                before = len(sub._queue)
+                sub._offer(event)
+                if len(sub._queue) != before or sub._dropped_pending:
+                    if sub._waker is not None:
+                        wakers.append(sub._waker)
+        for waker in wakers:
+            waker()
+        return event

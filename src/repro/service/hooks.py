@@ -1,0 +1,174 @@
+"""Session taps: wire a running session into the service event bus.
+
+A :class:`SessionTap` installs the two observability hooks the core
+layers expose —
+:attr:`Simulator.event_sink <repro.sim.engine.Simulator.event_sink>`
+(one call per completed round) and
+:attr:`VerdictLog.sink <repro.core.accusations.VerdictLog.sink>` (one
+call per new verdict) — and turns them into bus events:
+
+* ``round``   — the round tick: round number, live node count,
+  cumulative message count.
+* ``meter``   — per-round byte deltas of the bandwidth meter (up and
+  down), plus the cumulative totals.
+* ``counters``— per-round deltas of the accusation-path counters
+  (:data:`~repro.core.monitor.MONITOR_COUNTER_KEYS` order).
+* ``verdict`` — one event per conviction, at the moment the monitor
+  records it.
+
+Hooks never mutate session state, and when the bus has no subscriber
+the per-round tick returns after a single attribute check — the
+zero-cost contract the ``service_hooks`` BENCH section pins down.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.core.monitor import MONITOR_COUNTER_KEYS
+from repro.service.events import EventBus
+
+if TYPE_CHECKING:
+    from repro.core.accusations import Verdict
+    from repro.core.session import PagSession
+
+__all__ = ["SessionTap"]
+
+
+class SessionTap:
+    """Publishes one session's activity onto an :class:`EventBus`."""
+
+    def __init__(self, session: "PagSession", bus: EventBus) -> None:
+        self.session = session
+        self.bus = bus
+        self._attached = False
+        self._last_up = 0
+        self._last_down = 0
+        self._last_messages = 0
+        self._last_counters: Dict[str, int] = {
+            key: 0 for key in MONITOR_COUNTER_KEYS
+        }
+        self.verdicts_seen = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def attach(self) -> None:
+        """Install the engine and verdict hooks (idempotent)."""
+        if self._attached:
+            return
+        self.session.simulator.event_sink = self._on_round_tick
+        self.session.attach_verdict_sink(self._on_verdict)
+        self._attached = True
+
+    def detach(self) -> None:
+        """Remove the hooks, restoring the unobserved fast path."""
+        if not self._attached:
+            return
+        self.session.simulator.event_sink = None
+        self.session.attach_verdict_sink(None)
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    # Hook targets
+    # ------------------------------------------------------------------
+
+    def _on_verdict(self, verdict: "Verdict") -> None:
+        self.verdicts_seen += 1
+        if not self.bus.active:
+            return
+        self.bus.publish(
+            "verdict",
+            verdict.exchange_round,
+            {
+                "node": verdict.node,
+                "reason": verdict.reason.value,
+                "detected_by": verdict.detected_by,
+                "total_verdicts": self.verdicts_seen,
+            },
+        )
+
+    def _on_round_tick(self, round_no: int) -> None:
+        bus = self.bus
+        if not bus.active:
+            return
+        session = self.session
+        network = session.simulator.network
+        meter = network.meter
+        up = 0
+        down = 0
+        for traffic in meter.totals.values():
+            up += traffic.bytes_up
+            down += traffic.bytes_down
+        messages = network.messages_sent
+        bus.publish(
+            "round",
+            round_no,
+            {
+                "nodes": len(session.nodes) + 1,
+                "pending": len(session.pending),
+                "messages": messages,
+                "messages_delta": messages - self._last_messages,
+            },
+        )
+        bus.publish(
+            "meter",
+            round_no,
+            {
+                "bytes_up": up,
+                "bytes_down": down,
+                "bytes_up_delta": up - self._last_up,
+                "bytes_down_delta": down - self._last_down,
+            },
+        )
+        self._last_up = up
+        self._last_down = down
+        self._last_messages = messages
+        counters = session.accusation_report()
+        deltas: Dict[str, object] = {}
+        changed = False
+        for key in MONITOR_COUNTER_KEYS:
+            value = int(counters.get(key, 0))
+            delta = value - self._last_counters[key]
+            self._last_counters[key] = value
+            if delta:
+                deltas[key] = delta
+                changed = True
+        if changed:
+            bus.publish("counters", round_no, deltas)
+
+    # ------------------------------------------------------------------
+    # Snapshots (the ``snapshot`` control op)
+    # ------------------------------------------------------------------
+
+    def snapshot(self, scenario: Optional[str] = None) -> Dict[str, object]:
+        """Point-in-time summary of the tapped session.
+
+        Safe to call between rounds only (the supervisor applies it at
+        a round boundary, like every control op).
+        """
+        session = self.session
+        network = session.simulator.network
+        meter = network.meter
+        up = sum(t.bytes_up for t in meter.totals.values())
+        down = sum(t.bytes_down for t in meter.totals.values())
+        verdicts = session.all_verdicts()
+        report = session.accusation_report()
+        out: Dict[str, object] = {
+            "round": session.current_round,
+            "nodes": len(session.nodes) + 1,
+            "pending": sorted(session.pending),
+            "messages": network.messages_sent,
+            "bytes_up": up,
+            "bytes_down": down,
+            "verdicts": len(verdicts),
+            "convicted": sorted({v.node for v in verdicts}),
+            "accusations": {
+                key: int(report.get(key, 0))
+                for key in MONITOR_COUNTER_KEYS
+            },
+        }
+        if scenario is not None:
+            out["scenario"] = scenario
+        return out

@@ -16,10 +16,17 @@ from repro.sim.execution import ExecutionPolicy, SerialPolicy
 from repro.sim.network import Network
 from repro.sim.node import SimNode
 
-__all__ = ["Simulator", "RoundHook"]
+__all__ = ["Simulator", "RoundHook", "RoundSink"]
 
 #: Callback invoked after each completed round: ``hook(round_no)``.
 RoundHook = Callable[[int], None]
+
+#: Observability tap invoked once per completed round (after the round
+#: hooks, before the round counter advances): ``sink(round_no)``.
+#: Unlike round hooks, a sink must not mutate session state — it exists
+#: so the service layer can publish round ticks without perturbing the
+#: deterministic schedule.
+RoundSink = Callable[[int], None]
 
 # Hard ceiling on intra-round deliveries, to turn accidental message
 # ping-pong bugs into a crisp error instead of a hang.
@@ -51,6 +58,12 @@ class Simulator:
     #: are engine-level, not policy-level, so a population scenario runs
     #: identically under every execution policy.
     planes: List = field(default_factory=list)
+    #: observability tap (see :data:`RoundSink`).  ``None`` — the
+    #: default — keeps the hot loop on a single pointer check, so a run
+    #: with no subscriber pays nothing (BENCH: service_hooks section).
+    event_sink: Optional[RoundSink] = field(
+        default=None, repr=False, compare=False
+    )
     #: id-sorted node list, rebuilt only when membership changes (the
     #: seed engine re-sorted the whole dict twice per round).
     _sorted_nodes: Optional[List[SimNode]] = field(
@@ -112,6 +125,8 @@ class Simulator:
             plane.end_round(round_no)
         for hook in self.round_hooks:
             hook(round_no)
+        if self.event_sink is not None:
+            self.event_sink(round_no)
         self.current_round += 1
 
     def run(self, rounds: int) -> None:

@@ -36,6 +36,11 @@ from repro.core.messages import (
 from repro.gossip.updates import Update
 from repro.net.wire import (
     CollectRequest,
+    ControlRequest,
+    ControlResponse,
+    EventFrame,
+    HealthReport,
+    HealthRequest,
     JoinAccept,
     JoinReject,
     JoinRequest,
@@ -47,6 +52,7 @@ from repro.net.wire import (
     StepDone,
     StepGo,
     StepMark,
+    SubscribeRequest,
 )
 
 UPDATE = Update(
@@ -239,6 +245,24 @@ def control_messages():
         CollectRequest(),
         SessionReport(payload=b'{"shard": 1}'),
         Shutdown(),
+        HealthRequest(),
+        HealthReport(
+            state="running",
+            scenario="fig7",
+            current_round=5,
+            total_rounds=12,
+            nodes=60,
+            subscribers=2,
+            events_published=314,
+            restarts=1,
+        ),
+        SubscribeRequest(kinds=("round", "verdict")),
+        SubscribeRequest(kinds=()),
+        EventFrame(seq=17, payload=b'{"kind": "round"}', dropped=3),
+        ControlRequest(op="churn", node_id=5, arg=""),
+        ControlRequest(op="pause", node_id=None, arg=""),
+        ControlRequest(op="strategy", node_id=8, arg="free-rider"),
+        ControlResponse(ok=True, detail="node 5 removed", state="paused"),
     ]
 
 

@@ -1,0 +1,149 @@
+"""Golden pinning of the ScenarioResult summary schema (v1).
+
+``golden_result_schema_v1.json`` stores, per payload variant, the
+exact key set and JSON type of every field in
+:meth:`ScenarioResult.summary` — the ``repro run --json`` contract the
+CI scenario matrix and external dashboards consume.  Any change to the
+payload shows up here as a diff against the pinned shape, and the
+right fix is bumping :data:`RESULT_SCHEMA_VERSION` (and documenting
+the change in ``docs/RESULTS.md``), not an edit to the golden file.
+
+Regenerate (only alongside a version bump) with::
+
+    PYTHONPATH=src:. python tests/scenarios/test_result_schema.py --regen
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import api
+from repro.scenarios.spec import (
+    RESULT_SCHEMA_VERSION,
+    ScenarioSpec,
+)
+from repro.sim.faults import LossFault
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "golden_result_schema_v1.json"
+)
+
+EXCHANGE = ("key_request", "key_response", "serve", "attestation", "ack")
+
+
+def _variants():
+    """One summary payload per schema variant, smallest viable runs."""
+    payloads = {}
+    payloads["pag"] = api.run_scenario(
+        "fig7", nodes=12, rounds=5, warmup_rounds=2
+    ).summary()
+    payloads["acting"] = api.run_scenario(
+        "fig7-acting", nodes=12, rounds=5, warmup_rounds=2
+    ).summary()
+    payloads["faults"] = api.run_scenario(ScenarioSpec(
+        name="schema-faults",
+        nodes=12,
+        rounds=5,
+        warmup_rounds=2,
+        fault_schedule=(
+            LossFault(probability=0.05, kinds=EXCHANGE),
+        ),
+    )).summary()
+    payloads["population"] = api.run_scenario(ScenarioSpec(
+        name="schema-population",
+        nodes=12,
+        rounds=5,
+        warmup_rounds=2,
+        population=20,
+    )).summary()
+    # The `repro run --json` export adds the measured wall clock and
+    # the Fig-7-style CDF on top of summary() — pin those keys too.
+    export = dict(payloads["pag"])
+    export["wall_seconds"] = 0.0
+    export["cdf"] = []
+    payloads["json-export"] = export
+    return payloads
+
+
+def _json_type(value):
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, str):
+        return "str"
+    if isinstance(value, dict):
+        return "object"
+    if isinstance(value, (list, tuple)):
+        return "array"
+    raise TypeError(f"summary emitted a non-JSON type: {type(value)}")
+
+
+def _shape(payload):
+    return {key: _json_type(value) for key, value in payload.items()}
+
+
+def _current():
+    return {name: _shape(p) for name, p in _variants().items()}
+
+
+def _load():
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+def test_golden_file_matches_schema_version():
+    assert _load()["schema"] == RESULT_SCHEMA_VERSION == 1
+
+
+def test_every_variant_is_pinned():
+    assert sorted(_load()["variants"]) == sorted(_current())
+
+
+@pytest.fixture(scope="module")
+def current():
+    return _current()
+
+
+@pytest.mark.parametrize(
+    "variant", ["pag", "acting", "faults", "population", "json-export"]
+)
+def test_v1_summary_shape_is_pinned(variant, current):
+    golden = _load()["variants"]
+    assert current[variant] == golden[variant], (
+        f"{variant}: the summary() payload shape changed; bump "
+        "RESULT_SCHEMA_VERSION and document it in docs/RESULTS.md "
+        "instead of re-pinning"
+    )
+
+
+def test_every_payload_carries_the_stamp():
+    for name, payload in _variants().items():
+        assert payload["schema"] == RESULT_SCHEMA_VERSION, name
+
+
+def test_payloads_round_trip_json():
+    for name, payload in _variants().items():
+        assert json.loads(json.dumps(payload, sort_keys=True)), name
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" not in sys.argv:
+        sys.exit("usage: test_result_schema.py --regen")
+    with open(GOLDEN_PATH, "w") as handle:
+        json.dump(
+            {
+                "schema": RESULT_SCHEMA_VERSION,
+                "variants": _current(),
+            },
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+        handle.write("\n")
+    print(f"regenerated {GOLDEN_PATH}")

@@ -1,0 +1,78 @@
+"""The `repro watch` line formats, pinned per event kind.
+
+:func:`render_event` is a pure function from a decoded event dict to
+one output line, so the dashboard's look is locked here without a
+server in the loop.
+"""
+
+import json
+
+from repro.service.dashboard import render_event
+
+
+class TestLayouts:
+    def test_state_line(self):
+        line = render_event({
+            "kind": "state", "round": 0,
+            "state": "running", "scenario": "fig7", "restarts": 0,
+        })
+        assert line == "state    running | scenario fig7"
+
+    def test_state_line_with_restarts_and_error(self):
+        line = render_event({
+            "kind": "state", "round": 4,
+            "state": "failed", "scenario": "fig7",
+            "restarts": 2, "error": "round 4 crashed",
+        })
+        assert "restarts 2" in line
+        assert "error: round 4 crashed" in line
+
+    def test_round_line(self):
+        line = render_event({
+            "kind": "round", "round": 3, "nodes": 24,
+            "pending": 1, "messages": 900, "messages_delta": 120,
+        })
+        assert line == (
+            "round    3 | nodes 24 | pending 1 | msgs 900 (+120)"
+        )
+
+    def test_meter_line_scales_to_kib(self):
+        line = render_event({
+            "kind": "meter", "round": 2,
+            "bytes_up": 2048, "bytes_up_delta": 1024,
+            "bytes_down": 4096, "bytes_down_delta": -512,
+        })
+        assert "up 2.0 KiB (+1024 B)" in line
+        assert "down 4.0 KiB (-512 B)" in line
+
+    def test_counters_line_lists_deltas_sorted(self):
+        line = render_event({
+            "kind": "counters", "round": 5, "seq": 9,
+            "verdicts": 2, "accusations_sent": 4,
+        })
+        assert line == "count    5 | accusations_sent +4, verdicts +2"
+
+    def test_verdict_line(self):
+        line = render_event({
+            "kind": "verdict", "round": 4, "node": 6,
+            "reason": "refused_reception", "detected_by": 11,
+            "total_verdicts": 3,
+        })
+        assert line == (
+            "VERDICT  node 6 (refused_reception) detected by 11 "
+            "at round 4 | total 3"
+        )
+
+    def test_unknown_kind_falls_back_to_json(self):
+        event = {"kind": "mystery", "round": 1, "x": 2}
+        assert render_event(event) == json.dumps(event, sort_keys=True)
+
+    def test_dropped_prefix_line(self):
+        line = render_event({
+            "kind": "round", "round": 7, "nodes": 10,
+            "pending": 0, "messages": 50, "messages_delta": 5,
+            "dropped": 12,
+        })
+        first, second = line.split("\n")
+        assert first == "[dropped 12 events]"
+        assert second.startswith("round    7")

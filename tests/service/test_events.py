@@ -1,0 +1,173 @@
+"""EventBus contract: zero cost unobserved, bounded never-blocking
+fan-out when observed.
+
+These are the two properties the service mode's engine hooks rely on
+(`repro.service.hooks`): an unobserved run must publish nothing (one
+attribute check per round), and a slow observer must cost the engine
+nothing — its oldest events drop, counted, while ``publish`` returns
+immediately.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.service.events import EVENT_KINDS, EventBus
+
+
+class TestUnobserved:
+    def test_publish_without_subscribers_returns_none(self):
+        bus = EventBus()
+        assert not bus.active
+        assert bus.publish("round", 0, {"nodes": 3}) is None
+        # Nothing was assembled or sequenced: a later subscriber's
+        # stream starts at seq 0.
+        assert bus.published == 0
+        sub = bus.subscribe()
+        event = bus.publish("round", 1, {"nodes": 3})
+        assert event is not None and event.seq == 0
+        sub.close()
+
+    def test_active_tracks_subscribers(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        assert bus.active and bus.subscriber_count == 1
+        sub.close()
+        assert not bus.active and bus.subscriber_count == 0
+
+
+class TestFanOut:
+    def test_drain_returns_events_in_publish_order(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        for round_no in range(5):
+            bus.publish("round", round_no, {"nodes": 4})
+        events, dropped = sub.drain()
+        assert dropped == 0
+        assert [e.seq for e in events] == list(range(5))
+        assert [e.round_no for e in events] == list(range(5))
+        # Drain empties the queue.
+        assert sub.drain() == ([], 0)
+
+    def test_kind_filter(self):
+        bus = EventBus()
+        verdicts = bus.subscribe(kinds=("verdict",))
+        everything = bus.subscribe()
+        bus.publish("round", 0, {})
+        bus.publish("verdict", 0, {"node": 5})
+        bus.publish("meter", 0, {})
+        got, _ = verdicts.drain()
+        assert [e.kind for e in got] == ["verdict"]
+        got, _ = everything.drain()
+        assert [e.kind for e in got] == ["round", "verdict", "meter"]
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kinds"):
+            EventBus().subscribe(kinds=("nope",))
+
+    def test_queue_bound_must_be_positive(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            EventBus().subscribe(maxlen=0)
+
+    def test_unsubscribe_twice_is_safe(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        sub.close()
+        sub.close()
+        bus.publish("round", 0, {})
+        assert sub.drain() == ([], 0)
+
+
+class TestBackpressure:
+    def test_slow_consumer_drops_oldest_and_counts(self):
+        bus = EventBus()
+        sub = bus.subscribe(maxlen=4)
+        for round_no in range(10):
+            bus.publish("round", round_no, {})
+        events, dropped = sub.drain()
+        assert dropped == 6
+        assert sub.dropped_total == 6
+        # The *newest* events survive.
+        assert [e.round_no for e in events] == [6, 7, 8, 9]
+        # The pending drop count resets once reported.
+        bus.publish("round", 10, {})
+        events, dropped = sub.drain()
+        assert dropped == 0 and len(events) == 1
+        sub.close()
+
+    def test_one_stalled_subscriber_cannot_starve_another(self):
+        bus = EventBus()
+        stalled = bus.subscribe(maxlen=2)
+        healthy = bus.subscribe()
+        for round_no in range(8):
+            bus.publish("round", round_no, {})
+        got, dropped = healthy.drain()
+        assert len(got) == 8 and dropped == 0
+        got, dropped = stalled.drain()
+        assert len(got) == 2 and dropped == 6
+
+    def test_waker_fires_only_for_matching_kinds(self):
+        bus = EventBus()
+        wakes = []
+        sub = bus.subscribe(
+            kinds=("verdict",), waker=lambda: wakes.append(1)
+        )
+        bus.publish("round", 0, {})
+        assert wakes == []
+        bus.publish("verdict", 0, {"node": 3})
+        assert wakes == [1]
+        sub.close()
+
+    def test_waker_runs_outside_the_bus_lock(self):
+        bus = EventBus()
+        # A waker that re-enters the bus deadlocks if publish held the
+        # lock while invoking it.
+        sub = bus.subscribe(waker=lambda: bus.subscriber_count)
+        reentrant = bus.publish("round", 0, {})
+        assert reentrant is not None
+        sub.close()
+
+    def test_concurrent_publish_and_drain_conserves_events(self):
+        bus = EventBus()
+        sub = bus.subscribe(maxlen=16)
+        total = 500
+        taken = []
+
+        def pump():
+            for round_no in range(total):
+                bus.publish("round", round_no, {})
+
+        thread = threading.Thread(target=pump)
+        thread.start()
+        while thread.is_alive():
+            taken.extend(sub.drain()[0])
+        thread.join()
+        taken.extend(sub.drain()[0])
+        assert sub.delivered_total + sub.dropped_total == total
+        seqs = [e.seq for e in taken]
+        assert seqs == sorted(seqs)
+
+
+class TestEventPayload:
+    def test_to_json_is_canonical_single_line(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        event = bus.publish("meter", 3, {"bytes_up": 10, "a": 1})
+        raw = event.to_json()
+        assert b"\n" not in raw
+        decoded = json.loads(raw)
+        assert decoded == {
+            "seq": 0, "kind": "meter", "round": 3,
+            "bytes_up": 10, "a": 1,
+        }
+        # sort_keys + compact separators: byte-stable across runs.
+        assert raw == json.dumps(
+            decoded, sort_keys=True, separators=(",", ":")
+        ).encode()
+        sub.close()
+
+    def test_kind_vocabulary_is_pinned(self):
+        assert EVENT_KINDS == (
+            "state", "round", "meter", "counters", "verdict",
+        )

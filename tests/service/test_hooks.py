@@ -1,0 +1,146 @@
+"""SessionTap contract: faithful observation, zero perturbation.
+
+The tap may only *read*: a tapped run must produce byte-identical
+measurements to an untapped one, attach/detach must work mid-run, and
+with no subscriber on the bus the hooks must publish nothing at all.
+"""
+
+import pytest
+
+from repro.core.monitor import MONITOR_COUNTER_KEYS
+from repro.scenarios.spec import ScenarioSpec
+from repro.service.events import EventBus
+from repro.service.hooks import SessionTap
+
+
+def _spec(**overrides):
+    overrides.setdefault("name", "tap-test")
+    overrides.setdefault("nodes", 12)
+    overrides.setdefault("rounds", 6)
+    overrides.setdefault("warmup_rounds", 2)
+    overrides.setdefault("node_strategies", ((6, "free-rider"),))
+    return ScenarioSpec(**overrides)
+
+
+@pytest.fixture()
+def baseline():
+    return _spec().run()
+
+
+def _tapped_run(bus, rounds=None, spec=None):
+    spec = spec if spec is not None else _spec()
+    session = spec.build(None)
+    tap = SessionTap(session, bus)
+    tap.attach()
+    session.run(rounds if rounds is not None else spec.rounds)
+    return spec, session, tap
+
+
+class TestZeroCost:
+    def test_no_subscriber_publishes_nothing(self):
+        bus = EventBus()
+        _tapped_run(bus)
+        assert bus.published == 0
+
+    def test_attach_is_idempotent(self):
+        bus = EventBus()
+        spec = _spec()
+        session = spec.build(None)
+        tap = SessionTap(session, bus)
+        tap.attach()
+        tap.attach()
+        sub = bus.subscribe(kinds=("round",))
+        session.run(spec.rounds)
+        events, _ = sub.drain()
+        assert len(events) == spec.rounds
+
+
+class TestFidelity:
+    def test_tapped_run_is_bit_identical(self, baseline):
+        bus = EventBus()
+        bus.subscribe()  # force the full event-assembly path
+        spec, session, _ = _tapped_run(bus)
+        from repro.scenarios.spec import ScenarioResult
+
+        result = ScenarioResult.collect(spec, session)
+        assert result.summary() == baseline.summary()
+        assert result.node_kbps == baseline.node_kbps
+
+    def test_round_meter_and_verdict_events(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        spec, session, tap = _tapped_run(bus)
+        events, dropped = sub.drain()
+        assert dropped == 0
+        by_kind = {}
+        for event in events:
+            by_kind.setdefault(event.kind, []).append(event)
+        assert len(by_kind["round"]) == spec.rounds
+        assert len(by_kind["meter"]) == spec.rounds
+        # One verdict event per monitor conviction; the deduplicated
+        # session count is a lower bound.
+        assert len(by_kind["verdict"]) >= len(session.all_verdicts())
+        assert by_kind["verdict"][0].data["node"] == 6
+        # Meter deltas telescope back to the cumulative totals.
+        last = by_kind["meter"][-1].data
+        assert last["bytes_up"] == sum(
+            e.data["bytes_up_delta"] for e in by_kind["meter"]
+        )
+        # Counter events only carry non-zero deltas, keyed canonically.
+        for event in by_kind.get("counters", ()):
+            assert event.data, "counters event must not be empty"
+            for key, delta in event.data.items():
+                assert key in MONITOR_COUNTER_KEYS
+                assert delta != 0
+
+    def test_verdict_events_count_monotonically(self):
+        bus = EventBus()
+        sub = bus.subscribe(kinds=("verdict",))
+        _tapped_run(bus)
+        events, _ = sub.drain()
+        totals = [e.data["total_verdicts"] for e in events]
+        assert totals == list(range(1, len(events) + 1))
+
+
+class TestDetach:
+    def test_detach_mid_run_stops_the_stream(self):
+        bus = EventBus()
+        sub = bus.subscribe(kinds=("round",))
+        spec = _spec()
+        session = spec.build(None)
+        tap = SessionTap(session, bus)
+        tap.attach()
+        session.run(2)
+        tap.detach()
+        session.run(spec.rounds - 2)
+        events, _ = sub.drain()
+        assert [e.round_no for e in events] == [0, 1]
+
+    def test_attach_mid_run_joins_the_stream(self, baseline):
+        bus = EventBus()
+        sub = bus.subscribe(kinds=("round",))
+        spec = _spec()
+        session = spec.build(None)
+        session.run(3)
+        tap = SessionTap(session, bus)
+        tap.attach()
+        session.run(spec.rounds - 3)
+        events, _ = sub.drain()
+        assert [e.round_no for e in events] == [3, 4, 5]
+        from repro.scenarios.spec import ScenarioResult
+
+        result = ScenarioResult.collect(spec, session)
+        assert result.summary() == baseline.summary()
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        bus = EventBus()
+        spec, session, tap = _tapped_run(bus)
+        snap = tap.snapshot(scenario=spec.name)
+        assert snap["scenario"] == spec.name
+        assert snap["round"] == spec.rounds
+        assert snap["nodes"] == len(session.nodes) + 1
+        assert snap["convicted"] == [6]
+        assert sorted(snap["accusations"]) == sorted(MONITOR_COUNTER_KEYS)
+        assert snap["verdicts"] == len(session.all_verdicts())

@@ -1,0 +1,211 @@
+"""Service protocol round-trips over the in-process mem:// transport.
+
+The contract under test: health polls leave the connection reusable, a
+subscription streams EventFrames until the run drains (connection
+close is end-of-stream), observers may attach and detach mid-run
+without perturbing the session, and every malformed request gets an
+error reply instead of a hangup.
+"""
+
+import asyncio
+import io
+import json
+import threading
+
+import pytest
+
+from repro import api
+from repro.net import wire
+from repro.net.daemon import recv_message, send_message
+from repro.net.transport import connect, reset_memory_transport
+from repro.scenarios.spec import ScenarioSpec
+from repro.service.client import (
+    ServiceClient,
+    ServiceProtocolError,
+    request_control,
+    request_health,
+)
+from repro.service.dashboard import run_watch
+from repro.service.server import ServiceServer
+from repro.service.supervisor import SessionSupervisor
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memory_transport():
+    reset_memory_transport()
+    yield
+    reset_memory_transport()
+
+
+def _spec(**overrides):
+    overrides.setdefault("name", "svc-test")
+    overrides.setdefault("nodes", 12)
+    overrides.setdefault("rounds", 6)
+    overrides.setdefault("warmup_rounds", 2)
+    overrides.setdefault("node_strategies", ((6, "free-rider"),))
+    return ScenarioSpec(**overrides)
+
+
+async def _serve(spec, endpoint="mem://svc-test", **kwargs):
+    supervisor = SessionSupervisor(spec, **kwargs)
+    server = ServiceServer(supervisor, endpoint)
+    resolved = await server.start()
+    return supervisor, server, resolved
+
+
+class TestRoundTrip:
+    def test_health_control_and_stream(self):
+        async def scenario():
+            spec = _spec()
+            supervisor, server, endpoint = await _serve(
+                spec, round_delay=0.02
+            )
+            async with ServiceClient(endpoint) as client:
+                report = await client.health()
+                assert report.scenario == spec.name
+                assert report.total_rounds == spec.rounds
+                # The connection stays usable after a poll.
+                report = await client.health()
+                assert report.state in ("init", "running")
+                response = await client.control("churn", node_id=5)
+                assert response.ok
+                assert "node 5 removed" in response.detail
+            events = []
+            async with ServiceClient(endpoint) as client:
+                async for event in client.subscribe():
+                    events.append(event)
+            assert await server.wait() == 0
+            return supervisor, events
+
+        supervisor, events = asyncio.run(scenario())
+        assert supervisor.state == "stopped"
+        assert supervisor.result is not None
+        assert 5 not in supervisor.result.session.nodes
+        kinds = {event["kind"] for event in events}
+        assert "round" in kinds and "meter" in kinds
+        seqs = [event["seq"] for event in events]
+        assert seqs == sorted(seqs)
+
+    def test_observer_detach_mid_run_does_not_stop_the_session(self):
+        async def scenario():
+            spec = _spec(rounds=8)
+            supervisor, server, endpoint = await _serve(
+                spec, round_delay=0.02
+            )
+            got = []
+            async with ServiceClient(endpoint) as client:
+                async for event in client.subscribe(kinds=("round",)):
+                    got.append(event)
+                    if len(got) >= 2:
+                        break
+            assert await server.wait() == 0
+            return supervisor, got
+
+        supervisor, got = asyncio.run(scenario())
+        assert supervisor.state == "stopped"
+        assert len(got) == 2
+        assert all(event["kind"] == "round" for event in got)
+        # The run finished every declared round after the hangup.
+        assert supervisor.rounds_completed == 8
+
+
+class TestProtocolErrors:
+    def test_invalid_subscription_kinds_are_refused(self):
+        async def scenario():
+            supervisor, server, endpoint = await _serve(
+                _spec(), round_delay=0.02
+            )
+            async with ServiceClient(endpoint) as client:
+                with pytest.raises(
+                    ServiceProtocolError, match="refused"
+                ):
+                    async for _ in client.subscribe(kinds=("bogus",)):
+                        pass
+            supervisor.stop()
+            await server.wait()
+
+        asyncio.run(scenario())
+
+    def test_invalid_control_op_is_an_error_reply(self):
+        async def scenario():
+            supervisor, server, endpoint = await _serve(
+                _spec(), round_delay=0.02
+            )
+            async with ServiceClient(endpoint) as client:
+                response = await client.control("reboot")
+                assert not response.ok
+                assert "unknown control op" in response.detail
+            supervisor.stop()
+            await server.wait()
+
+        asyncio.run(scenario())
+
+    def test_unexpected_frame_is_an_error_reply(self):
+        async def scenario():
+            supervisor, server, endpoint = await _serve(
+                _spec(), round_delay=0.02
+            )
+            conn = await connect(endpoint)
+            await send_message(conn, wire.RoundStart(round_no=0))
+            reply = await recv_message(conn)
+            assert isinstance(reply, wire.ControlResponse)
+            assert not reply.ok
+            assert "RoundStart" in reply.detail
+            await conn.close()
+            supervisor.stop()
+            await server.wait()
+
+        asyncio.run(scenario())
+
+
+class TestSyncHelpers:
+    """The `repro ctl` / `repro watch` code paths, served from a
+    background thread the way `repro serve` runs in-process."""
+
+    def test_ctl_and_watch_against_a_threaded_server(self):
+        listening = threading.Event()
+        holder = {}
+
+        def on_listening(endpoint):
+            holder["endpoint"] = endpoint
+            listening.set()
+
+        def target():
+            holder["result"] = api.serve(
+                "fig7",
+                "mem://svc-sync-helpers",
+                nodes=12,
+                rounds=8,
+                round_delay=0.02,
+                on_listening=on_listening,
+            )
+
+        thread = threading.Thread(target=target)
+        thread.start()
+        try:
+            assert listening.wait(timeout=30)
+            endpoint = holder["endpoint"]
+            health = request_health(endpoint)
+            assert health["scenario"] == "fig7"
+            assert health["total_rounds"] == 8
+            ok, detail, state = request_control(
+                endpoint, "churn", node_id=5
+            )
+            assert ok and "node 5 removed" in detail
+            assert state in ("running", "paused")
+            buffer = io.StringIO()
+            assert run_watch(
+                endpoint, raw=True, out=buffer, max_events=3
+            ) == 0
+            lines = buffer.getvalue().strip().splitlines()
+            assert len(lines) == 3
+            for line in lines:
+                event = json.loads(line)
+                assert event["kind"] in (
+                    "state", "round", "meter", "counters", "verdict",
+                )
+        finally:
+            thread.join(timeout=60)
+        assert not thread.is_alive()
+        result = holder["result"]
+        assert 5 not in result.session.nodes

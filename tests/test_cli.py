@@ -178,6 +178,72 @@ class TestCommands:
         assert "AcTinG" in capsys.readouterr().out
 
 
+class TestDeprecatedAliases:
+    """The legacy verbs are thin aliases over ``run --scenario``:
+    byte-identical stdout, a deprecation pointer on stderr only."""
+
+    @pytest.mark.parametrize(
+        "alias, run_args",
+        [
+            (["fig8"], ["run", "--scenario", "fig8"]),
+            (["fig9"], ["run", "--scenario", "fig9"]),
+            (["fig10"], ["run", "--scenario", "fig10"]),
+            (["table1"], ["run", "--scenario", "table1"]),
+            (["table2"], ["run", "--scenario", "table2"]),
+        ],
+    )
+    def test_alias_output_equals_run_scenario(
+        self, capsys, alias, run_args
+    ):
+        alias_code = main(alias)
+        alias_cap = capsys.readouterr()
+        run_code = main(run_args)
+        run_cap = capsys.readouterr()
+        assert alias_code == run_code == 0
+        assert alias_cap.out == run_cap.out
+        assert "deprecated" in alias_cap.err
+        assert run_cap.err == ""
+
+    def test_fig7_alias_equals_run_scenario(self, capsys):
+        flags = ["--nodes", "18", "--rounds", "6"]
+        alias_code = main(["fig7"] + flags)
+        alias_cap = capsys.readouterr()
+        run_code = main(["run", "--scenario", "fig7"] + flags)
+        run_cap = capsys.readouterr()
+        assert alias_code == run_code == 0
+        assert alias_cap.out == run_cap.out
+        assert "deprecated" in alias_cap.err
+
+    def test_detect_alias_equals_run_scenario(self, capsys):
+        flags = ["--strategy", "free-rider", "--nodes", "16",
+                 "--rounds", "10"]
+        alias_code = main(["detect"] + flags)
+        alias_cap = capsys.readouterr()
+        run_code = main(["run", "--scenario", "detect"] + flags)
+        run_cap = capsys.readouterr()
+        assert alias_code == run_code == 0
+        assert alias_cap.out == run_cap.out
+        assert "GUILTY" in alias_cap.out
+        assert "deprecated" in alias_cap.err
+
+    def test_run_scenario_detect_conviction_exit_code(self, capsys):
+        code = main(
+            ["run", "--scenario", "detect", "--nodes", "16",
+             "--rounds", "10"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "convicted: [8]" in out
+
+    def test_strategy_requires_renderer_scenario(self):
+        with pytest.raises(SystemExit, match="--strategy"):
+            main(["run", "--nodes", "8", "--rounds", "2",
+                  "--strategy", "free-rider"])
+        with pytest.raises(SystemExit, match="--strategy"):
+            main(["run", "--scenario", "selfish", "--rounds", "6",
+                  "--strategy", "free-rider"])
+
+
 class TestBenchCommand:
     def test_bench_writes_json(self, capsys, tmp_path):
         out_file = tmp_path / "BENCH_hotpath.json"
@@ -193,7 +259,7 @@ class TestBenchCommand:
         import json
 
         report = json.loads(out_file.read_text())
-        assert report["schema"] == 6
+        assert report["schema"] == 7
         assert set(report["hashes_per_s"]) == {"256", "512"}
         assert report["primes_per_s"]["512"] > 0
         assert report["engine"]["rounds_per_s"] > 0
@@ -236,6 +302,11 @@ class TestBenchCommand:
         assert population["nodes_per_sec"] > 0
         assert population["peak_rss_mb"] > 0
         assert "population tier" in out
+        hooks = report["service_hooks"]
+        assert hooks["untapped_rounds_per_s"] > 0
+        assert hooks["idle_tap_rounds_per_s"] > 0
+        assert hooks["subscribed_rounds_per_s"] > 0
+        assert "service hooks" in out
 
     def test_bench_section_selector_retimes_only_selection(
         self, capsys, tmp_path
@@ -249,7 +320,7 @@ class TestBenchCommand:
         )
         assert code == 0
         report = json.loads(out_file.read_text())
-        assert report["schema"] == 6
+        assert report["schema"] == 7
         assert report["primes_per_s"]["512"] > 0
         # Non-selected sections were not measured at all.
         assert "engine" not in report
